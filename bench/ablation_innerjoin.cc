@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Ablation of the FTP-friendly inner-join unit (Section IV-C): sweep
+ * the FIFO depth and the laggy prefix-sum width, and compare against a
+ * hypothetical two-fast-prefix design (laggy latency ~ 1 cycle), to
+ * quantify the paper's "almost no throughput penalty" claim next to
+ * the area/power it saves (Table IV: the fast tree alone is ~52% of
+ * TPPE power, the laggy chain ~11%).
+ */
+
+#include <cstdio>
+
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "core/inner_join.hh"
+#include "energy/area_power.hh"
+#include "workload/generator.hh"
+#include "workload/networks.hh"
+#include "tensor/compress.hh"
+
+namespace {
+
+using namespace loas;
+
+/** Average join cycles over the fiber pairs of a published layer. */
+double
+averageJoinCycles(const InnerJoinConfig& config, const LayerData& layer,
+                  std::size_t pairs)
+{
+    const InnerJoinUnit unit(config, layer.spec.t);
+    const auto fibers_a = compressSpikeRows(layer.spikes);
+    const auto fibers_b = compressWeightColumns(layer.weights);
+    Rng rng(5);
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < pairs; ++i) {
+        const auto& fa = fibers_a[rng.uniformInt(fibers_a.size())];
+        const auto& fb = fibers_b[rng.uniformInt(fibers_b.size())];
+        total += unit.join(fa, fb).cycles;
+    }
+    return static_cast<double>(total) / static_cast<double>(pairs);
+}
+
+} // namespace
+
+int
+main()
+{
+    const LayerData layer = generateLayer(tables::vgg16L8(), 88);
+    constexpr std::size_t kPairs = 512;
+
+    std::printf("Ablation: inner-join FIFO depth (V-L8 fiber pairs)\n\n");
+    TextTable fifo({"FIFO depth", "avg join cycles", "vs depth 8"});
+    InnerJoinConfig base;
+    const double cycles8 = averageJoinCycles(base, layer, kPairs);
+    for (const std::size_t depth : {1u, 2u, 4u, 8u, 16u, 64u}) {
+        InnerJoinConfig config;
+        config.fifo_depth = depth;
+        const double cycles = averageJoinCycles(config, layer, kPairs);
+        fifo.addRow({std::to_string(depth), TextTable::fmt(cycles, 1),
+                     TextTable::fmtX(cycles / cycles8)});
+    }
+    std::printf("%s\n", fifo.str().c_str());
+
+    std::printf("Ablation: laggy prefix-sum width "
+                "(adders -> ready latency)\n\n");
+    TextTable laggy({"adders", "latency (cycles)", "avg join cycles",
+                     "vs 16 adders"});
+    for (const int adders : {4, 8, 16, 32, 128}) {
+        InnerJoinConfig config;
+        config.laggy_adders = adders;
+        const double cycles = averageJoinCycles(config, layer, kPairs);
+        laggy.addRow({std::to_string(adders),
+                      std::to_string(config.laggyLatency()),
+                      TextTable::fmt(cycles, 1),
+                      TextTable::fmtX(cycles / cycles8)});
+    }
+    std::printf("%s\n", laggy.str().c_str());
+
+    // 128 adders make the laggy circuit behave like a second fast
+    // tree: the throughput gap to the Table III design point (16
+    // adders) is the paper's "almost no throughput penalty", bought
+    // at a fraction of the prefix-circuit power.
+    const TppeAreaPower tppe(4);
+    double fast_power = 0.0, laggy_power = 0.0;
+    for (const auto& c : tppe.components()) {
+        if (c.name == "Fast Prefix")
+            fast_power = c.power_mw;
+        if (c.name == "Laggy Prefix")
+            laggy_power = c.power_mw;
+    }
+    std::printf("power: fast prefix tree %.2f mW vs laggy chain %.2f "
+                "mW per TPPE (%.1fx cheaper); a two-fast design "
+                "(SparTen-style) would spend %.2f mW on prefix "
+                "circuits instead of %.2f mW\n",
+                fast_power, laggy_power, fast_power / laggy_power,
+                2 * fast_power, fast_power + laggy_power);
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared helpers for the network-level benchmark harnesses
+ * (Figs. 12-14): run every accelerator model on every Table II
+ * network.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/gamma.hh"
+#include "baselines/gospa.hh"
+#include "baselines/sparten.hh"
+#include "core/loas_sim.hh"
+#include "workload/generator.hh"
+#include "workload/networks.hh"
+
+namespace loas {
+namespace bench {
+
+/** Results of one network across the compared designs. */
+struct NetworkRuns
+{
+    std::string name;
+    RunResult sparten;
+    RunResult gospa;
+    RunResult gamma;
+    RunResult loas;
+    RunResult loas_ft; // with fine-tuned preprocessing
+};
+
+/** Run one network on every design. */
+inline NetworkRuns
+runNetworkOnAll(const NetworkSpec& net, std::uint64_t seed)
+{
+    NetworkRuns runs;
+    runs.name = net.name;
+    const auto layers = generateNetwork(net, seed);
+    const auto layers_ft = generateNetwork(net, seed, /*ft=*/true);
+
+    SpartenSim sparten;
+    GospaSim gospa;
+    GammaSim gamma;
+    LoasSim loas;
+    LoasSim loas_ft(LoasConfig{}, /*ft_compress=*/true);
+
+    runs.sparten = sparten.runNetwork(layers, net.name);
+    runs.gospa = gospa.runNetwork(layers, net.name);
+    runs.gamma = gamma.runNetwork(layers, net.name);
+    runs.loas = loas.runNetwork(layers, net.name);
+    runs.loas_ft = loas_ft.runNetwork(layers_ft, net.name);
+    return runs;
+}
+
+/** Run all three Table II networks on every design. */
+inline std::vector<NetworkRuns>
+runAllNetworks(std::uint64_t seed)
+{
+    std::vector<NetworkRuns> all;
+    for (const auto& net : tables::allNetworks())
+        all.push_back(runNetworkOnAll(net, seed));
+    return all;
+}
+
+} // namespace bench
+} // namespace loas

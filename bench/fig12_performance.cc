@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fig. 12: speedup and energy efficiency of SparTen-SNN, GoSPA-SNN,
+ * Gamma-SNN and LoAS (with and without fine-tuned preprocessing) on
+ * the three Table II networks, normalized to SparTen-SNN.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "energy/energy_model.hh"
+
+int
+main()
+{
+    using namespace loas;
+    const auto all = bench::runAllNetworks(101);
+    const EnergyModel model;
+
+    std::printf("Fig. 12 (top): speedup vs SparTen-SNN\n\n");
+    TextTable speed({"Network", "SparTen-SNN", "GoSPA-SNN", "Gamma-SNN",
+                     "LoAS", "LoAS+FT"});
+    std::printf("Fig. 12 (bottom) follows: normalized energy "
+                "efficiency\n\n");
+    TextTable energy({"Network", "SparTen-SNN", "GoSPA-SNN",
+                      "Gamma-SNN", "LoAS", "LoAS+FT"});
+
+    double sum_speed_loas = 0.0, sum_speed_gospa = 0.0,
+           sum_speed_gamma = 0.0;
+    for (const auto& runs : all) {
+        const double base =
+            static_cast<double>(runs.sparten.total_cycles);
+        auto speedup = [&](const RunResult& r) {
+            return base / static_cast<double>(r.total_cycles);
+        };
+        speed.addRow({runs.name, "1.00x",
+                      TextTable::fmtX(speedup(runs.gospa)),
+                      TextTable::fmtX(speedup(runs.gamma)),
+                      TextTable::fmtX(speedup(runs.loas)),
+                      TextTable::fmtX(speedup(runs.loas_ft))});
+        sum_speed_loas += speedup(runs.loas_ft);
+        sum_speed_gospa += speedup(runs.loas_ft) / speedup(runs.gospa);
+        sum_speed_gamma += speedup(runs.loas_ft) / speedup(runs.gamma);
+
+        const double e_base =
+            model.evaluate(runs.sparten).totalPj();
+        auto gain = [&](const RunResult& r) {
+            return e_base / model.evaluate(r).totalPj();
+        };
+        energy.addRow({runs.name, "1.00x",
+                       TextTable::fmtX(gain(runs.gospa)),
+                       TextTable::fmtX(gain(runs.gamma)),
+                       TextTable::fmtX(gain(runs.loas)),
+                       TextTable::fmtX(gain(runs.loas_ft))});
+    }
+    std::printf("%s\n", speed.str().c_str());
+    std::printf("%s\n", energy.str().c_str());
+
+    const double n = static_cast<double>(all.size());
+    std::printf("LoAS+FT average speedup: %.2fx vs SparTen-SNN, "
+                "%.2fx vs GoSPA-SNN, %.2fx vs Gamma-SNN\n",
+                sum_speed_loas / n, sum_speed_gospa / n,
+                sum_speed_gamma / n);
+    std::printf("paper: 6.79x / 5.99x / 3.25x average; up to 8.51x on "
+                "ResNet19; FT adds ~20%%\n");
+    return 0;
+}

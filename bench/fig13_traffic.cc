@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fig. 13: off-chip traffic (KB) and on-chip memory traffic (MB) for
+ * SparTen-SNN, GoSPA-SNN, Gamma-SNN and LoAS (with and without
+ * preprocessing) across the three Table II networks.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+
+int
+main()
+{
+    using namespace loas;
+    const auto all = bench::runAllNetworks(101);
+
+    std::printf("Fig. 13: memory traffic\n\n");
+    TextTable table({"Network", "Design", "off-chip KB", "on-chip MB",
+                     "DRAM vs LoAS", "SRAM vs LoAS"});
+    for (const auto& runs : all) {
+        const double dram_loas =
+            static_cast<double>(runs.loas.traffic.dramBytes());
+        const double sram_loas =
+            static_cast<double>(runs.loas.traffic.sramBytes());
+        auto add = [&](const char* design, const RunResult& r) {
+            table.addRow(
+                {runs.name, design,
+                 TextTable::fmt(r.traffic.dramBytes() / 1024.0, 1),
+                 TextTable::fmt(
+                     r.traffic.sramBytes() / (1024.0 * 1024.0), 2),
+                 TextTable::fmtX(r.traffic.dramBytes() / dram_loas),
+                 TextTable::fmtX(r.traffic.sramBytes() / sram_loas)});
+        };
+        add("SparTen-SNN", runs.sparten);
+        add("GoSPA-SNN", runs.gospa);
+        add("Gamma-SNN", runs.gamma);
+        add("LoAS", runs.loas);
+        add("LoAS+FT", runs.loas_ft);
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf("paper: LoAS has 3.93x/3.57x/4.07x less SRAM and "
+                "3.70x/2.22x/2.24x less DRAM than SparTen-SNN on "
+                "AlexNet/VGG16/ResNet19; Gamma trades low DRAM for "
+                "~13x SRAM\n");
+    return 0;
+}

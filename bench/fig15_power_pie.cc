@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Fig. 15: on-chip power breakup of LoAS (system level) and of one
+ * TPPE.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "energy/area_power.hh"
+
+int
+main()
+{
+    using namespace loas;
+
+    std::printf("Fig. 15 (left): system-level power breakup\n\n");
+    const LoasAreaPower system(16, 4);
+    TextTable left({"Component", "Power share"});
+    for (const auto& [name, fraction] : system.powerFractions())
+        left.addRow({name, TextTable::fmtPct(fraction)});
+    std::printf("%s\n", left.str().c_str());
+
+    std::printf("Fig. 15 (right): TPPE power breakup\n\n");
+    const TppeAreaPower tppe(4);
+    TextTable right({"Unit", "Power share"});
+    const double total = tppe.total().power_mw;
+    for (const auto& c : tppe.components())
+        right.addRow({c.name, TextTable::fmtPct(c.power_mw / total)});
+    std::printf("%s\n", right.str().c_str());
+
+    std::printf("paper: global cache 65.9%% / TPPEs 23.9%% / others "
+                "10.2%%; inside a TPPE the fast prefix-sum takes "
+                "51.8%% and the laggy one 11.4%%\n");
+    return 0;
+}

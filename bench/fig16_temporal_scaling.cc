@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fig. 16: (a) TPPE area/power scaling with the timestep count and
+ * the portion that grows with T; (b) silent-neuron ratio vs T on
+ * VGG16, with and without fine-tuned preprocessing, normalized to the
+ * original ratio at T=4.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "energy/area_power.hh"
+#include "snn/metrics.hh"
+#include "workload/generator.hh"
+#include "workload/networks.hh"
+
+int
+main()
+{
+    using namespace loas;
+
+    std::printf("Fig. 16(a): TPPE scaling with timesteps\n\n");
+    TextTable a({"T", "area mm^2", "vs T=4", "growing area", "power mW",
+                 "vs T=4", "growing power"});
+    const TppeAreaPower base(4);
+    for (const int t : {4, 8, 16}) {
+        const TppeAreaPower tppe(t);
+        a.addRow({std::to_string(t),
+                  TextTable::fmt(tppe.total().area_mm2, 4),
+                  TextTable::fmtX(tppe.total().area_mm2 /
+                                  base.total().area_mm2),
+                  TextTable::fmtPct(tppe.growingAreaFraction()),
+                  TextTable::fmt(tppe.total().power_mw, 2),
+                  TextTable::fmtX(tppe.total().power_mw /
+                                  base.total().power_mw),
+                  TextTable::fmtPct(tppe.growingPowerFraction())});
+    }
+    std::printf("%s\n", a.str().c_str());
+    std::printf("paper: growing portion 12.5/22.2/36.3%% of area and "
+                "8.4/15.5/26.8%% of power; T=16 is 1.37x area, 1.25x "
+                "power of T=4\n\n");
+
+    std::printf("Fig. 16(b): silent-neuron ratio vs T on V-L8, "
+                "normalized to origin @ T=4\n\n");
+    TextTable b({"T", "origin (measured)", "origin (norm)",
+                 "FT (measured)", "FT (norm)"});
+    const LayerSpec spec4 = tables::vgg16L8();
+    double base_ratio = 0.0;
+    for (const int t : {4, 8, 16}) {
+        const LayerSpec spec =
+            t == 4 ? spec4 : tables::withTimesteps(spec4, t);
+        const LayerData origin = generateLayer(spec, 55, false);
+        const LayerData ft = generateLayer(spec, 55, true);
+        const double r_origin = origin.spikes.silentRatio();
+        const double r_ft = ft.spikes.silentRatio();
+        if (t == 4)
+            base_ratio = r_origin;
+        b.addRow({std::to_string(t), TextTable::fmtPct(r_origin),
+                  TextTable::fmt(r_origin / base_ratio, 2),
+                  TextTable::fmtPct(r_ft),
+                  TextTable::fmt(r_ft / base_ratio, 2)});
+    }
+    std::printf("%s\n", b.str().c_str());
+    std::printf("paper: with FT, T=8 keeps a similar silent ratio as "
+                "T=4; beyond T=8 the ratio shrinks\n");
+    return 0;
+}

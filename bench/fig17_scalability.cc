@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fig. 17: LoAS sensitivity to (1) the weight sparsity of B
+ * (98.2% / 68.4% / 25%), (2) the timestep count (4 vs 8), and
+ * (3) the layer size (V-L8 vs the SpikeTransformer hidden
+ * feed-forward layer T-HFF).
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "core/loas_sim.hh"
+#include "workload/generator.hh"
+#include "workload/networks.hh"
+
+int
+main()
+{
+    using namespace loas;
+
+    // (1) Weight-sparsity sweep on V-L8.
+    std::printf("Fig. 17 (left): weight-sparsity sweep on V-L8\n\n");
+    TextTable ws({"AvSpB", "cycles", "normalized perf"});
+    double perf_high = 0.0;
+    for (const double sparsity : {0.982, 0.684, 0.25}) {
+        const LayerSpec spec =
+            tables::vgg16L8WithWeightSparsity(sparsity, 4);
+        const LayerData layer = generateLayer(spec, 71);
+        LoasSim sim;
+        const RunResult r = sim.runLayer(layer);
+        const double perf = 1.0 / static_cast<double>(r.total_cycles);
+        if (perf_high == 0.0)
+            perf_high = perf;
+        ws.addRow({TextTable::fmtPct(sparsity),
+                   TextTable::fmtInt(r.total_cycles),
+                   TextTable::fmt(perf / perf_high, 3)});
+    }
+    std::printf("%s\n", ws.str().c_str());
+    std::printf("paper: performance drops ~88%% from 98.2%% to 25%% "
+                "weight sparsity\n\n");
+
+    // (2) Timestep sweep.
+    std::printf("Fig. 17 (middle): timestep sweep on V-L8\n\n");
+    TextTable ts({"T", "cycles", "normalized perf"});
+    double perf_t4 = 0.0;
+    for (const int t : {4, 8}) {
+        LayerSpec spec =
+            t == 4 ? tables::vgg16L8()
+                   : tables::withTimesteps(tables::vgg16L8(), 8);
+        LoasConfig config;
+        config.timesteps = t;
+        const LayerData layer = generateLayer(spec, 72);
+        LoasSim sim(config);
+        const RunResult r = sim.runLayer(layer);
+        const double perf = 1.0 / static_cast<double>(r.total_cycles);
+        if (perf_t4 == 0.0)
+            perf_t4 = perf;
+        ts.addRow({std::to_string(t),
+                   TextTable::fmtInt(r.total_cycles),
+                   TextTable::fmt(perf / perf_t4, 3)});
+    }
+    std::printf("%s\n", ts.str().c_str());
+    std::printf("paper: only ~14%% performance loss when doubling the "
+                "timesteps\n\n");
+
+    // (3) Layer-size scaling: V-L8 vs T-HFF, cycles per output.
+    std::printf("Fig. 17 (right): layer-size scaling\n\n");
+    TextTable sz({"Layer", "M*N*K", "cycles", "cycles per k-output"});
+    for (const LayerSpec& spec :
+         {tables::vgg16L8(), tables::transformerHff()}) {
+        const LayerData layer = generateLayer(spec, 73);
+        LoasSim sim;
+        const RunResult r = sim.runLayer(layer);
+        const double per_output =
+            static_cast<double>(r.total_cycles) /
+            (static_cast<double>(spec.m * spec.n) / 1000.0);
+        sz.addRow({spec.name, TextTable::fmtInt(spec.denseMacs()),
+                   TextTable::fmtInt(r.total_cycles),
+                   TextTable::fmt(per_output, 1)});
+    }
+    std::printf("%s\n", sz.str().c_str());
+    std::printf("paper: LoAS scales well to the larger "
+                "SpikeTransformer layer\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fig. 19: dual-sparse LoAS versus the dense-SNN systolic baselines
+ * PTB and Stellar (16x4 arrays, VGG16, T=4): normalized energy
+ * efficiency, DRAM/SRAM traffic, and speedup.
+ */
+
+#include <cstdio>
+
+#include "baselines/systolic.hh"
+#include "common/table.hh"
+#include "core/loas_sim.hh"
+#include "energy/energy_model.hh"
+#include "workload/generator.hh"
+#include "workload/networks.hh"
+
+int
+main()
+{
+    using namespace loas;
+    const NetworkSpec net = tables::vgg16();
+    const auto layers = generateNetwork(net, 301);
+
+    LoasSim loas;
+    PtbSim ptb;
+    StellarSim stellar;
+    const RunResult r_loas = loas.runNetwork(layers, "VGG16");
+    const RunResult r_ptb = ptb.runNetwork(layers, "VGG16");
+    const RunResult r_stellar = stellar.runNetwork(layers, "VGG16");
+
+    const EnergyModel model;
+    const double e_loas = model.evaluate(r_loas).totalPj();
+
+    std::printf("Fig. 19: LoAS vs dense-SNN accelerators "
+                "(VGG16, T=4, 16x4 arrays)\n\n");
+    TextTable table({"Design", "cycles", "LoAS speedup", "energy uJ",
+                     "LoAS eff gain", "DRAM KB", "SRAM MB"});
+    auto add = [&](const RunResult& r) {
+        const double e = model.evaluate(r).totalPj();
+        table.addRow(
+            {r.accel, TextTable::fmtInt(r.total_cycles),
+             TextTable::fmtX(static_cast<double>(r.total_cycles) /
+                             static_cast<double>(r_loas.total_cycles)),
+             TextTable::fmt(e / 1e6, 1), TextTable::fmtX(e / e_loas),
+             TextTable::fmt(r.traffic.dramBytes() / 1024.0, 1),
+             TextTable::fmt(r.traffic.sramBytes() / (1024.0 * 1024.0),
+                            2)});
+    };
+    add(r_loas);
+    add(r_ptb);
+    add(r_stellar);
+    std::printf("%s\n", table.str().c_str());
+
+    std::printf("DRAM traffic: PTB %.1fx, Stellar %.1fx of LoAS; "
+                "SRAM: PTB %.1fx, Stellar %.1fx\n",
+                static_cast<double>(r_ptb.traffic.dramBytes()) /
+                    r_loas.traffic.dramBytes(),
+                static_cast<double>(r_stellar.traffic.dramBytes()) /
+                    r_loas.traffic.dramBytes(),
+                static_cast<double>(r_ptb.traffic.sramBytes()) /
+                    r_loas.traffic.sramBytes(),
+                static_cast<double>(r_stellar.traffic.sramBytes()) /
+                    r_loas.traffic.sramBytes());
+    std::printf("paper: 46.9x speedup and ~6x energy vs PTB (3x DRAM, "
+                "12.5x SRAM); 7.1x speedup and ~2.5x energy vs "
+                "Stellar (2.7x DRAM, 6.6x SRAM)\n");
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fig. 5: off-chip traffic of partial-sum matrices when running SNN
+ * layers with T=1 vs T=4 on GoSPA (outer-product dataflow).
+ */
+
+#include <cstdio>
+
+#include "baselines/gospa.hh"
+#include "common/table.hh"
+#include "workload/generator.hh"
+#include "workload/networks.hh"
+
+int
+main()
+{
+    using namespace loas;
+
+    const std::vector<LayerSpec> specs = {
+        tables::alexnetL1(), tables::vgg16EarlyL8(),
+        tables::resnet19L8()};
+    const std::vector<std::string> names = {"AlexNet-L1", "VGG16-L8",
+                                            "ResNet19-L8"};
+
+    std::printf("Fig. 5: GoSPA partial-sum off-chip traffic (KB)\n\n");
+    TextTable table({"Layer", "T=1 (KB)", "T=4 (KB)", "ratio"});
+    GospaSim sim;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const LayerSpec spec4 = specs[i];
+        const LayerSpec spec1 = tables::withTimesteps(spec4, 1);
+        sim.runLayer(generateLayer(spec1, 21));
+        const double t1 =
+            static_cast<double>(sim.lastPsumDramBytes()) / 1024.0;
+        sim.runLayer(generateLayer(spec4, 21));
+        const double t4 =
+            static_cast<double>(sim.lastPsumDramBytes()) / 1024.0;
+        table.addRow({names[i], TextTable::fmt(t1, 1),
+                      TextTable::fmt(t4, 1),
+                      t1 > 0.0 ? TextTable::fmtX(t4 / t1)
+                               : std::string("inf")});
+    }
+    std::printf("%s", table.str().c_str());
+    std::printf("\npaper: ~4x more psum traffic at T=4 than T=1 "
+                "(Section II-D)\n");
+    return 0;
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Kernel-level google-benchmark microbenchmarks: the host-side
+ * throughput of the core simulator kernels (inner join, output
+ * compression, LIF evaluation, bitmask rank, cache access). These
+ * measure the simulator itself, complementing the cycle-level results
+ * of the figure harnesses.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "core/compressor.hh"
+#include "core/inner_join.hh"
+#include "core/plif.hh"
+#include "mem/memory_system.hh"
+#include "snn/reference.hh"
+#include "workload/generator.hh"
+#include "workload/networks.hh"
+
+namespace {
+
+using namespace loas;
+
+std::pair<SpikeFiber, WeightFiber>
+makeFibers(std::size_t k, double da, double db, std::uint64_t seed)
+{
+    Rng rng(seed);
+    SpikeFiber fa;
+    fa.mask = Bitmask(k);
+    WeightFiber fb;
+    fb.mask = Bitmask(k);
+    for (std::size_t i = 0; i < k; ++i) {
+        if (rng.bernoulli(da)) {
+            fa.mask.set(i);
+            fa.values.push_back(
+                static_cast<TimeWord>(1 + rng.uniformInt(15)));
+        }
+        if (rng.bernoulli(db)) {
+            fb.mask.set(i);
+            fb.values.push_back(
+                static_cast<std::int32_t>(rng.uniformInt(255)) - 127);
+        }
+    }
+    return {fa, fb};
+}
+
+void
+BM_InnerJoin(benchmark::State& state)
+{
+    const auto k = static_cast<std::size_t>(state.range(0));
+    const auto [fa, fb] = makeFibers(k, 0.25, 0.03, 7);
+    const InnerJoinUnit unit(InnerJoinConfig{}, 4);
+    for (auto _ : state) {
+        const JoinResult r = unit.join(fa, fb);
+        benchmark::DoNotOptimize(r.sums);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(k));
+}
+BENCHMARK(BM_InnerJoin)->Arg(512)->Arg(2304)->Arg(4608);
+
+void
+BM_OutputCompressor(benchmark::State& state)
+{
+    Rng rng(3);
+    std::vector<TimeWord> row(
+        static_cast<std::size_t>(state.range(0)));
+    for (auto& w : row)
+        w = rng.bernoulli(0.2)
+                ? static_cast<TimeWord>(1 + rng.uniformInt(15))
+                : 0;
+    const OutputCompressor comp(16);
+    for (auto _ : state) {
+        const CompressResult r = comp.compress(row);
+        benchmark::DoNotOptimize(r.fiber.values);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_OutputCompressor)->Arg(512)->Arg(3072);
+
+void
+BM_PlifFire(benchmark::State& state)
+{
+    const Plif plif(LifParams{}, 4);
+    const std::vector<std::int32_t> sums = {120, -5, 80, 33};
+    for (auto _ : state) {
+        const PlifResult r = plif.fire(sums);
+        benchmark::DoNotOptimize(r.spikes);
+    }
+}
+BENCHMARK(BM_PlifFire);
+
+void
+BM_BitmaskRank(benchmark::State& state)
+{
+    Rng rng(11);
+    Bitmask mask(static_cast<std::size_t>(state.range(0)));
+    for (std::size_t i = 0; i < mask.size(); ++i)
+        if (rng.bernoulli(0.3))
+            mask.set(i);
+    std::size_t pos = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mask.rank(pos));
+        pos = (pos + 97) % mask.size();
+    }
+}
+BENCHMARK(BM_BitmaskRank)->Arg(2304);
+
+void
+BM_CacheAccess(benchmark::State& state)
+{
+    MemorySystem mem(CacheConfig{}, DramConfig{});
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        mem.read(TensorCategory::Input, addr % (512 * 1024), 64);
+        addr += 64;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_ReferenceLayer(benchmark::State& state)
+{
+    LayerSpec spec = tables::vgg16L8();
+    spec.m = 4; // keep the reference walk small
+    const LayerData layer = generateLayer(spec, 13);
+    for (auto _ : state) {
+        const SpikeTensor c = referenceSnnLayer(
+            layer.spikes, layer.weights, LifParams{});
+        benchmark::DoNotOptimize(c.countSpikes());
+    }
+}
+BENCHMARK(BM_ReferenceLayer);
+
+} // namespace

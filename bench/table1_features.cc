@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Table I: qualitative comparison of dataflow SNN accelerators.
+ * Reprinted from the paper and annotated with which simulator in this
+ * repository models each design.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+
+int
+main()
+{
+    using loas::TextTable;
+    std::printf("Table I: comparison of LoAS with prior SNN "
+                "accelerators\n\n");
+    TextTable table({"Accelerator", "Spike sparsity", "Weight sparsity",
+                     "Parallel support", "Neuron", "Simulator"});
+    table.addRow({"SpinalFlow", "yes", "no", "S", "LIF",
+                  "(not modeled: temporal coding)"});
+    table.addRow({"PTB", "yes", "no", "S + partial-T", "LIF",
+                  "baselines/ptb"});
+    table.addRow({"Stellar", "yes", "no", "S + fully-T", "FS",
+                  "baselines/stellar"});
+    table.addRow({"LoAS (ours)", "yes", "yes", "S + fully-T", "LIF",
+                  "core/loas_sim"});
+    std::printf("%s\n", table.str().c_str());
+
+    std::printf("spMspM (ANN) baselines adapted to SNNs "
+                "(Section V):\n\n");
+    TextTable ann({"Accelerator", "Dataflow", "Simulator"});
+    ann.addRow({"SparTen-SNN", "Inner product", "baselines/sparten"});
+    ann.addRow({"GoSPA-SNN", "Outer product", "baselines/gospa"});
+    ann.addRow({"Gamma-SNN", "Gustavson's", "baselines/gamma"});
+    std::printf("%s", ann.str().c_str());
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Run one dual-sparse SNN layer on every simulated dataflow (LoAS's
+ * fully temporal-parallel inner product against the SparTen/GoSPA/
+ * Gamma sequential-timestep baselines) and print a side-by-side
+ * comparison: the single-layer version of the paper's Fig. 12/13.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "accel/accelerator.hh"
+#include "baselines/gamma.hh"
+#include "baselines/gospa.hh"
+#include "baselines/sparten.hh"
+#include "common/table.hh"
+#include "core/loas_sim.hh"
+#include "energy/energy_model.hh"
+#include "workload/generator.hh"
+#include "workload/networks.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace loas;
+
+    // Pick the layer by name: A-L4 (default), V-L8 or R-L19.
+    LayerSpec spec = tables::alexnetL4();
+    if (argc > 1) {
+        const std::string which = argv[1];
+        if (which == "V-L8")
+            spec = tables::vgg16L8();
+        else if (which == "R-L19")
+            spec = tables::resnet19L19();
+        else if (which != "A-L4") {
+            std::fprintf(stderr,
+                         "usage: %s [A-L4|V-L8|R-L19]\n", argv[0]);
+            return 1;
+        }
+    }
+    const LayerData layer = generateLayer(spec, 7);
+
+    std::vector<std::unique_ptr<Accelerator>> accels;
+    accels.push_back(std::make_unique<SpartenSim>());
+    accels.push_back(std::make_unique<GospaSim>());
+    accels.push_back(std::make_unique<GammaSim>());
+    accels.push_back(std::make_unique<LoasSim>());
+
+    const EnergyModel energy_model;
+    TextTable table({"accelerator", "cycles", "speedup", "off-chip KB",
+                     "on-chip MB", "energy uJ", "eff. gain"});
+
+    std::vector<RunResult> results;
+    for (auto& accel : accels)
+        results.push_back(accel->runLayer(layer));
+
+    const double base_cycles =
+        static_cast<double>(results.front().total_cycles);
+    const double base_energy =
+        energy_model.evaluate(results.front()).totalPj();
+    for (const auto& r : results) {
+        const EnergyBreakdown e = energy_model.evaluate(r);
+        table.addRow({
+            r.accel,
+            TextTable::fmtInt(r.total_cycles),
+            TextTable::fmtX(base_cycles /
+                            static_cast<double>(r.total_cycles)),
+            TextTable::fmt(r.traffic.dramBytes() / 1024.0, 1),
+            TextTable::fmt(r.traffic.sramBytes() / (1024.0 * 1024.0),
+                           2),
+            TextTable::fmt(e.totalPj() / 1e6, 2),
+            TextTable::fmtX(base_energy / e.totalPj()),
+        });
+    }
+
+    std::printf("layer %s (M=%zu N=%zu K=%zu T=%d)\n\n",
+                spec.name.c_str(), spec.m, spec.n, spec.k, spec.t);
+    std::printf("%s", table.str().c_str());
+    return 0;
+}

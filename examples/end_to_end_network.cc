@@ -1,0 +1,79 @@
+/**
+ * @file
+ * End-to-end network run: synthesize all layers of one of the paper's
+ * networks (default VGG16, Table II), run every layer through LoAS,
+ * verify two layers against the functional reference, and print the
+ * per-layer and whole-network results.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.hh"
+#include "core/loas_sim.hh"
+#include "energy/energy_model.hh"
+#include "snn/reference.hh"
+#include "workload/generator.hh"
+#include "workload/networks.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace loas;
+
+    NetworkSpec net = tables::vgg16();
+    if (argc > 1) {
+        const std::string which = argv[1];
+        if (which == "alexnet")
+            net = tables::alexnet();
+        else if (which == "resnet19")
+            net = tables::resnet19();
+        else if (which != "vgg16") {
+            std::fprintf(stderr,
+                         "usage: %s [alexnet|vgg16|resnet19]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+
+    const auto layers = generateNetwork(net, 2024);
+    LoasSim loas;
+    const EnergyModel energy_model;
+
+    TextTable table({"layer", "M", "N", "K", "cycles", "off-chip KB",
+                     "on-chip MB"});
+    RunResult total;
+    bool verified = true;
+    for (std::size_t l = 0; l < layers.size(); ++l) {
+        const RunResult r = loas.runLayer(layers[l]);
+        // Spot-verify the first and last layers bit-exactly.
+        if (l == 0 || l + 1 == layers.size()) {
+            const SpikeTensor expected = referenceSnnLayer(
+                layers[l].spikes, layers[l].weights, loas.config().lif);
+            verified = verified && (expected == loas.lastOutput());
+        }
+        table.addRow({layers[l].spec.name,
+                      std::to_string(layers[l].spec.m),
+                      std::to_string(layers[l].spec.n),
+                      std::to_string(layers[l].spec.k),
+                      TextTable::fmtInt(r.total_cycles),
+                      TextTable::fmt(r.traffic.dramBytes() / 1024.0, 1),
+                      TextTable::fmt(
+                          r.traffic.sramBytes() / (1024.0 * 1024.0),
+                          2)});
+        total += r;
+    }
+
+    std::printf("%s on LoAS\n\n%s\n", net.name.c_str(),
+                table.str().c_str());
+    const EnergyBreakdown e = energy_model.evaluate(total);
+    std::printf("network total: %llu cycles, %.1f KB off-chip, "
+                "%.1f MB on-chip, %.2f uJ\n",
+                static_cast<unsigned long long>(total.total_cycles),
+                total.traffic.dramBytes() / 1024.0,
+                total.traffic.sramBytes() / (1024.0 * 1024.0),
+                e.totalPj() / 1e6);
+    std::printf("functional spot-check: %s\n",
+                verified ? "PASS" : "FAIL");
+    return verified ? 0 : 1;
+}

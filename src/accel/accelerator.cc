@@ -1,0 +1,19 @@
+#include "accel/accelerator.hh"
+
+namespace loas {
+
+RunResult
+Accelerator::runNetwork(const std::vector<LayerData>& layers,
+                        const std::string& workload_name)
+{
+    RunResult total;
+    total.accel = name();
+    total.workload = workload_name;
+    for (const auto& layer : layers)
+        total += runLayer(layer);
+    total.accel = name();
+    total.workload = workload_name;
+    return total;
+}
+
+} // namespace loas

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Common interface of all accelerator simulators (LoAS and the
+ * SparTen/GoSPA/Gamma/PTB/Stellar baselines).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "accel/run_result.hh"
+#include "workload/generator.hh"
+
+namespace loas {
+
+/** An accelerator model that can run dual-sparse SNN layers. */
+class Accelerator
+{
+  public:
+    virtual ~Accelerator() = default;
+
+    /** Short display name ("LoAS", "SparTen-SNN", ...). */
+    virtual std::string name() const = 0;
+
+    /** Simulate one layer. */
+    virtual RunResult runLayer(const LayerData& layer) = 0;
+
+    /** Simulate a whole network; layer results are summed. */
+    RunResult runNetwork(const std::vector<LayerData>& layers,
+                         const std::string& workload_name);
+};
+
+} // namespace loas

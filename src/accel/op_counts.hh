@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Micro-architectural operation counters shared by all accelerator
+ * simulators; the energy model charges per-op energies against these.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace loas {
+
+/** Counts of datapath events during a simulated run. */
+struct OpCounts
+{
+    std::uint64_t acc_ops = 0;         // accumulate (AC) additions
+    std::uint64_t correction_ops = 0;  // correction-accumulator additions
+    std::uint64_t mac_ops = 0;         // int8 multiply-accumulates (ANN)
+    std::uint64_t fast_prefix_ops = 0; // fast prefix-sum activations
+    std::uint64_t laggy_prefix_ops = 0; // laggy prefix-sum adder steps
+    std::uint64_t fifo_ops = 0;        // FIFO pushes + pops
+    std::uint64_t lif_ops = 0;         // LIF updates (one per neuron-step)
+    std::uint64_t mask_and_ops = 0;    // bitmask AND + encode chunk ops
+    std::uint64_t merge_ops = 0;       // merger / psum update operations
+    std::uint64_t encode_ops = 0;      // output-compressor symbol ops
+
+    OpCounts&
+    operator+=(const OpCounts& o)
+    {
+        acc_ops += o.acc_ops;
+        correction_ops += o.correction_ops;
+        mac_ops += o.mac_ops;
+        fast_prefix_ops += o.fast_prefix_ops;
+        laggy_prefix_ops += o.laggy_prefix_ops;
+        fifo_ops += o.fifo_ops;
+        lif_ops += o.lif_ops;
+        mask_and_ops += o.mask_and_ops;
+        merge_ops += o.merge_ops;
+        encode_ops += o.encode_ops;
+        return *this;
+    }
+
+    std::uint64_t
+    total() const
+    {
+        return acc_ops + correction_ops + mac_ops + fast_prefix_ops +
+               laggy_prefix_ops + fifo_ops + lif_ops + mask_and_ops +
+               merge_ops + encode_ops;
+    }
+};
+
+} // namespace loas

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The outcome of simulating a workload on an accelerator model: cycles,
+ * traffic, op counts and cache behavior. Network-level results are the
+ * sum of layer results.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "accel/op_counts.hh"
+#include "mem/traffic.hh"
+
+namespace loas {
+
+/** Aggregated simulation outcome. */
+struct RunResult
+{
+    std::string accel;
+    std::string workload;
+
+    /** Cycles the datapath needed assuming memory never stalls it. */
+    std::uint64_t compute_cycles = 0;
+    /** Cycles DRAM needed for all off-chip bytes at peak bandwidth. */
+    std::uint64_t dram_cycles = 0;
+    /** End-to-end cycles with compute/memory overlap per phase. */
+    std::uint64_t total_cycles = 0;
+
+    TrafficStats traffic;
+    OpCounts ops;
+
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+
+    /**
+     * Background-power scale relative to the LoAS-class designs with a
+     * 256 KB shared cache (1.0). Small systolic arrays set this lower.
+     */
+    double static_scale = 1.0;
+
+    double
+    cacheMissRate() const
+    {
+        const std::uint64_t total = cache_hits + cache_misses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(cache_misses) /
+                                static_cast<double>(total);
+    }
+
+    /** Layer-wise aggregation: cycles add, traffic and counters add. */
+    RunResult&
+    operator+=(const RunResult& o)
+    {
+        compute_cycles += o.compute_cycles;
+        dram_cycles += o.dram_cycles;
+        total_cycles += o.total_cycles;
+        traffic += o.traffic;
+        ops += o.ops;
+        cache_hits += o.cache_hits;
+        cache_misses += o.cache_misses;
+        static_scale = o.static_scale;
+        return *this;
+    }
+};
+
+} // namespace loas

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Gamma-SNN baseline (Section V): the Gustavson's-dataflow spMspM
+ * accelerator of Zhang et al. (ASPLOS'21) with a FiberCache, naively
+ * running the SNN timestep-by-timestep.
+ *
+ * Per timestep and output row, the scheduler fetches the compressed B
+ * rows selected by the non-zero spikes of the A row and merges them
+ * with a radix-limited merger; partial output rows live in the shared
+ * FiberCache, so every merge round re-reads and re-writes them
+ * on-chip. The sequential temporal dimension multiplies both the
+ * merge work and the partial-row SRAM traffic by T (the paper's
+ * "13.4x more SRAM traffic" effect), while DRAM traffic stays low -
+ * Gustavson's strength.
+ */
+
+#pragma once
+
+#include "accel/accelerator.hh"
+#include "mem/cache.hh"
+#include "mem/traffic.hh"
+#include "snn/lif.hh"
+
+namespace loas {
+
+/** Configuration of the Gamma baseline. */
+struct GammaConfig
+{
+    int num_pes = 16;
+
+    /** Merger radix: fibers merged per round per PE. */
+    int merge_radix = 64;
+
+    /**
+     * Merger cost per scattered update (cycles): coordinate compare
+     * plus the FiberCache read-modify-write of the partial row.
+     */
+    std::uint64_t merge_cycles_per_update = 2;
+
+    /** Scheduler cost to switch input fibers. */
+    std::uint64_t fiber_switch_cycles = 1;
+
+    /**
+     * Coordinate width of the input fiber metadata (bits). Gamma's
+     * fibers carry delta-encoded coordinates, far denser than GoSPA's
+     * absolute per-spike CSR indices.
+     */
+    int coord_bits = 4;
+
+    CacheConfig cache;
+    DramConfig dram;
+    LifParams lif;
+};
+
+/** Gamma running SNN workloads timestep-by-timestep. */
+class GammaSim : public Accelerator
+{
+  public:
+    explicit GammaSim(const GammaConfig& config = {});
+
+    std::string name() const override;
+
+    RunResult runLayer(const LayerData& layer) override;
+
+    /** Original Gamma on an int8 ANN layer (Fig. 18). */
+    RunResult runAnnLayer(const AnnLayerData& layer);
+
+  private:
+    GammaConfig config_;
+};
+
+} // namespace loas

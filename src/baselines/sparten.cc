@@ -1,0 +1,244 @@
+#include "baselines/sparten.hh"
+
+#include <algorithm>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "core/scheduler.hh"
+#include "mem/memory_system.hh"
+#include "tensor/compress.hh"
+
+namespace loas {
+
+namespace {
+
+constexpr std::uint64_t kBaseA = 0x0000'0000ull;
+constexpr std::uint64_t kBaseAMeta = 0x4000'0000ull;
+constexpr std::uint64_t kBaseBMeta = 0x8000'0000ull;
+constexpr std::uint64_t kBaseBValues = 0xc000'0000ull;
+
+} // namespace
+
+SpartenSim::SpartenSim(const SpartenConfig& config) : config_(config) {}
+
+std::string
+SpartenSim::name() const
+{
+    return "SparTen-SNN";
+}
+
+RunResult
+SpartenSim::runLayer(const LayerData& layer)
+{
+    const int timesteps = layer.spec.t;
+    const std::size_t m = layer.spikes.rows();
+    const std::size_t k = layer.spikes.cols();
+    const std::size_t n = layer.weights.cols();
+    const std::size_t chunks = ceilDiv(k, config_.chunk_bits);
+    const std::size_t row_bytes = ceilDiv<std::size_t>(k, 8);
+
+    const auto fibers_b = compressWeightColumns(layer.weights);
+    std::vector<std::uint64_t> b_meta_off(n + 1, 0);
+    std::vector<std::uint64_t> b_val_off(n + 1, 0);
+    for (std::size_t c = 0; c < n; ++c) {
+        b_meta_off[c + 1] = b_meta_off[c] + fibers_b[c].metadataBytes();
+        b_val_off[c + 1] = b_val_off[c] + fibers_b[c].values.size();
+    }
+
+    // Per-timestep bitmask views of the spike rows.
+    std::vector<std::vector<Bitmask>> row_masks(
+        static_cast<std::size_t>(timesteps),
+        std::vector<Bitmask>(m, Bitmask(k)));
+    for (std::size_t r = 0; r < m; ++r)
+        for (std::size_t c = 0; c < k; ++c) {
+            const TimeWord w = layer.spikes.word(r, c);
+            for (int t = 0; t < timesteps; ++t)
+                if ((w >> t) & 1u)
+                    row_masks[static_cast<std::size_t>(t)][r].set(c);
+        }
+
+    MemorySystem mem(config_.cache, config_.dram);
+    const Scheduler scheduler(m, n, config_.num_pes);
+
+    RunResult result;
+    result.accel = name();
+    result.workload = layer.spec.name;
+    last_output_ = SpikeTensor(m, n, timesteps);
+
+    std::vector<std::int32_t> sums(static_cast<std::size_t>(timesteps));
+    std::uint64_t dram_bytes_seen = 0;
+    for (std::size_t w = 0; w < scheduler.waveCount(); ++w) {
+        const auto items = scheduler.wave(w);
+
+        // Weight fiber of each column in the wave, broadcast once.
+        std::uint64_t prev_col = ~0ull;
+        for (const auto& item : items) {
+            if (item.n == prev_col)
+                continue;
+            prev_col = item.n;
+            mem.read(TensorCategory::Meta, kBaseBMeta + b_meta_off[item.n],
+                     fibers_b[item.n].metadataBytes());
+            mem.read(TensorCategory::Weight,
+                     kBaseBValues + b_val_off[item.n],
+                     fibers_b[item.n].values.size());
+        }
+
+        std::uint64_t wave_cycles = 0;
+        for (const auto& item : items) {
+            const WeightFiber& fb = fibers_b[item.n];
+            std::uint64_t pe_cycles = 0;
+            for (int t = 0; t < timesteps; ++t) {
+                const auto ts = static_cast<std::size_t>(t);
+                // The raw spike train is bitmask and data at once; every
+                // bit of the row is fetched, every timestep again.
+                mem.read(TensorCategory::Input,
+                         kBaseA + (ts * m + item.m) * row_bytes,
+                         row_bytes);
+
+                const Bitmask& ma = row_masks[ts][item.m];
+                const Bitmask and_mask = ma & fb.mask;
+                const std::uint64_t matches = and_mask.popcount();
+
+                // Accumulate matched weights, one per cycle; a single
+                // fast prefix-sum serves the weight side (the spike is
+                // its own data).
+                std::int32_t acc = 0;
+                and_mask.forEachSet([&](std::size_t pos) {
+                    acc += fb.values[fb.mask.rank(pos)];
+                });
+                sums[ts] = acc;
+
+                result.ops.mask_and_ops += chunks;
+                result.ops.fast_prefix_ops += matches;
+                result.ops.acc_ops += matches;
+                result.ops.lif_ops += 1;
+                pe_cycles += config_.mask_stream_passes * chunks +
+                             matches + config_.t_restart_cycles;
+            }
+            const TimeWord spikes =
+                lifAcrossTimesteps(sums, config_.lif);
+            last_output_.setWord(item.m, item.n, spikes);
+            wave_cycles = std::max(wave_cycles, pe_cycles);
+        }
+        wave_cycles += config_.wave_overhead_cycles;
+        result.compute_cycles += wave_cycles;
+
+        const std::uint64_t dram_now = mem.dramBytes();
+        result.total_cycles += std::max(
+            wave_cycles, mem.dramCyclesFor(dram_now - dram_bytes_seen));
+        dram_bytes_seen = dram_now;
+    }
+
+    // Outputs leave as raw spike trains, timestep-major like the input.
+    mem.streamWrite(TensorCategory::Output,
+                    ceilDiv<std::uint64_t>(
+                        m * n * static_cast<std::size_t>(timesteps), 8));
+    mem.flushCache();
+    result.total_cycles +=
+        mem.dramCyclesFor(mem.dramBytes() - dram_bytes_seen);
+
+    result.dram_cycles = mem.dramCycles();
+    result.traffic = mem.stats();
+    result.cache_hits = mem.cacheHits();
+    result.cache_misses = mem.cacheMisses();
+    return result;
+}
+
+RunResult
+SpartenSim::runAnnLayer(const AnnLayerData& layer)
+{
+    const std::size_t m = layer.acts.rows();
+    const std::size_t k = layer.acts.cols();
+    const std::size_t n = layer.weights.cols();
+    const std::size_t chunks = ceilDiv(k, config_.chunk_bits);
+
+    // Both operands compressed as bitmask + int8 values.
+    std::vector<WeightFiber> fibers_a;
+    fibers_a.reserve(m);
+    for (std::size_t r = 0; r < m; ++r) {
+        WeightFiber f;
+        f.mask = Bitmask(k);
+        for (std::size_t c = 0; c < k; ++c)
+            if (layer.acts(r, c) != 0) {
+                f.mask.set(c);
+                f.values.push_back(layer.acts(r, c));
+            }
+        fibers_a.push_back(std::move(f));
+    }
+    const auto fibers_b = compressWeightColumns(layer.weights);
+
+    std::vector<std::uint64_t> a_meta_off(m + 1, 0), a_val_off(m + 1, 0);
+    for (std::size_t r = 0; r < m; ++r) {
+        a_meta_off[r + 1] = a_meta_off[r] + fibers_a[r].metadataBytes();
+        a_val_off[r + 1] = a_val_off[r] + fibers_a[r].values.size();
+    }
+    std::vector<std::uint64_t> b_meta_off(n + 1, 0), b_val_off(n + 1, 0);
+    for (std::size_t c = 0; c < n; ++c) {
+        b_meta_off[c + 1] = b_meta_off[c] + fibers_b[c].metadataBytes();
+        b_val_off[c + 1] = b_val_off[c] + fibers_b[c].values.size();
+    }
+
+    MemorySystem mem(config_.cache, config_.dram);
+    const Scheduler scheduler(m, n, config_.num_pes);
+
+    RunResult result;
+    result.accel = "SparTen-ANN";
+    result.workload = layer.spec.name;
+
+    std::uint64_t dram_bytes_seen = 0;
+    for (std::size_t w = 0; w < scheduler.waveCount(); ++w) {
+        const auto items = scheduler.wave(w);
+        std::uint64_t prev_col = ~0ull;
+        for (const auto& item : items) {
+            if (item.n == prev_col)
+                continue;
+            prev_col = item.n;
+            mem.read(TensorCategory::Meta, kBaseBMeta + b_meta_off[item.n],
+                     fibers_b[item.n].metadataBytes());
+            mem.read(TensorCategory::Weight,
+                     kBaseBValues + b_val_off[item.n],
+                     fibers_b[item.n].values.size());
+        }
+
+        std::uint64_t wave_cycles = 0;
+        for (const auto& item : items) {
+            const WeightFiber& fa = fibers_a[item.m];
+            const WeightFiber& fb = fibers_b[item.n];
+            mem.read(TensorCategory::Meta, kBaseAMeta + a_meta_off[item.m],
+                     fa.metadataBytes());
+            const Bitmask and_mask = fa.mask & fb.mask;
+            const std::uint64_t matches = and_mask.popcount();
+            // Matched activations fetched from the cache.
+            mem.read(TensorCategory::Input, kBaseA + a_val_off[item.m],
+                     matches);
+            result.ops.mask_and_ops += chunks;
+            result.ops.fast_prefix_ops += 2 * matches; // both operands
+            result.ops.mac_ops += matches;
+            const std::uint64_t pe_cycles =
+                config_.mask_stream_passes * chunks + matches +
+                config_.t_restart_cycles;
+            wave_cycles = std::max(wave_cycles, pe_cycles);
+        }
+        wave_cycles += config_.wave_overhead_cycles;
+        result.compute_cycles += wave_cycles;
+        const std::uint64_t dram_now = mem.dramBytes();
+        result.total_cycles += std::max(
+            wave_cycles, mem.dramCyclesFor(dram_now - dram_bytes_seen));
+        dram_bytes_seen = dram_now;
+    }
+
+    // int8 outputs, compressed on the way out (bitmask + values).
+    mem.streamWrite(TensorCategory::Output, m * n);
+    mem.streamWrite(TensorCategory::Meta, ceilDiv<std::uint64_t>(m * n, 8));
+    mem.flushCache();
+    result.total_cycles +=
+        mem.dramCyclesFor(mem.dramBytes() - dram_bytes_seen);
+
+    result.dram_cycles = mem.dramCycles();
+    result.traffic = mem.stats();
+    result.cache_hits = mem.cacheHits();
+    result.cache_misses = mem.cacheMisses();
+    return result;
+}
+
+} // namespace loas

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * SparTen-SNN baseline (Section V): the inner-product, inner-join
+ * bitmask accelerator of Gondimalla et al. (MICRO'19), stripped of its
+ * multipliers and naively running an SNN by processing the T timesteps
+ * sequentially with the temporal dimension at the innermost loop (the
+ * paper's conservative baseline construction).
+ *
+ * Per output neuron and per timestep, the PE streams the raw spike
+ * train of row m (the spike train doubles as the bitmask, so all K
+ * bits are fetched), ANDs it chunk-by-chunk with the weight column's
+ * bitmask, and accumulates matched weights at one match per cycle; a
+ * LIF step closes each timestep. Each extra timestep pays a full
+ * mask-scan plus an inner-join pipeline restart.
+ *
+ * The ANN mode (Fig. 18) keeps the original SparTen datapath: both
+ * operands compressed as bitmask+values, two fast prefix-sum circuits
+ * and int8 MACs, single "timestep".
+ */
+
+#pragma once
+
+#include "accel/accelerator.hh"
+#include "mem/cache.hh"
+#include "mem/traffic.hh"
+#include "snn/lif.hh"
+#include "tensor/spike_tensor.hh"
+
+namespace loas {
+
+/** Configuration of the SparTen baseline. */
+struct SpartenConfig
+{
+    int num_pes = 16;
+    std::size_t chunk_bits = 128;
+
+    /**
+     * Passes over the bitmask chunks per join: SparTen's PE streams
+     * both operands' chunk buffers through a single port before the
+     * prefix stage consumes them.
+     */
+    std::uint64_t mask_stream_passes = 2;
+
+    /** Inner-join pipeline restart cost per (neuron, timestep). */
+    std::uint64_t t_restart_cycles = 10;
+
+    /** Fixed scheduling overhead per wave. */
+    std::uint64_t wave_overhead_cycles = 1;
+
+    CacheConfig cache;
+    DramConfig dram;
+    LifParams lif;
+};
+
+/** SparTen running SNN workloads timestep-by-timestep. */
+class SpartenSim : public Accelerator
+{
+  public:
+    explicit SpartenSim(const SpartenConfig& config = {});
+
+    std::string name() const override;
+
+    RunResult runLayer(const LayerData& layer) override;
+
+    /** Original SparTen on an int8 ANN layer (Fig. 18). */
+    RunResult runAnnLayer(const AnnLayerData& layer);
+
+    /** Output spikes of the last SNN layer run (verification). */
+    const SpikeTensor& lastOutput() const { return last_output_; }
+
+  private:
+    SpartenConfig config_;
+    SpikeTensor last_output_;
+};
+
+} // namespace loas

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Dense-SNN systolic-array baselines for Fig. 19: PTB (Lee et al.,
+ * HPCA'22) and Stellar (Mao et al., HPCA'24), modeled with
+ * ScaleSim-style analytical equations for a weight-stationary array
+ * (the paper itself used ScaleSim for these baselines).
+ *
+ * Both are configured as a 16 x 4 array producing 16 full-sum outputs
+ * for 4 timesteps in parallel, matching the paper's "fair comparison"
+ * setup. Neither exploits weight sparsity (dense weight streaming).
+ * PTB processes the timesteps of each time window sequentially inside
+ * a column and does not skip zero spikes in the streamed input;
+ * Stellar's FS-neuron design is fully temporal-parallel and skips
+ * zero spikes.
+ */
+
+#pragma once
+
+#include "accel/accelerator.hh"
+#include "mem/cache.hh"
+#include "mem/traffic.hh"
+#include "snn/lif.hh"
+
+namespace loas {
+
+/** Shared configuration of the systolic baselines. */
+struct SystolicConfig
+{
+    int rows = 16; // output-neuron lanes
+    int cols = 4;  // time-window lanes
+    CacheConfig cache;
+    DramConfig dram;
+    LifParams lif;
+};
+
+/** PTB: partially temporal-parallel systolic array. */
+class PtbSim : public Accelerator
+{
+  public:
+    explicit PtbSim(const SystolicConfig& config = {});
+    std::string name() const override;
+    RunResult runLayer(const LayerData& layer) override;
+
+  private:
+    SystolicConfig config_;
+};
+
+/** Stellar: fully temporal-parallel FS-neuron systolic array. */
+class StellarSim : public Accelerator
+{
+  public:
+    explicit StellarSim(const SystolicConfig& config = {});
+    std::string name() const override;
+    RunResult runLayer(const LayerData& layer) override;
+
+  private:
+    SystolicConfig config_;
+};
+
+} // namespace loas

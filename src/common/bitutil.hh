@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Small bit-manipulation and integer helpers shared across modules.
+ */
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace loas {
+
+/** Number of set bits in a 64-bit word. */
+inline int popcount64(std::uint64_t x) { return std::popcount(x); }
+
+/** Ceiling division for unsigned integers. Requires d > 0. */
+template <typename T>
+constexpr T
+ceilDiv(T n, T d)
+{
+    return (n + d - 1) / d;
+}
+
+/** Round n up to the next multiple of m. Requires m > 0. */
+template <typename T>
+constexpr T
+roundUp(T n, T m)
+{
+    return ceilDiv(n, m) * m;
+}
+
+/** True iff x is a power of two (0 is not). */
+constexpr bool
+isPow2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** floor(log2(x)) for x > 0. */
+constexpr int
+floorLog2(std::uint64_t x)
+{
+    return 63 - std::countl_zero(x);
+}
+
+/** Index of lowest set bit; undefined for x == 0. */
+inline int lowestSetBit(std::uint64_t x) { return std::countr_zero(x); }
+
+/** Mask with the low n bits set (n in [0, 64]). */
+constexpr std::uint64_t
+lowMask64(int n)
+{
+    return n >= 64 ? ~0ull : ((1ull << n) - 1);
+}
+
+} // namespace loas

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Status/error reporting helpers, modeled after gem5's logging idiom.
+ *
+ * panic() is for internal invariant violations (simulator bugs); it aborts.
+ * fatal() is for unrecoverable user/configuration errors; it exits(1).
+ * warn() / inform() report conditions without stopping the simulation.
+ */
+
+#pragma once
+
+#include <cstdarg>
+
+namespace loas {
+
+/** Abort with a message: an internal invariant was violated (a bug). */
+[[noreturn]] __attribute__((format(printf, 1, 2)))
+void panic(const char* fmt, ...);
+
+/** Exit with a message: the user asked for something unsupported. */
+[[noreturn]] __attribute__((format(printf, 1, 2)))
+void fatal(const char* fmt, ...);
+
+/** Report a suspicious-but-survivable condition to stderr. */
+__attribute__((format(printf, 1, 2)))
+void warn(const char* fmt, ...);
+
+/** Report a status message to stderr. */
+__attribute__((format(printf, 1, 2)))
+void inform(const char* fmt, ...);
+
+} // namespace loas

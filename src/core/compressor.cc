@@ -1,0 +1,32 @@
+#include "core/compressor.hh"
+
+#include "common/bitutil.hh"
+
+namespace loas {
+
+OutputCompressor::OutputCompressor(int adders, bool discard_single)
+    : adders_(adders), discard_single_(discard_single)
+{
+}
+
+CompressResult
+OutputCompressor::compress(const std::vector<TimeWord>& row) const
+{
+    CompressResult result;
+    result.fiber.mask = Bitmask(row.size());
+    for (std::size_t n = 0; n < row.size(); ++n) {
+        const TimeWord w = row[n];
+        const int spikes = popcount64(w);
+        const bool keep = discard_single_ ? spikes >= 2 : spikes >= 1;
+        if (keep) {
+            result.fiber.mask.set(n);
+            result.fiber.values.push_back(w);
+        }
+        result.ops.encode_ops += 1;
+    }
+    result.cycles = ceilDiv<std::uint64_t>(
+        row.size(), static_cast<std::uint64_t>(adders_));
+    return result;
+}
+
+} // namespace loas

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Output spike compressor (Section IV-D): collects the output spike
+ * words of one row of C, discards silent output neurons (and, with the
+ * fine-tuned preprocessing enabled, neurons firing only once) and emits
+ * the compressed FTP fiber. An inverted *laggy* prefix-sum circuit is
+ * used because compression is off the critical path.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/op_counts.hh"
+#include "tensor/fiber.hh"
+
+namespace loas {
+
+/** Result of compressing one output row. */
+struct CompressResult
+{
+    SpikeFiber fiber;
+    /** Cycles of the inverted laggy prefix-sum sweep. */
+    std::uint64_t cycles = 0;
+    OpCounts ops;
+};
+
+/** Output-side compressor unit. */
+class OutputCompressor
+{
+  public:
+    /**
+     * @param adders  parallel adders of the inverted laggy prefix-sum
+     * @param discard_single  also discard single-spike neurons (the
+     *        fine-tuned preprocessing of Section V)
+     */
+    OutputCompressor(int adders, bool discard_single = false);
+
+    /** Compress one output row of packed spike words. */
+    CompressResult compress(const std::vector<TimeWord>& row) const;
+
+  private:
+    int adders_;
+    bool discard_single_;
+};
+
+} // namespace loas

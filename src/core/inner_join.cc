@@ -1,0 +1,137 @@
+#include "core/inner_join.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace loas {
+
+InnerJoinUnit::InnerJoinUnit(const InnerJoinConfig& config, int timesteps)
+    : config_(config), timesteps_(timesteps)
+{
+    if (timesteps < 1 || timesteps > kMaxTimesteps)
+        fatal("InnerJoinUnit: timesteps %d unsupported", timesteps);
+}
+
+JoinResult
+InnerJoinUnit::join(const SpikeFiber& fiber_a,
+                    const WeightFiber& fiber_b) const
+{
+    if (fiber_a.mask.size() != fiber_b.mask.size())
+        panic("inner join over mismatched fiber lengths %zu vs %zu",
+              fiber_a.mask.size(), fiber_b.mask.size());
+
+    const std::size_t k = fiber_a.mask.size();
+    const std::size_t chunk_bits = config_.chunk_bits;
+    const std::uint64_t laggy_latency = config_.laggyLatency();
+    const TimeWord all_ones =
+        timesteps_ >= kMaxTimesteps
+            ? ~TimeWord{0}
+            : static_cast<TimeWord>((TimeWord{1} << timesteps_) - 1);
+
+    JoinResult result;
+    result.sums.assign(static_cast<std::size_t>(timesteps_), 0);
+
+    std::int64_t pseudo = 0;
+    std::vector<std::int64_t> correction(
+        static_cast<std::size_t>(timesteps_), 0);
+
+    // Pipeline timestamps (cycle numbers).
+    std::uint64_t now = config_.setup_cycles; // fast path frontier
+    std::uint64_t prev_check = 0;   // completion of last check
+    std::uint64_t last_event = now; // overall completion frontier
+
+    // Completion cycles of in-flight FIFO entries (for the depth bound).
+    std::deque<std::uint64_t> inflight_checks;
+
+    const std::size_t value_bytes =
+        static_cast<std::size_t>(ceilDiv(timesteps_, 8));
+
+    for (std::size_t chunk_lo = 0; chunk_lo < k; chunk_lo += chunk_bits) {
+        const std::size_t chunk_hi = std::min(chunk_lo + chunk_bits, k);
+
+        // One cycle to AND the buffered chunk masks and priority-encode.
+        const std::uint64_t and_done = now + 1;
+        result.ops.mask_and_ops += 1;
+        now = and_done;
+        last_event = std::max(last_event, and_done);
+
+        // Matched positions in this chunk (both operands non-zero).
+        std::vector<std::uint32_t> matched;
+        {
+            const auto set_a =
+                fiber_a.mask.setBitsInRange(chunk_lo, chunk_hi);
+            for (const auto pos : set_a)
+                if (fiber_b.mask.test(pos))
+                    matched.push_back(pos);
+        }
+        if (matched.empty())
+            continue;
+
+        // The laggy circuit is a deeply pipelined serial prefix chain:
+        // a chunk enters every cycle and its offsets emerge
+        // laggyLatency() cycles later (that latency - not throughput -
+        // is what distinguishes it from the single-cycle fast tree).
+        const std::uint64_t laggy_ready = and_done + laggy_latency;
+        result.ops.laggy_prefix_ops += laggy_latency;
+
+        for (const auto pos : matched) {
+            // Fast path: one offset per cycle, stalling on FIFO-full.
+            std::uint64_t emit = now + 1;
+            while (inflight_checks.size() >= config_.fifo_depth) {
+                emit = std::max(emit, inflight_checks.front() + 1);
+                inflight_checks.pop_front();
+            }
+            now = emit;
+            result.ops.fast_prefix_ops += 1;
+            result.ops.fifo_ops += 2; // push into FIFO-mp and FIFO-B
+
+            // Speculative accumulate of the matched weight.
+            const std::size_t b_off = fiber_b.mask.rank(pos);
+            const std::int32_t weight = fiber_b.values[b_off];
+            pseudo += weight;
+            result.ops.acc_ops += 1;
+
+            // Check path: drains after the laggy circuit is ready.
+            const std::uint64_t check =
+                std::max({prev_check + 1, laggy_ready, emit + 1});
+            prev_check = check;
+            inflight_checks.push_back(check);
+            result.ops.fifo_ops += 2; // pop both FIFOs
+
+            const std::size_t a_off = fiber_a.mask.rank(pos);
+            const TimeWord spike_word = fiber_a.values[a_off];
+            result.spike_value_bytes += value_bytes;
+            result.matched_offsets_a.push_back(
+                static_cast<std::uint32_t>(a_off));
+            if (spike_word != all_ones) {
+                // Mis-speculation: subtract the weight from every
+                // timestep whose spike bit is zero.
+                result.corrections += 1;
+                for (int t = 0; t < timesteps_; ++t) {
+                    if (!((spike_word >> t) & 1u)) {
+                        correction[static_cast<std::size_t>(t)] += weight;
+                        result.ops.correction_ops += 1;
+                    }
+                }
+            }
+            result.matches += 1;
+            last_event = std::max(last_event, check);
+        }
+    }
+
+    // Final correction subtraction into each timestep's accumulator.
+    for (int t = 0; t < timesteps_; ++t) {
+        const auto ts = static_cast<std::size_t>(t);
+        const std::int64_t sum = pseudo - correction[ts];
+        result.sums[ts] = static_cast<std::int32_t>(sum);
+        result.ops.correction_ops += 1;
+    }
+
+    result.cycles = last_event + config_.drain_cycles;
+    return result;
+}
+
+} // namespace loas

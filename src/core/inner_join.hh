@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The FTP-friendly inner-join unit (Section IV-C, Figs. 9-10),
+ * simulated cycle-by-cycle.
+ *
+ * Pipeline per 128-bit bitmask chunk:
+ *  1. AND the spike and weight bitmask chunks, priority-encode the
+ *     matched positions (one chunk per cycle).
+ *  2. The fast prefix-sum circuit emits one matched weight offset per
+ *     cycle; the weight is speculatively added to the pseudo-
+ *     accumulator (assuming the spike word is all ones) and the pair
+ *     (position, weight) is pushed into depth-8 FIFOs.
+ *  3. The laggy prefix-sum circuit - a pipelined serial prefix chain
+ *     with chunk_bits / adders cycles of latency but one chunk per
+ *     cycle of throughput - produces the spike-side offsets; the check
+ *     stage then drains one FIFO entry per cycle, fetching the matched
+ *     packed spike word and, if it is not all ones, adding the weight
+ *     into the correction accumulator of every timestep whose spike
+ *     bit is zero.
+ *  4. The fast path stalls when the FIFOs are full.
+ *
+ * The final per-timestep full sums are pseudo - correction[t], exactly
+ * Eq. (1) of the paper.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/op_counts.hh"
+#include "core/loas_config.hh"
+#include "tensor/fiber.hh"
+
+namespace loas {
+
+/** Outcome of joining one spike fiber with one weight fiber. */
+struct JoinResult
+{
+    /** Cycles from setup to drain for this fiber pair. */
+    std::uint64_t cycles = 0;
+
+    /** Full sums per timestep for this output neuron (Eq. 1). */
+    std::vector<std::int32_t> sums;
+
+    /** Matched (non-silent, non-zero-weight) positions. */
+    std::uint64_t matches = 0;
+
+    /** Matches whose spike word needed correction (not all ones). */
+    std::uint64_t corrections = 0;
+
+    /** Packed spike-value bytes fetched from the global cache. */
+    std::uint64_t spike_value_bytes = 0;
+
+    /** Matched positions, for the memory model's address streams. */
+    std::vector<std::uint32_t> matched_offsets_a;
+
+    OpCounts ops;
+};
+
+/** Cycle-level model of one TPPE's inner-join datapath. */
+class InnerJoinUnit
+{
+  public:
+    InnerJoinUnit(const InnerJoinConfig& config, int timesteps);
+
+    /** Join one fiber pair and produce the output neuron's full sums. */
+    JoinResult join(const SpikeFiber& fiber_a,
+                    const WeightFiber& fiber_b) const;
+
+    const InnerJoinConfig& config() const { return config_; }
+    int timesteps() const { return timesteps_; }
+
+  private:
+    InnerJoinConfig config_;
+    int timesteps_;
+};
+
+} // namespace loas

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Configuration of the LoAS system (Table III) and of the TPPE
+ * micro-architecture (Section IV).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "mem/cache.hh"
+#include "mem/traffic.hh"
+#include "snn/lif.hh"
+
+namespace loas {
+
+/** Inner-join / TPPE micro-architecture parameters. */
+struct InnerJoinConfig
+{
+    /** Bitmask chunk width processed per AND+encode step (bits). */
+    std::size_t chunk_bits = 128;
+
+    /** Parallel adders inside the laggy prefix-sum circuit. */
+    int laggy_adders = 16;
+
+    /** Depth of FIFO-mp / FIFO-B between fast and laggy paths. */
+    std::size_t fifo_depth = 8;
+
+    /** Pipeline fill cycles per fiber pair (buffer/pointer setup). */
+    std::uint64_t setup_cycles = 2;
+
+    /** Pipeline drain cycles per fiber pair. */
+    std::uint64_t drain_cycles = 2;
+
+    /** Laggy prefix-sum latency for one chunk. */
+    std::uint64_t
+    laggyLatency() const
+    {
+        return (chunk_bits + static_cast<std::size_t>(laggy_adders) - 1) /
+               static_cast<std::size_t>(laggy_adders);
+    }
+};
+
+/** Full-system configuration (defaults follow Table III). */
+struct LoasConfig
+{
+    int num_pes = 16;
+    int timesteps = 4;
+    InnerJoinConfig join;
+    CacheConfig cache;       // 256 KB, 16 banks, 16-way
+    DramConfig dram;         // 128 GB/s HBM
+    LifParams lif;
+
+    /** Fixed scheduling overhead added per wave of PE work. */
+    std::uint64_t wave_overhead_cycles = 1;
+
+    /**
+     * Overlap consecutive waves: the laggy-prefix/correction tail of
+     * one join overlaps the next wave's fiber-B fetch and fast phase
+     * (the Fig. 10 pipelining), so only the fast-path length of each
+     * wave occupies the steady-state schedule.
+     */
+    bool pipelined_waves = true;
+};
+
+} // namespace loas

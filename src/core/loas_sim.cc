@@ -1,0 +1,211 @@
+#include "core/loas_sim.hh"
+
+#include <algorithm>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "core/compressor.hh"
+#include "core/inner_join.hh"
+#include "core/plif.hh"
+#include "core/scheduler.hh"
+#include "mem/memory_system.hh"
+#include "tensor/compress.hh"
+
+namespace loas {
+
+namespace {
+
+// Non-overlapping address regions for the tensors of one layer.
+constexpr std::uint64_t kBaseAMeta = 0x0000'0000ull;
+constexpr std::uint64_t kBaseAValues = 0x4000'0000ull;
+constexpr std::uint64_t kBaseBMeta = 0x8000'0000ull;
+constexpr std::uint64_t kBaseBValues = 0xc000'0000ull;
+
+/** Cumulative byte offsets of per-fiber storage. */
+template <typename FiberVec, typename SizeFn>
+std::vector<std::uint64_t>
+cumulativeOffsets(const FiberVec& fibers, SizeFn&& size_of)
+{
+    std::vector<std::uint64_t> offsets(fibers.size() + 1, 0);
+    for (std::size_t i = 0; i < fibers.size(); ++i)
+        offsets[i + 1] = offsets[i] + size_of(fibers[i]);
+    return offsets;
+}
+
+} // namespace
+
+LoasSim::LoasSim(const LoasConfig& config, bool ft_compress)
+    : config_(config), ft_compress_(ft_compress)
+{
+}
+
+std::string
+LoasSim::name() const
+{
+    return ft_compress_ ? "LoAS-FT" : "LoAS";
+}
+
+RunResult
+LoasSim::runLayer(const LayerData& layer)
+{
+    const int timesteps = layer.spec.t;
+    if (timesteps > config_.timesteps) {
+        fatal("LoAS configured for %d timesteps, layer '%s' needs %d",
+              config_.timesteps, layer.spec.name.c_str(), timesteps);
+    }
+    const std::size_t m = layer.spikes.rows();
+    const std::size_t k = layer.spikes.cols();
+    const std::size_t n = layer.weights.cols();
+    if (layer.weights.rows() != k)
+        fatal("layer '%s': A is %zux%zu but B is %zux%zu",
+              layer.spec.name.c_str(), m, k, layer.weights.rows(), n);
+
+    // Input operands in their compressed formats.
+    const auto fibers_a = compressSpikeRows(layer.spikes);
+    const auto fibers_b = compressWeightColumns(layer.weights);
+
+    const auto a_meta_off = cumulativeOffsets(
+        fibers_a, [](const SpikeFiber& f) { return f.metadataBytes(); });
+    // Packed spike values are T bits each (4-bit for T=4, Fig. 8);
+    // per-row regions are byte-aligned but values pack within a row.
+    const auto a_val_off = cumulativeOffsets(
+        fibers_a, [&](const SpikeFiber& f) {
+            return ceilDiv<std::size_t>(
+                f.values.size() * static_cast<std::size_t>(timesteps),
+                8);
+        });
+    const auto b_meta_off = cumulativeOffsets(
+        fibers_b, [](const WeightFiber& f) { return f.metadataBytes(); });
+    const auto b_val_off = cumulativeOffsets(
+        fibers_b, [](const WeightFiber& f) { return f.values.size(); });
+
+    MemorySystem mem(config_.cache, config_.dram);
+    const InnerJoinUnit join_unit(config_.join, timesteps);
+    const Plif plif(config_.lif, timesteps);
+    const OutputCompressor compressor(config_.join.laggy_adders,
+                                      ft_compress_);
+    const Scheduler scheduler(m, n, config_.num_pes);
+
+    RunResult result;
+    result.accel = name();
+    result.workload = layer.spec.name;
+
+    last_output_ = SpikeTensor(m, n, timesteps);
+    std::vector<std::vector<TimeWord>> out_rows(
+        m, std::vector<TimeWord>(n, 0));
+
+    // With wave pipelining, the correction/drain tail of one join
+    // overlaps the next wave's fill; it is re-added once at the end.
+    const std::uint64_t wave_overlap =
+        config_.pipelined_waves
+            ? config_.join.laggyLatency() + config_.join.drain_cycles
+            : 0;
+
+    std::uint64_t dram_bytes_seen = 0;
+    for (std::size_t w = 0; w < scheduler.waveCount(); ++w) {
+        const auto items = scheduler.wave(w);
+
+        // Fetch + broadcast the weight fiber of each column touched by
+        // this wave (one SRAM read serves all PEs on that column).
+        std::uint64_t prev_col = ~0ull;
+        for (const auto& item : items) {
+            if (item.n == prev_col)
+                continue;
+            prev_col = item.n;
+            mem.read(TensorCategory::Meta, kBaseBMeta + b_meta_off[item.n],
+                     fibers_b[item.n].metadataBytes());
+            mem.read(TensorCategory::Weight,
+                     kBaseBValues + b_val_off[item.n],
+                     fibers_b[item.n].values.size());
+        }
+
+        std::uint64_t wave_cycles = 0;
+        for (const auto& item : items) {
+            // Stream the spike bitmask of this row into the TPPE.
+            mem.read(TensorCategory::Meta, kBaseAMeta + a_meta_off[item.m],
+                     fibers_a[item.m].metadataBytes());
+
+            const JoinResult jr =
+                join_unit.join(fibers_a[item.m], fibers_b[item.n]);
+
+            // Matched packed spike words fetched from the global cache;
+            // adjacent offsets coalesce into one access. Addresses are
+            // T-bit granular within the row's value region.
+            const auto& offs = jr.matched_offsets_a;
+            const auto tbits = static_cast<std::uint64_t>(timesteps);
+            for (std::size_t i = 0; i < offs.size();) {
+                std::size_t j = i + 1;
+                while (j < offs.size() && offs[j] == offs[j - 1] + 1)
+                    ++j;
+                const std::uint64_t first_bit = offs[i] * tbits;
+                const std::uint64_t span_bytes = ceilDiv<std::uint64_t>(
+                    (j - i) * tbits, 8);
+                mem.read(TensorCategory::Input,
+                         kBaseAValues + a_val_off[item.m] +
+                             first_bit / 8,
+                         std::max<std::uint64_t>(span_bytes, 1));
+                i = j;
+            }
+
+            const PlifResult pr = plif.fire(jr.sums);
+            out_rows[item.m][item.n] = pr.spikes;
+            last_output_.setWord(item.m, item.n, pr.spikes);
+
+            result.ops += jr.ops;
+            result.ops += pr.ops;
+            wave_cycles = std::max(wave_cycles, jr.cycles);
+        }
+        if (wave_cycles > wave_overlap + 1)
+            wave_cycles -= wave_overlap;
+        else
+            wave_cycles = 1;
+        wave_cycles += config_.wave_overhead_cycles;
+        result.compute_cycles += wave_cycles;
+
+        // Compute/memory overlap: a wave completes when both its PE
+        // work and the DRAM bytes it generated are done.
+        const std::uint64_t dram_now = mem.dramBytes();
+        result.total_cycles += std::max(
+            wave_cycles, mem.dramCyclesFor(dram_now - dram_bytes_seen));
+        dram_bytes_seen = dram_now;
+    }
+
+    // Drain the overlapped tail of the final wave, then the P-LIF
+    // pipeline.
+    result.compute_cycles += wave_overlap + plif.latency();
+    result.total_cycles += wave_overlap + plif.latency();
+
+    // Output compression and write-back. Compression overlaps with
+    // compute except for the final row's sweep.
+    std::uint64_t last_row_cycles = 0;
+    for (std::size_t row = 0; row < m; ++row) {
+        const CompressResult cr = compressor.compress(out_rows[row]);
+        result.ops += cr.ops;
+        last_row_cycles = cr.cycles;
+        // Spike words enter the compressor buffer, the compressed fiber
+        // leaves for DRAM.
+        mem.scratchWrite(TensorCategory::Output,
+                         ceilDiv<std::uint64_t>(
+                             n * static_cast<std::size_t>(timesteps), 8));
+        mem.streamWrite(TensorCategory::Meta, cr.fiber.metadataBytes());
+        mem.streamWrite(TensorCategory::Output,
+                        ceilDiv<std::uint64_t>(
+                            cr.fiber.values.size() *
+                                static_cast<std::size_t>(timesteps),
+                            8));
+    }
+    result.compute_cycles += last_row_cycles;
+
+    mem.flushCache();
+    const std::uint64_t tail_bytes = mem.dramBytes() - dram_bytes_seen;
+    result.total_cycles +=
+        std::max(last_row_cycles, mem.dramCyclesFor(tail_bytes));
+
+    result.dram_cycles = mem.dramCycles();
+    result.traffic = mem.stats();
+    result.cache_hits = mem.cacheHits();
+    result.cache_misses = mem.cacheMisses();
+    return result;
+}
+
+} // namespace loas

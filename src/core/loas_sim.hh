@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Top-level cycle-level simulator of the LoAS accelerator (Fig. 7):
+ * 16 TPPEs fed by a scheduler, P-LIF units, an output compressor, and a
+ * shared banked global cache over HBM. Implements the FTP dataflow of
+ * Algorithm 1: every TPPE produces the full sums of one output neuron
+ * for ALL timesteps in a single inner-join pass, then fires the P-LIF
+ * once.
+ */
+
+#pragma once
+
+#include "accel/accelerator.hh"
+#include "core/loas_config.hh"
+#include "tensor/spike_tensor.hh"
+
+namespace loas {
+
+/** LoAS accelerator model. */
+class LoasSim : public Accelerator
+{
+  public:
+    /**
+     * @param config        hardware configuration (defaults: Table III)
+     * @param ft_compress   enable the fine-tuned-preprocessing output
+     *                      rule (discard single-spike output neurons)
+     */
+    explicit LoasSim(const LoasConfig& config = {},
+                     bool ft_compress = false);
+
+    std::string name() const override;
+
+    RunResult runLayer(const LayerData& layer) override;
+
+    /**
+     * Output spike tensor of the last simulated layer, before output
+     * compression (for verification against the functional reference).
+     */
+    const SpikeTensor& lastOutput() const { return last_output_; }
+
+    const LoasConfig& config() const { return config_; }
+
+  private:
+    LoasConfig config_;
+    bool ft_compress_;
+    SpikeTensor last_output_;
+};
+
+} // namespace loas

@@ -1,0 +1,24 @@
+#include "core/plif.hh"
+
+#include "common/logging.hh"
+
+namespace loas {
+
+Plif::Plif(const LifParams& params, int timesteps)
+    : params_(params), timesteps_(timesteps)
+{
+}
+
+PlifResult
+Plif::fire(const std::vector<std::int32_t>& sums) const
+{
+    if (sums.size() != static_cast<std::size_t>(timesteps_))
+        panic("P-LIF fed %zu sums for %d timesteps", sums.size(),
+              timesteps_);
+    PlifResult result;
+    result.spikes = lifAcrossTimesteps(sums, params_);
+    result.ops.lif_ops += static_cast<std::uint64_t>(timesteps_);
+    return result;
+}
+
+} // namespace loas

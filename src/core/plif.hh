@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Parallel Leaky-Integrate-and-Fire unit (P-LIF, Fig. 7): consumes the
+ * corrected full sums of one output neuron for all timesteps at once and
+ * emits the packed output spike word in one shot. Internally the
+ * membrane recurrence ripples through T spatially-unrolled stages, so
+ * the unit has T cycles of latency but unit throughput.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/op_counts.hh"
+#include "snn/lif.hh"
+
+namespace loas {
+
+/** Result of one P-LIF firing. */
+struct PlifResult
+{
+    TimeWord spikes = 0;
+    OpCounts ops;
+};
+
+/** One P-LIF unit. */
+class Plif
+{
+  public:
+    Plif(const LifParams& params, int timesteps);
+
+    /** Fire for one output neuron given its per-timestep full sums. */
+    PlifResult fire(const std::vector<std::int32_t>& sums) const;
+
+    /** Pipeline latency in cycles (one ripple stage per timestep). */
+    std::uint64_t latency() const
+    {
+        return static_cast<std::uint64_t>(timesteps_);
+    }
+
+  private:
+    LifParams params_;
+    int timesteps_;
+};
+
+} // namespace loas

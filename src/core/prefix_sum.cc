@@ -1,0 +1,17 @@
+#include "core/prefix_sum.hh"
+
+namespace loas {
+namespace prefix_sum {
+
+std::vector<std::uint32_t>
+offsets(const Bitmask& mask, const std::vector<std::uint32_t>& positions)
+{
+    std::vector<std::uint32_t> out;
+    out.reserve(positions.size());
+    for (const auto pos : positions)
+        out.push_back(static_cast<std::uint32_t>(mask.rank(pos)));
+    return out;
+}
+
+} // namespace prefix_sum
+} // namespace loas

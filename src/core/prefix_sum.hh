@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The two prefix-sum circuits of the FTP-friendly inner join
+ * (Section IV-C, Fig. 9).
+ *
+ * The fast circuit is a tree prefix-sum over the full chunk that
+ * produces one matched offset per cycle. The laggy circuit is a small
+ * group of adders that sweeps the chunk sequentially and is only ready
+ * after chunk_bits / adders cycles; it exists because the spike operand
+ * of an SNN join does not need to be known at accumulate time, only at
+ * correction time.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/bitmask.hh"
+
+namespace loas {
+
+/** Functional helper shared by both circuits. */
+namespace prefix_sum {
+
+/**
+ * Offsets (ranks) of the given positions within `mask`: the index of
+ * each position's value inside the fiber's value array.
+ */
+std::vector<std::uint32_t> offsets(const Bitmask& mask,
+                                   const std::vector<std::uint32_t>&
+                                       positions);
+
+} // namespace prefix_sum
+
+/** Single-cycle tree prefix-sum circuit model. */
+class FastPrefixSum
+{
+  public:
+    /** Latency in cycles to produce one offset. */
+    static constexpr std::uint64_t kLatency = 1;
+};
+
+/** Laggy prefix-sum circuit model (Fig. 9, left). */
+class LaggyPrefixSum
+{
+  public:
+    LaggyPrefixSum(std::size_t chunk_bits, int adders)
+        : chunk_bits_(chunk_bits), adders_(adders)
+    {
+    }
+
+    /** Cycles until the chunk's offsets are all available. */
+    std::uint64_t
+    readyLatency() const
+    {
+        return (chunk_bits_ + static_cast<std::size_t>(adders_) - 1) /
+               static_cast<std::size_t>(adders_);
+    }
+
+    std::size_t chunkBits() const { return chunk_bits_; }
+    int adders() const { return adders_; }
+
+  private:
+    std::size_t chunk_bits_;
+    int adders_;
+};
+
+} // namespace loas

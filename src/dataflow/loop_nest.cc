@@ -1,0 +1,157 @@
+#include "dataflow/loop_nest.hh"
+
+#include "common/logging.hh"
+
+namespace loas {
+
+const char*
+baseDataflowName(BaseDataflow dataflow)
+{
+    switch (dataflow) {
+      case BaseDataflow::InnerProduct:
+        return "IP";
+      case BaseDataflow::OuterProduct:
+        return "OP";
+      case BaseDataflow::Gustavson:
+        return "Gust";
+      default:
+        return "?";
+    }
+}
+
+const char*
+temporalPlacementName(TemporalPlacement placement)
+{
+    switch (placement) {
+      case TemporalPlacement::Outermost:
+        return "t outermost";
+      case TemporalPlacement::AboveMiddle:
+        return "t above middle loop";
+      case TemporalPlacement::AboveInner:
+        return "t above inner loop";
+      case TemporalPlacement::Innermost:
+        return "t innermost (sequential)";
+      case TemporalPlacement::InnerUnrolled:
+        return "t innermost (unrolled)";
+      default:
+        return "?";
+    }
+}
+
+std::string
+DataflowCandidate::name() const
+{
+    // Spatial loop letters of each base dataflow, outer to inner.
+    const char* spatial = nullptr;
+    switch (base) {
+      case BaseDataflow::InnerProduct:
+        spatial = "mnk";
+        break;
+      case BaseDataflow::OuterProduct:
+        spatial = "kmn";
+        break;
+      case BaseDataflow::Gustavson:
+        spatial = "mkn";
+        break;
+    }
+    std::string loops;
+    auto append = [&](char c) {
+        if (!loops.empty())
+            loops.push_back(',');
+        loops.push_back(c);
+    };
+    const int t_depth = placement == TemporalPlacement::Outermost ? 0
+                        : placement == TemporalPlacement::AboveMiddle
+                            ? 1
+                        : placement == TemporalPlacement::AboveInner
+                            ? 2
+                            : 3;
+    for (int i = 0; i <= 3; ++i) {
+        if (i == t_depth) {
+            if (!loops.empty())
+                loops.push_back(',');
+            loops += placement == TemporalPlacement::InnerUnrolled
+                         ? "T"
+                         : "t";
+        }
+        if (i < 3)
+            append(spatial[i]);
+    }
+    return std::string(baseDataflowName(base)) + "(" + loops + ")";
+}
+
+DataflowMetrics
+evaluateCandidate(const DataflowCandidate& candidate,
+                  const LayerSpec& spec)
+{
+    const double timesteps = static_cast<double>(spec.t);
+    DataflowMetrics metrics;
+
+    // Observation 1 (Section III): unless t is the innermost loop,
+    // every operand-traversing loop below it re-runs T times, so the
+    // operands below are refetched T times more.
+    const bool t_inner =
+        candidate.placement == TemporalPlacement::Innermost ||
+        candidate.placement == TemporalPlacement::InnerUnrolled;
+    metrics.input_refetch_factor = t_inner ? 1.0 : timesteps;
+
+    // Observation 2: OP always produces T times more partial-sum
+    // matrices; Gustavson either produces T times more partial rows
+    // (t at or below the k loop) or pays the refetch instead. IP is
+    // output-stationary: its per-neuron partial sums live in
+    // accumulator registers, which merely duplicate with T.
+    switch (candidate.base) {
+      case BaseDataflow::InnerProduct:
+        metrics.psum_factor = 1.0;
+        break;
+      case BaseDataflow::OuterProduct:
+        metrics.psum_factor = timesteps;
+        break;
+      case BaseDataflow::Gustavson:
+        metrics.psum_factor =
+            (candidate.placement == TemporalPlacement::Outermost ||
+             candidate.placement == TemporalPlacement::AboveMiddle)
+                ? 1.0
+                : timesteps;
+        break;
+    }
+
+    // Observation 3: processing t sequentially, anywhere, costs T
+    // times more latency; only spatial unrolling removes it.
+    metrics.latency_factor =
+        candidate.placement == TemporalPlacement::InnerUnrolled
+            ? 1.0
+            : timesteps;
+    return metrics;
+}
+
+std::vector<DataflowCandidate>
+allCandidates()
+{
+    std::vector<DataflowCandidate> candidates;
+    for (const auto base :
+         {BaseDataflow::InnerProduct, BaseDataflow::OuterProduct,
+          BaseDataflow::Gustavson}) {
+        for (const auto placement :
+             {TemporalPlacement::Outermost,
+              TemporalPlacement::AboveMiddle,
+              TemporalPlacement::AboveInner,
+              TemporalPlacement::Innermost,
+              TemporalPlacement::InnerUnrolled}) {
+            candidates.push_back(DataflowCandidate{base, placement});
+        }
+    }
+    return candidates;
+}
+
+std::vector<DataflowCandidate>
+optimalCandidates(const LayerSpec& spec)
+{
+    std::vector<DataflowCandidate> winners;
+    for (const auto& candidate : allCandidates())
+        if (evaluateCandidate(candidate, spec).meetsAllGoals())
+            winners.push_back(candidate);
+    return winners;
+}
+
+} // namespace loas

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Executable form of Section III's dataflow design-space argument.
+ *
+ * An SNN spMspM is a quadruple loop nest over (m, n, k, t). The three
+ * base spMspM dataflows fix the relative order of (m, n, k):
+ * inner-product (m, n, k), outer-product (k, m, n) and Gustavson's
+ * (m, k, n); inserting the temporal dimension at any of the four
+ * depths yields the 12 sequential orderings plus, for the innermost
+ * position, the option of unrolling t spatially - the paper's FTP.
+ *
+ * For each candidate this module derives the paper's three decision
+ * metrics analytically from the workload statistics:
+ *  (1) input refetch factor - how many extra times A/B cross the
+ *      memory hierarchy because t sits above a reuse loop;
+ *  (2) temporal partial-sum factor - how many live partial sums the
+ *      t placement multiplies (OP/Gust already buffer partial
+ *      outputs; a non-innermost t multiplies them by T);
+ *  (3) latency factor - T when timesteps serialize, 1 when unrolled.
+ *
+ * The paper's conclusion - inner-product order with t innermost and
+ * spatially unrolled is the unique candidate meeting all three goals
+ * - falls out of evaluateAllCandidates().
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/layer_spec.hh"
+
+namespace loas {
+
+/** Base spatial dataflow (relative order of m, n, k). */
+enum class BaseDataflow
+{
+    InnerProduct, // for m, for n, for k
+    OuterProduct, // for k, for m, for n
+    Gustavson,    // for m, for k, for n
+};
+
+const char* baseDataflowName(BaseDataflow dataflow);
+
+/** Where the temporal loop sits relative to the three spatial loops. */
+enum class TemporalPlacement
+{
+    Outermost,    // t above all spatial loops
+    AboveMiddle,  // between the 1st and 2nd spatial loop
+    AboveInner,   // between the 2nd and 3rd spatial loop
+    Innermost,    // below all spatial loops (sequential)
+    InnerUnrolled // innermost and spatially unrolled (parallel-for)
+};
+
+const char* temporalPlacementName(TemporalPlacement placement);
+
+/** One candidate SNN spMspM dataflow. */
+struct DataflowCandidate
+{
+    BaseDataflow base;
+    TemporalPlacement placement;
+
+    /** e.g. "IP(m,n,t,k)". */
+    std::string name() const;
+};
+
+/** Section III's three decision metrics for one candidate. */
+struct DataflowMetrics
+{
+    /** Extra traversals of the input operands caused by t (>= 1). */
+    double input_refetch_factor = 1.0;
+
+    /** Live partial-sum multiplier caused by t (>= 1). */
+    double psum_factor = 1.0;
+
+    /** Serialization of the temporal dimension (T or 1). */
+    double latency_factor = 1.0;
+
+    /** Goal (1): no extra data movement across timesteps. */
+    bool meetsGoal1() const { return input_refetch_factor <= 1.0; }
+
+    /** Goal (2): no extra temporal partial sums. */
+    bool meetsGoal2() const { return psum_factor <= 1.0; }
+
+    /** Goal (3): no serialized-timestep latency. */
+    bool meetsGoal3() const { return latency_factor <= 1.0; }
+
+    bool
+    meetsAllGoals() const
+    {
+        return meetsGoal1() && meetsGoal2() && meetsGoal3();
+    }
+};
+
+/** Evaluate one candidate on a layer's shape statistics. */
+DataflowMetrics evaluateCandidate(const DataflowCandidate& candidate,
+                                  const LayerSpec& spec);
+
+/** All candidates: 3 base dataflows x 5 temporal placements. */
+std::vector<DataflowCandidate> allCandidates();
+
+/** Candidates meeting all three goals (the paper's FTP). */
+std::vector<DataflowCandidate> optimalCandidates(const LayerSpec& spec);
+
+} // namespace loas

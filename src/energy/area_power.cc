@@ -1,0 +1,128 @@
+#include "energy/area_power.hh"
+
+namespace loas {
+
+namespace {
+
+// Per-unit constants, calibrated so the published T=4 configuration
+// reproduces Table IV exactly (see the header comment).
+
+// One accumulator (the pseudo-accumulator and each correction
+// accumulator are costed equally; a TPPE has 1 + T of them).
+constexpr double kAccArea = 4.0e-4;   // mm^2
+constexpr double kAccPower = 0.032;   // mW
+
+// 128-wide single-cycle prefix-sum circuit.
+constexpr double kFastPrefixArea = 0.04;
+constexpr double kFastPrefixPower = 1.46;
+
+// Laggy prefix-sum (16 adders + 128-bit buffer).
+constexpr double kLaggyPrefixArea = 5.0e-3;
+constexpr double kLaggyPrefixPower = 0.32;
+
+// Remaining TPPE logic: a T-agnostic part (bitmask buffers, FIFOs,
+// control) plus a per-timestep part (packed spike-data buffer slice).
+constexpr double kOtherFixedArea = 0.0072;
+constexpr double kOtherPerTArea = 0.00145;
+constexpr double kOtherFixedPower = 0.773;
+constexpr double kOtherPerTPower = 0.0268;
+
+// One P-LIF lane (a P-LIF unit has one lane per timestep).
+constexpr double kPlifLaneArea = 0.02 / (16.0 * 4.0);
+constexpr double kPlifLanePower = 1.2 / (16.0 * 4.0);
+
+// System-level blocks (Table III configuration).
+constexpr double kGlobalCacheArea = 0.80;
+constexpr double kGlobalCachePower = 124.5;
+constexpr double kSystemOtherArea = 0.30;
+constexpr double kSystemOtherPower = 18.1;
+
+} // namespace
+
+TppeAreaPower::TppeAreaPower(int timesteps) : timesteps_(timesteps) {}
+
+std::vector<HwComponent>
+TppeAreaPower::components() const
+{
+    const double t = static_cast<double>(timesteps_);
+    const double acc_count = 1.0 + t; // pseudo + T corrections
+    return {
+        {"Accumulators", kAccArea * acc_count, kAccPower * acc_count},
+        {"Fast Prefix", kFastPrefixArea, kFastPrefixPower},
+        {"Laggy Prefix", kLaggyPrefixArea, kLaggyPrefixPower},
+        {"Others", kOtherFixedArea + kOtherPerTArea * t,
+         kOtherFixedPower + kOtherPerTPower * t},
+    };
+}
+
+HwComponent
+TppeAreaPower::total() const
+{
+    HwComponent sum{"TPPE total", 0.0, 0.0};
+    for (const auto& c : components()) {
+        sum.area_mm2 += c.area_mm2;
+        sum.power_mw += c.power_mw;
+    }
+    return sum;
+}
+
+double
+TppeAreaPower::growingAreaFraction() const
+{
+    const double t = static_cast<double>(timesteps_);
+    const double growing =
+        kAccArea * (1.0 + t) + kOtherPerTArea * t;
+    return growing / total().area_mm2;
+}
+
+double
+TppeAreaPower::growingPowerFraction() const
+{
+    const double t = static_cast<double>(timesteps_);
+    const double growing =
+        kAccPower * (1.0 + t) + kOtherPerTPower * t;
+    return growing / total().power_mw;
+}
+
+LoasAreaPower::LoasAreaPower(int num_tppes, int timesteps)
+    : num_tppes_(num_tppes), timesteps_(timesteps)
+{
+}
+
+std::vector<HwComponent>
+LoasAreaPower::components() const
+{
+    const TppeAreaPower tppe(timesteps_);
+    const auto tppe_total = tppe.total();
+    const double pes = static_cast<double>(num_tppes_);
+    const double lanes = pes * static_cast<double>(timesteps_);
+    return {
+        {"TPPEs", tppe_total.area_mm2 * pes, tppe_total.power_mw * pes},
+        {"P-LIFs", kPlifLaneArea * lanes, kPlifLanePower * lanes},
+        {"Global cache", kGlobalCacheArea, kGlobalCachePower},
+        {"Others", kSystemOtherArea, kSystemOtherPower},
+    };
+}
+
+HwComponent
+LoasAreaPower::total() const
+{
+    HwComponent sum{"Total", 0.0, 0.0};
+    for (const auto& c : components()) {
+        sum.area_mm2 += c.area_mm2;
+        sum.power_mw += c.power_mw;
+    }
+    return sum;
+}
+
+std::vector<std::pair<std::string, double>>
+LoasAreaPower::powerFractions() const
+{
+    const double total_power = total().power_mw;
+    std::vector<std::pair<std::string, double>> fractions;
+    for (const auto& c : components())
+        fractions.emplace_back(c.name, c.power_mw / total_power);
+    return fractions;
+}
+
+} // namespace loas

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Structural area/power model of LoAS (Table IV, Figs. 15-16a).
+ *
+ * Components are parameterized by the architecture configuration; the
+ * per-unit constants are calibrated so the T=4, 16-TPPE configuration
+ * reproduces the paper's published synthesis results (32 nm, 800 MHz).
+ * Scaling behavior with the timestep count then follows from which
+ * components replicate per timestep (accumulators, the packed-spike
+ * data buffer and the P-LIF lanes) and which are T-agnostic (prefix-sum
+ * circuits, bitmask buffers, cache).
+ */
+
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace loas {
+
+/** One named hardware component with area and power. */
+struct HwComponent
+{
+    std::string name;
+    double area_mm2 = 0.0;
+    double power_mw = 0.0;
+};
+
+/** Area/power of one Temporal-Parallel Processing Element. */
+class TppeAreaPower
+{
+  public:
+    explicit TppeAreaPower(int timesteps = 4);
+
+    /** Accumulators / Fast Prefix / Laggy Prefix / Others. */
+    std::vector<HwComponent> components() const;
+
+    /** Sum over components. */
+    HwComponent total() const;
+
+    /** Fraction of TPPE area in components that grow with T. */
+    double growingAreaFraction() const;
+
+    /** Fraction of TPPE power in components that grow with T. */
+    double growingPowerFraction() const;
+
+    int timesteps() const { return timesteps_; }
+
+  private:
+    int timesteps_;
+};
+
+/** Area/power of the full LoAS system. */
+class LoasAreaPower
+{
+  public:
+    explicit LoasAreaPower(int num_tppes = 16, int timesteps = 4);
+
+    /** TPPEs / P-LIFs / Global cache / Others. */
+    std::vector<HwComponent> components() const;
+
+    HwComponent total() const;
+
+    /** On-chip power fraction per component (Fig. 15 pie chart). */
+    std::vector<std::pair<std::string, double>> powerFractions() const;
+
+  private:
+    int num_tppes_;
+    int timesteps_;
+};
+
+} // namespace loas

@@ -1,0 +1,31 @@
+#include "energy/energy_model.hh"
+
+namespace loas {
+
+EnergyModel::EnergyModel(const EnergyParams& params) : params_(params) {}
+
+EnergyBreakdown
+EnergyModel::evaluate(const RunResult& result) const
+{
+    const OpCounts& ops = result.ops;
+    EnergyBreakdown out;
+    out.compute_pj =
+        ops.acc_ops * params_.acc_pj +
+        ops.correction_ops * params_.correction_pj +
+        ops.mac_ops * params_.mac_pj +
+        ops.fast_prefix_ops * params_.fast_prefix_pj +
+        ops.laggy_prefix_ops * params_.laggy_prefix_pj +
+        ops.fifo_ops * params_.fifo_pj + ops.lif_ops * params_.lif_pj +
+        ops.mask_and_ops * params_.mask_and_pj +
+        ops.merge_ops * params_.merge_pj +
+        ops.encode_ops * params_.encode_pj;
+    out.sram_pj = static_cast<double>(result.traffic.sramBytes()) *
+                  params_.sram_pj_per_byte;
+    out.dram_pj = static_cast<double>(result.traffic.dramBytes()) *
+                  params_.dram_pj_per_byte;
+    out.static_pj = static_cast<double>(result.total_cycles) *
+                    params_.static_pj_per_cycle * result.static_scale;
+    return out;
+}
+
+} // namespace loas

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Energy model: converts a RunResult's op counts and traffic into pJ.
+ * Per-op constants play the role of the paper's RTL-synthesis numbers
+ * and the SRAM/DRAM per-byte constants the role of CACTI 7.0 (32 nm,
+ * 800 MHz); see DESIGN.md's substitution table. What the experiments
+ * consume are energy *ratios* between designs, which depend on the
+ * relative magnitudes below, not their absolute calibration.
+ */
+
+#pragma once
+
+#include "accel/run_result.hh"
+
+namespace loas {
+
+/** Per-event energies in pJ. */
+struct EnergyParams
+{
+    double acc_pj = 0.10;          // 12-bit accumulate + register
+    double correction_pj = 0.08;   // 10-bit correction accumulate
+    double mac_pj = 0.60;          // int8 multiply-accumulate (ANN)
+    double fast_prefix_pj = 1.20;  // 128-wide single-cycle prefix sum
+    double laggy_prefix_pj = 0.15; // laggy prefix-sum adder step
+    double fifo_pj = 0.05;         // FIFO push or pop
+    double lif_pj = 0.12;          // LIF compare + leak + reset
+    double mask_and_pj = 0.20;     // 128-bit AND + priority encode
+    double merge_pj = 0.25;        // merger / psum read-modify-write
+    double encode_pj = 0.10;       // output compressor symbol
+
+    double sram_pj_per_byte = 0.7; // 256 KB banked SRAM
+    double dram_pj_per_byte = 30.0; // HBM
+
+    /**
+     * Background (clock tree, control, cache leakage and idle-bank)
+     * energy charged per occupied cycle. At 800 MHz this corresponds
+     * to ~130 mW of the ~190 mW system power (Table IV), which is why
+     * slow designs lose energy efficiency roughly with latency in the
+     * paper's Fig. 12.
+     */
+    double static_pj_per_cycle = 160.0;
+};
+
+/** Energy split used in the result tables. */
+struct EnergyBreakdown
+{
+    double compute_pj = 0.0;
+    double sram_pj = 0.0;
+    double dram_pj = 0.0;
+    double static_pj = 0.0;
+
+    double
+    totalPj() const
+    {
+        return compute_pj + sram_pj + dram_pj + static_pj;
+    }
+
+    /** Fraction of energy spent moving data (SRAM + DRAM). */
+    double
+    dataMovementFraction() const
+    {
+        const double total = totalPj();
+        return total <= 0.0 ? 0.0 : (sram_pj + dram_pj) / total;
+    }
+};
+
+/** Evaluates run results against a set of per-op energies. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyParams& params = {});
+
+    /** Energy of one simulated run. */
+    EnergyBreakdown evaluate(const RunResult& result) const;
+
+    const EnergyParams& params() const { return params_; }
+
+  private:
+    EnergyParams params_;
+};
+
+} // namespace loas

@@ -1,0 +1,74 @@
+#include "mem/cache.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace loas {
+
+Cache::Cache(const CacheConfig& config) : config_(config)
+{
+    if (!isPow2(config.line_bytes))
+        fatal("cache line size %u is not a power of two",
+              config.line_bytes);
+    const std::uint64_t lines = config.size_bytes / config.line_bytes;
+    if (lines == 0 || lines % config.ways != 0)
+        fatal("cache geometry invalid: %llu lines, %u ways",
+              static_cast<unsigned long long>(lines), config.ways);
+    num_sets_ = lines / config.ways;
+    lines_.resize(lines);
+}
+
+Cache::LineResult
+Cache::accessLine(std::uint64_t addr, bool write, TensorCategory cat)
+{
+    const std::uint64_t line_addr = addr / config_.line_bytes;
+    const std::uint64_t set = line_addr % num_sets_;
+    Line* const set_base = &lines_[set * config_.ways];
+    ++tick_;
+
+    LineResult result{false, false, TensorCategory::Input};
+
+    Line* victim = nullptr;
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+        Line& line = set_base[w];
+        if (line.valid && line.tag == line_addr) {
+            line.last_use = tick_;
+            line.dirty = line.dirty || write;
+            ++hits_;
+            result.hit = true;
+            return result;
+        }
+        if (!victim || !line.valid ||
+            (victim->valid && line.last_use < victim->last_use)) {
+            if (!victim || victim->valid)
+                victim = &line;
+        }
+    }
+
+    ++misses_;
+    if (victim->valid && victim->dirty) {
+        result.writeback = true;
+        result.writeback_cat = victim->cat;
+    }
+    victim->valid = true;
+    victim->dirty = write;
+    victim->tag = line_addr;
+    victim->last_use = tick_;
+    victim->cat = cat;
+    return result;
+}
+
+std::vector<std::uint64_t>
+Cache::flush()
+{
+    std::vector<std::uint64_t> dirty_bytes(kNumCategories, 0);
+    for (auto& line : lines_) {
+        if (line.valid && line.dirty)
+            dirty_bytes[static_cast<int>(line.cat)] += config_.line_bytes;
+        line.valid = false;
+        line.dirty = false;
+    }
+    return dirty_bytes;
+}
+
+} // namespace loas

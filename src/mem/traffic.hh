@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Byte-accurate memory traffic accounting, split by memory level (SRAM
+ * vs off-chip DRAM), direction, and tensor category. The per-category
+ * breakdown is what Fig. 14 of the paper reports.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace loas {
+
+/** What a memory access is carrying. */
+enum class TensorCategory : int
+{
+    Input = 0,  // spike tensor A (or ANN activations)
+    Weight,     // weight matrix B
+    Psum,       // partial sums / membrane state
+    Output,     // output spikes C
+    Meta,       // compressed-format metadata (bitmasks, pointers, coords)
+    NumCategories,
+};
+
+constexpr int kNumCategories =
+    static_cast<int>(TensorCategory::NumCategories);
+
+/** Human-readable category name. */
+const char* tensorCategoryName(TensorCategory cat);
+
+/** Traffic counters in bytes. */
+struct TrafficStats
+{
+    std::array<std::uint64_t, kNumCategories> dram_read{};
+    std::array<std::uint64_t, kNumCategories> dram_write{};
+    std::array<std::uint64_t, kNumCategories> sram_read{};
+    std::array<std::uint64_t, kNumCategories> sram_write{};
+
+    std::uint64_t
+    dramReadBytes() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto v : dram_read)
+            sum += v;
+        return sum;
+    }
+
+    std::uint64_t
+    dramWriteBytes() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto v : dram_write)
+            sum += v;
+        return sum;
+    }
+
+    std::uint64_t dramBytes() const
+    {
+        return dramReadBytes() + dramWriteBytes();
+    }
+
+    std::uint64_t
+    sramBytes() const
+    {
+        std::uint64_t sum = 0;
+        for (int c = 0; c < kNumCategories; ++c)
+            sum += sram_read[c] + sram_write[c];
+        return sum;
+    }
+
+    /** Off-chip bytes (both directions) for one category. */
+    std::uint64_t
+    dramBytes(TensorCategory cat) const
+    {
+        const auto c = static_cast<int>(cat);
+        return dram_read[c] + dram_write[c];
+    }
+
+    /** On-chip bytes (both directions) for one category. */
+    std::uint64_t
+    sramBytes(TensorCategory cat) const
+    {
+        const auto c = static_cast<int>(cat);
+        return sram_read[c] + sram_write[c];
+    }
+
+    TrafficStats&
+    operator+=(const TrafficStats& other)
+    {
+        for (int c = 0; c < kNumCategories; ++c) {
+            dram_read[c] += other.dram_read[c];
+            dram_write[c] += other.dram_write[c];
+            sram_read[c] += other.sram_read[c];
+            sram_write[c] += other.sram_write[c];
+        }
+        return *this;
+    }
+};
+
+/** Off-chip memory bandwidth model (Table III: 128 GB/s HBM, 800 MHz). */
+struct DramConfig
+{
+    /** Peak bytes per accelerator clock: 128 GB/s / 800 MHz = 160 B. */
+    double bytes_per_cycle = 160.0;
+};
+
+} // namespace loas

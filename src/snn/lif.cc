@@ -1,0 +1,43 @@
+#include "snn/lif.hh"
+
+#include "common/logging.hh"
+
+namespace loas {
+
+LifStep
+stepLif(std::int32_t o, std::int32_t u_prev, const LifParams& p)
+{
+    const std::int32_t x = o + u_prev;
+    LifStep out;
+    out.spike = x > p.v_th;
+    // Leak by arithmetic right shift (C++20 defines >> on negative
+    // values as arithmetic). Hard reset clears the membrane on spike;
+    // soft reset subtracts the threshold and leaks the residual.
+    if (!out.spike)
+        out.membrane = x >> p.tau_shift;
+    else if (p.reset == LifReset::Hard)
+        out.membrane = 0;
+    else
+        out.membrane = (x - p.v_th) >> p.tau_shift;
+    return out;
+}
+
+TimeWord
+lifAcrossTimesteps(const std::vector<std::int32_t>& sums,
+                   const LifParams& p)
+{
+    if (sums.size() > static_cast<std::size_t>(kMaxTimesteps))
+        panic("lifAcrossTimesteps: %zu timesteps exceeds %d", sums.size(),
+              kMaxTimesteps);
+    TimeWord spikes = 0;
+    std::int32_t u = 0;
+    for (std::size_t t = 0; t < sums.size(); ++t) {
+        const LifStep step = stepLif(sums[t], u, p);
+        if (step.spike)
+            spikes |= (TimeWord{1} << t);
+        u = step.membrane;
+    }
+    return spikes;
+}
+
+} // namespace loas

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Leaky-Integrate-and-Fire neuron dynamics (Section II-A of the paper),
+ * in the integer arithmetic the hardware uses: int32 accumulation, an
+ * integer firing threshold, a leak factor tau applied as an arithmetic
+ * right shift (the "<<"-style datapath of Fig. 7), and hard reset.
+ *
+ *   X[t] = O[t] + U[t-1]
+ *   C[t] = X[t] > v_th
+ *   U[t] = tau * X[t] * (1 - C[t])        (hard reset)
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/spike_tensor.hh"
+
+namespace loas {
+
+/** Membrane reset behavior on firing. */
+enum class LifReset
+{
+    /** Membrane cleared to zero on spike (the paper's default). */
+    Hard,
+    /**
+     * Threshold subtracted on spike, residual carries over (footnote
+     * 2 of the paper notes other reset schemes lose no generality for
+     * the hardware design).
+     */
+    Soft,
+};
+
+/** LIF neuron parameters shared by a layer. */
+struct LifParams
+{
+    /** Firing threshold v_th (fires when X > v_th). */
+    std::int32_t v_th = 64;
+
+    /**
+     * Leak as a right shift: U = X >> tau_shift, i.e. tau = 2^-shift.
+     * tau_shift = 1 gives the common tau = 0.5.
+     */
+    int tau_shift = 1;
+
+    /** Reset scheme applied when the neuron fires. */
+    LifReset reset = LifReset::Hard;
+};
+
+/** Result of stepping a LIF neuron for one timestep. */
+struct LifStep
+{
+    bool spike;
+    std::int32_t membrane; // U[t] after reset/leak
+};
+
+/** One LIF update: input current o, previous membrane u_prev. */
+LifStep stepLif(std::int32_t o, std::int32_t u_prev, const LifParams& p);
+
+/**
+ * Run the LIF dynamics across all timesteps of one output neuron given
+ * its full sums per timestep; returns the packed output spike word.
+ * This is exactly what a P-LIF unit computes in one shot (Fig. 7).
+ */
+TimeWord lifAcrossTimesteps(const std::vector<std::int32_t>& sums,
+                            const LifParams& p);
+
+} // namespace loas

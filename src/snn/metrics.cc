@@ -1,0 +1,27 @@
+#include "snn/metrics.hh"
+
+namespace loas {
+
+SpikeStats
+computeSpikeStats(const SpikeTensor& spikes)
+{
+    SpikeStats stats;
+    stats.origin_sparsity = spikes.originSparsity();
+    stats.silent_ratio = spikes.silentRatio();
+    stats.neurons = spikes.rows() * spikes.cols();
+    stats.spikes = spikes.countSpikes();
+    stats.single_spike_ratio =
+        stats.neurons == 0
+            ? 0.0
+            : static_cast<double>(spikes.singleSpikeCount()) /
+                  static_cast<double>(stats.neurons);
+    return stats;
+}
+
+double
+weightSparsity(const DenseMatrix<std::int8_t>& weights)
+{
+    return weights.sparsity();
+}
+
+} // namespace loas

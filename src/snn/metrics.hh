@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Sparsity metrics of dual-sparse SNN workloads, matching the columns of
+ * the paper's Table II.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/dense_matrix.hh"
+#include "tensor/spike_tensor.hh"
+
+namespace loas {
+
+/** Sparsity summary for one spike tensor. */
+struct SpikeStats
+{
+    double origin_sparsity;  // AvSpA-origin: zero fraction of all bits
+    double silent_ratio;     // AvSpA-packed: silent-neuron fraction
+    double single_spike_ratio; // neurons firing exactly once
+    std::size_t neurons;     // M * K
+    std::uint64_t spikes;    // total 1-bits
+};
+
+/** Compute the Table II statistics of a spike tensor. */
+SpikeStats computeSpikeStats(const SpikeTensor& spikes);
+
+/** Weight sparsity (AvSpB): zero fraction of B. */
+double weightSparsity(const DenseMatrix<std::int8_t>& weights);
+
+} // namespace loas

@@ -1,0 +1,23 @@
+#include "snn/preprocess.hh"
+
+#include "common/bitutil.hh"
+
+namespace loas {
+
+std::size_t
+maskLowActivityNeurons(SpikeTensor& spikes, int max_spikes)
+{
+    std::size_t masked = 0;
+    for (std::size_t r = 0; r < spikes.rows(); ++r) {
+        for (std::size_t c = 0; c < spikes.cols(); ++c) {
+            const TimeWord w = spikes.word(r, c);
+            if (w != 0 && popcount64(w) <= max_spikes) {
+                spikes.setWord(r, c, 0);
+                ++masked;
+            }
+        }
+    }
+    return masked;
+}
+
+} // namespace loas

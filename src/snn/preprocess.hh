@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Fine-tuned preprocessing (Section V, "Software Configuration"): zero
+ * out pre-synaptic neurons with very low firing activity to increase the
+ * silent-neuron ratio the FTP compression exploits. The accuracy impact
+ * and its recovery by fine-tuning are reproduced by the training
+ * substrate (src/train); here we provide the structural transformation
+ * applied to inference workloads.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/spike_tensor.hh"
+
+namespace loas {
+
+/**
+ * Mask every neuron that fires at most `max_spikes` times across all
+ * timesteps (the paper masks neurons with exactly one output spike, i.e.
+ * max_spikes = 1). Returns the number of neurons newly silenced.
+ */
+std::size_t maskLowActivityNeurons(SpikeTensor& spikes, int max_spikes = 1);
+
+} // namespace loas

@@ -1,0 +1,82 @@
+#include "snn/reference.hh"
+
+#include "common/logging.hh"
+
+namespace loas {
+
+DenseMatrix<std::int32_t>
+referenceMatmulAtT(const SpikeTensor& a, const DenseMatrix<std::int8_t>& b,
+                   int t)
+{
+    if (a.cols() != b.rows())
+        fatal("shape mismatch: A is %zux%zu, B is %zux%zu", a.rows(),
+              a.cols(), b.rows(), b.cols());
+    DenseMatrix<std::int32_t> out(a.rows(), b.cols(), 0);
+    for (std::size_t m = 0; m < a.rows(); ++m) {
+        for (std::size_t k = 0; k < a.cols(); ++k) {
+            if (!a.spike(m, k, t))
+                continue;
+            for (std::size_t n = 0; n < b.cols(); ++n)
+                out(m, n) += b(k, n);
+        }
+    }
+    return out;
+}
+
+SpikeTensor
+referenceSnnLayer(const SpikeTensor& a, const DenseMatrix<std::int8_t>& b,
+                  const LifParams& params,
+                  DenseMatrix<std::int32_t>* full_sums)
+{
+    const int timesteps = a.timesteps();
+    SpikeTensor c(a.rows(), b.cols(), timesteps);
+    if (full_sums)
+        *full_sums = DenseMatrix<std::int32_t>(
+            a.rows(), b.cols() * static_cast<std::size_t>(timesteps), 0);
+
+    // Accumulate O for every timestep first (Eq. 1), then run the LIF
+    // recurrence along t for every output neuron (Eqs. 2-3).
+    std::vector<DenseMatrix<std::int32_t>> sums;
+    sums.reserve(timesteps);
+    for (int t = 0; t < timesteps; ++t)
+        sums.push_back(referenceMatmulAtT(a, b, t));
+
+    std::vector<std::int32_t> neuron_sums(timesteps);
+    for (std::size_t m = 0; m < a.rows(); ++m) {
+        for (std::size_t n = 0; n < b.cols(); ++n) {
+            for (int t = 0; t < timesteps; ++t) {
+                neuron_sums[t] = sums[t](m, n);
+                if (full_sums) {
+                    full_sums->at(
+                        m, n * static_cast<std::size_t>(timesteps) + t) =
+                        neuron_sums[t];
+                }
+            }
+            c.setWord(m, n, lifAcrossTimesteps(neuron_sums, params));
+        }
+    }
+    return c;
+}
+
+std::uint64_t
+referenceAcOps(const SpikeTensor& a, const DenseMatrix<std::int8_t>& b)
+{
+    std::uint64_t ops = 0;
+    for (std::size_t m = 0; m < a.rows(); ++m) {
+        for (std::size_t k = 0; k < a.cols(); ++k) {
+            std::uint64_t spikes = 0;
+            for (int t = 0; t < a.timesteps(); ++t)
+                spikes += a.spike(m, k, t) ? 1 : 0;
+            if (spikes == 0)
+                continue;
+            std::uint64_t nz_weights = 0;
+            for (std::size_t n = 0; n < b.cols(); ++n)
+                if (b(k, n) != 0)
+                    ++nz_weights;
+            ops += spikes * nz_weights;
+        }
+    }
+    return ops;
+}
+
+} // namespace loas

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Functional (dataflow-agnostic) reference of one dual-sparse SNN layer:
+ * Step 1 spMspM (Eq. 1), Step 2 LIF firing (Eq. 2), Step 3 membrane
+ * update (Eq. 3). Every accelerator simulator's functional output is
+ * verified against this model.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "snn/lif.hh"
+#include "tensor/dense_matrix.hh"
+#include "tensor/spike_tensor.hh"
+
+namespace loas {
+
+/**
+ * Dense spMspM for one timestep: O[:, :, t] = A[:, :, t] * B.
+ * Spikes gate weight accumulation (bitwise-AND + accumulate, Fig. 2).
+ */
+DenseMatrix<std::int32_t>
+referenceMatmulAtT(const SpikeTensor& a,
+                   const DenseMatrix<std::int8_t>& b, int t);
+
+/**
+ * Full reference layer: returns the output spike tensor
+ * C in U^{M x N x T}. If `full_sums` is non-null it receives the
+ * pre-LIF accumulations O flattened as (m, n) -> packed per timestep,
+ * i.e. full_sums->at(m, n * T + t) = O[m, n, t].
+ */
+SpikeTensor
+referenceSnnLayer(const SpikeTensor& a, const DenseMatrix<std::int8_t>& b,
+                  const LifParams& params,
+                  DenseMatrix<std::int32_t>* full_sums = nullptr);
+
+/** Number of spike-gated accumulate ops a dense walk would perform. */
+std::uint64_t referenceAcOps(const SpikeTensor& a,
+                             const DenseMatrix<std::int8_t>& b);
+
+} // namespace loas

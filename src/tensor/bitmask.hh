@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Dynamic bitmask used as the coordinate representation of compressed
+ * fibers (Section IV-A of the paper): one bit per position in a row or
+ * column, 1 marking a stored non-zero value.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace loas {
+
+/** Fixed-size dynamic bitset with the rank/iteration ops fibers need. */
+class Bitmask
+{
+  public:
+    static constexpr std::size_t kWordBits = 64;
+
+    /** Create an all-zero mask of the given bit length. */
+    explicit Bitmask(std::size_t size = 0);
+
+    /** Number of bit positions. */
+    std::size_t size() const { return size_; }
+
+    /** Set (or clear) the bit at position i. */
+    void set(std::size_t i, bool value = true);
+
+    /** Read the bit at position i. */
+    bool test(std::size_t i) const;
+
+    /** Number of set bits in the whole mask. */
+    std::size_t popcount() const;
+
+    /**
+     * Number of set bits strictly before position i: the offset of the
+     * value for position i inside the fiber's value array. This is what
+     * the prefix-sum circuits compute in hardware.
+     */
+    std::size_t rank(std::size_t i) const;
+
+    /** Bitwise AND; both masks must be the same length. */
+    Bitmask operator&(const Bitmask& other) const;
+
+    bool operator==(const Bitmask& other) const = default;
+
+    /** Any bit set? */
+    bool any() const;
+
+    /** Invoke fn(position) for every set bit, in increasing order. */
+    template <typename Fn>
+    void
+    forEachSet(Fn&& fn) const
+    {
+        for (std::size_t w = 0; w < words_.size(); ++w) {
+            std::uint64_t word = words_[w];
+            while (word) {
+                const int bit = __builtin_ctzll(word);
+                fn(w * kWordBits + static_cast<std::size_t>(bit));
+                word &= word - 1;
+            }
+        }
+    }
+
+    /** Set bits in a sub-range [lo, hi) collected into a vector. */
+    std::vector<std::uint32_t> setBitsInRange(std::size_t lo,
+                                              std::size_t hi) const;
+
+    /** Popcount of the sub-range [lo, hi). */
+    std::size_t popcountRange(std::size_t lo, std::size_t hi) const;
+
+    /** Raw storage (little-endian bit order within each word). */
+    const std::vector<std::uint64_t>& words() const { return words_; }
+
+    /** Bytes needed to store this mask in memory (ceil(size/8)). */
+    std::size_t storageBytes() const { return (size_ + 7) / 8; }
+
+  private:
+    std::size_t size_;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace loas

@@ -1,0 +1,67 @@
+#include "tensor/csr.hh"
+
+#include "common/bitutil.hh"
+
+namespace loas {
+
+CsrMatrix
+CsrMatrix::fromDense(const DenseMatrix<std::int32_t>& dense)
+{
+    CsrMatrix out;
+    out.rows = dense.rows();
+    out.cols = dense.cols();
+    out.row_ptr.reserve(out.rows + 1);
+    out.row_ptr.push_back(0);
+    for (std::size_t r = 0; r < dense.rows(); ++r) {
+        for (std::size_t c = 0; c < dense.cols(); ++c) {
+            const std::int32_t v = dense(r, c);
+            if (v != 0) {
+                out.col_idx.push_back(static_cast<std::uint32_t>(c));
+                out.values.push_back(v);
+            }
+        }
+        out.row_ptr.push_back(static_cast<std::uint32_t>(out.nnz()));
+    }
+    return out;
+}
+
+CsrMatrix
+CsrMatrix::fromSpikes(const SpikeTensor& spikes, int t)
+{
+    CsrMatrix out;
+    out.rows = spikes.rows();
+    out.cols = spikes.cols();
+    out.row_ptr.reserve(out.rows + 1);
+    out.row_ptr.push_back(0);
+    for (std::size_t r = 0; r < spikes.rows(); ++r) {
+        for (std::size_t c = 0; c < spikes.cols(); ++c) {
+            if (spikes.spike(r, c, t)) {
+                out.col_idx.push_back(static_cast<std::uint32_t>(c));
+                out.values.push_back(1);
+            }
+        }
+        out.row_ptr.push_back(static_cast<std::uint32_t>(out.nnz()));
+    }
+    return out;
+}
+
+DenseMatrix<std::int32_t>
+CsrMatrix::toDense() const
+{
+    DenseMatrix<std::int32_t> out(rows, cols, 0);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::uint32_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i)
+            out(r, col_idx[i]) = values[i];
+    }
+    return out;
+}
+
+std::size_t
+CsrMatrix::storageBytes(int coord_bits, int value_bits) const
+{
+    const std::size_t payload_bits =
+        nnz() * static_cast<std::size_t>(coord_bits + value_bits);
+    return ceilDiv<std::size_t>(payload_bits, 8) + 4 * (rows + 1);
+}
+
+} // namespace loas

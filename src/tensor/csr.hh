@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Compressed sparse row/column matrices. The conventional ANN compression
+ * format the paper contrasts against (Section II-D): multi-bit coordinates
+ * per non-zero. GoSPA-style baselines store spikes this way, one CSR
+ * structure per timestep.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/dense_matrix.hh"
+#include "tensor/spike_tensor.hh"
+
+namespace loas {
+
+/** CSR matrix with 32-bit coordinates and int32 values. */
+struct CsrMatrix
+{
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::vector<std::uint32_t> row_ptr; // rows + 1 entries
+    std::vector<std::uint32_t> col_idx; // nnz entries
+    std::vector<std::int32_t> values;   // nnz entries
+
+    std::size_t nnz() const { return col_idx.size(); }
+
+    /** Build from a dense matrix, dropping zeros. */
+    static CsrMatrix fromDense(const DenseMatrix<std::int32_t>& dense);
+
+    /**
+     * Build the CSR view of one timestep slice of a spike tensor
+     * (values are all 1): how an ANN spMspM accelerator would have to
+     * store SNN spikes with per-spike coordinates.
+     */
+    static CsrMatrix fromSpikes(const SpikeTensor& spikes, int t);
+
+    /** Reconstruct the dense matrix (for round-trip tests). */
+    DenseMatrix<std::int32_t> toDense() const;
+
+    /**
+     * Storage footprint in bytes given a coordinate width in bits
+     * (e.g. log2(cols)) and a value width in bits. Row pointers cost
+     * 4 bytes per row. This is what the traffic model charges for
+     * CSR-compressed operands.
+     */
+    std::size_t storageBytes(int coord_bits, int value_bits) const;
+};
+
+} // namespace loas

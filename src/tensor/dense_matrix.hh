@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Row-major dense matrix. Weight matrices B (int8 values widened where
+ * convenient) and accumulator matrices O (int32) use this type.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace loas {
+
+/** Simple row-major dense matrix with bounds-checked element access. */
+template <typename T>
+class DenseMatrix
+{
+  public:
+    DenseMatrix() : rows_(0), cols_(0) {}
+
+    /** Create a rows x cols matrix initialized to `fill`. */
+    DenseMatrix(std::size_t rows, std::size_t cols, T fill = T{})
+        : rows_(rows), cols_(cols), data_(rows * cols, fill)
+    {
+    }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    T&
+    at(std::size_t r, std::size_t c)
+    {
+        checkIndex(r, c);
+        return data_[r * cols_ + c];
+    }
+
+    const T&
+    at(std::size_t r, std::size_t c) const
+    {
+        checkIndex(r, c);
+        return data_[r * cols_ + c];
+    }
+
+    /** Unchecked access for hot loops. */
+    T& operator()(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+    const T& operator()(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    const std::vector<T>& data() const { return data_; }
+    std::vector<T>& data() { return data_; }
+
+    /** Count of entries equal to zero. */
+    std::size_t
+    zeroCount() const
+    {
+        std::size_t count = 0;
+        for (const auto& v : data_)
+            if (v == T{})
+                ++count;
+        return count;
+    }
+
+    /** Fraction of entries equal to zero. */
+    double
+    sparsity() const
+    {
+        if (data_.empty())
+            return 0.0;
+        return static_cast<double>(zeroCount()) /
+               static_cast<double>(data_.size());
+    }
+
+    bool operator==(const DenseMatrix&) const = default;
+
+  private:
+    void
+    checkIndex(std::size_t r, std::size_t c) const
+    {
+        if (r >= rows_ || c >= cols_) {
+            panic("DenseMatrix index (%zu,%zu) out of (%zu,%zu)", r, c,
+                  rows_, cols_);
+        }
+    }
+
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<T> data_;
+};
+
+} // namespace loas

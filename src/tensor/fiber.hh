@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Compressed fibers: the paper's FTP-friendly compression format
+ * (Section IV-A, Fig. 8). A fiber is one row of A (or one column of B)
+ * stored as a bitmask of non-zero positions followed by the packed
+ * non-zero values.
+ *
+ * For spike fibers the stored values are packed temporal words (T bits
+ * per non-silent neuron); silent neurons (zero at every timestep) are not
+ * stored at all. For weight fibers the values are int8 weights.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/bitmask.hh"
+#include "tensor/spike_tensor.hh"
+
+namespace loas {
+
+/** Compressed row of the spike tensor A, packed across timesteps. */
+struct SpikeFiber
+{
+    /** One bit per pre-synaptic neuron: 1 = non-silent (value stored). */
+    Bitmask mask;
+    /** Packed temporal words of the non-silent neurons, in order. */
+    std::vector<TimeWord> values;
+
+    /** Number of stored (non-silent) neurons. */
+    std::size_t nnz() const { return values.size(); }
+
+    /**
+     * Memory footprint in bytes: bitmask + pointer + T bits per stored
+     * value, rounded up per fiber. `timesteps` selects the value width.
+     */
+    std::size_t
+    storageBytes(int timesteps) const
+    {
+        const std::size_t value_bits =
+            values.size() * static_cast<std::size_t>(timesteps);
+        return mask.storageBytes() + kPointerBytes + (value_bits + 7) / 8;
+    }
+
+    /** Bytes of metadata (bitmask + pointer) only. */
+    std::size_t
+    metadataBytes() const
+    {
+        return mask.storageBytes() + kPointerBytes;
+    }
+
+    /** Row pointer stored alongside the bitmask (Fig. 8). */
+    static constexpr std::size_t kPointerBytes = 4;
+};
+
+/** Compressed column (or row) of the weight matrix B. */
+struct WeightFiber
+{
+    /** One bit per position: 1 = non-zero weight stored. */
+    Bitmask mask;
+    /** Non-zero weights, int8 widened for arithmetic convenience. */
+    std::vector<std::int32_t> values;
+
+    std::size_t nnz() const { return values.size(); }
+
+    /** Memory footprint in bytes (bitmask + pointer + 1 B per weight). */
+    std::size_t
+    storageBytes() const
+    {
+        return mask.storageBytes() + SpikeFiber::kPointerBytes +
+               values.size();
+    }
+
+    std::size_t
+    metadataBytes() const
+    {
+        return mask.storageBytes() + SpikeFiber::kPointerBytes;
+    }
+};
+
+} // namespace loas

@@ -1,0 +1,81 @@
+#include "train/dataset.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace loas {
+
+Dataset
+makeClusterDataset(std::size_t samples, std::size_t features, int classes,
+                   double noise, std::uint64_t seed)
+{
+    if (classes < 2)
+        fatal("dataset needs at least 2 classes, got %d", classes);
+    Rng rng(seed);
+
+    // Random cluster centers, normalized onto the unit sphere so class
+    // separation is controlled by `noise` alone.
+    DenseMatrix<float> centers(static_cast<std::size_t>(classes),
+                               features, 0.0f);
+    for (int c = 0; c < classes; ++c) {
+        double norm = 0.0;
+        for (std::size_t f = 0; f < features; ++f) {
+            const double v = rng.normal();
+            centers(static_cast<std::size_t>(c), f) =
+                static_cast<float>(v);
+            norm += v * v;
+        }
+        norm = std::sqrt(norm);
+        for (std::size_t f = 0; f < features; ++f)
+            centers(static_cast<std::size_t>(c), f) /=
+                static_cast<float>(norm);
+    }
+
+    Dataset data;
+    data.x = DenseMatrix<float>(samples, features, 0.0f);
+    data.y.resize(samples);
+    data.features = features;
+    data.classes = classes;
+    for (std::size_t s = 0; s < samples; ++s) {
+        const int label = static_cast<int>(
+            rng.uniformInt(static_cast<std::uint64_t>(classes)));
+        data.y[s] = label;
+        for (std::size_t f = 0; f < features; ++f) {
+            data.x(s, f) =
+                centers(static_cast<std::size_t>(label), f) +
+                static_cast<float>(rng.normal(0.0, noise));
+        }
+    }
+    return data;
+}
+
+std::pair<Dataset, Dataset>
+splitDataset(const Dataset& data, double train_fraction)
+{
+    const std::size_t train_count = static_cast<std::size_t>(
+        static_cast<double>(data.size()) * train_fraction);
+    Dataset train, test;
+    train.features = test.features = data.features;
+    train.classes = test.classes = data.classes;
+    const std::size_t test_count = data.size() - train_count;
+    train.x = DenseMatrix<float>(train_count, data.features, 0.0f);
+    test.x = DenseMatrix<float>(test_count, data.features, 0.0f);
+    train.y.resize(train_count);
+    test.y.resize(test_count);
+    for (std::size_t s = 0; s < data.size(); ++s) {
+        if (s < train_count) {
+            for (std::size_t f = 0; f < data.features; ++f)
+                train.x(s, f) = data.x(s, f);
+            train.y[s] = data.y[s];
+        } else {
+            for (std::size_t f = 0; f < data.features; ++f)
+                test.x(s - train_count, f) = data.x(s, f);
+            test.y[s - train_count] = data.y[s];
+        }
+    }
+    return {train, test};
+}
+
+} // namespace loas

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Synthetic classification dataset for the training substrate: Gaussian
+ * clusters with random centers, standing in for the paper's CIFAR
+ * images (see DESIGN.md, Substitutions - Fig. 11's claim is a trend,
+ * not an absolute accuracy).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/dense_matrix.hh"
+
+namespace loas {
+
+/** A labeled dataset of real-valued feature vectors. */
+struct Dataset
+{
+    DenseMatrix<float> x; // samples x features
+    std::vector<int> y;   // class labels
+    std::size_t features = 0;
+    int classes = 0;
+
+    std::size_t size() const { return y.size(); }
+};
+
+/**
+ * Draw `samples` points from `classes` Gaussian clusters with random
+ * unit-ball centers and the given within-cluster noise.
+ */
+Dataset makeClusterDataset(std::size_t samples, std::size_t features,
+                           int classes, double noise, std::uint64_t seed);
+
+/** Split a dataset into train/test halves (front/back split). */
+std::pair<Dataset, Dataset> splitDataset(const Dataset& data,
+                                         double train_fraction);
+
+} // namespace loas

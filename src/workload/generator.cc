@@ -1,0 +1,180 @@
+#include "workload/generator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace loas {
+
+namespace {
+
+/** Binomial pmf table for n trials with success probability p. */
+std::vector<double>
+binomialPmf(double p, int n)
+{
+    std::vector<double> pmf(static_cast<std::size_t>(n) + 1);
+    const double q = 1.0 - p;
+    // pmf[c] = C(n, c) p^c q^(n-c), built incrementally.
+    double value = std::pow(q, n);
+    pmf[0] = value;
+    for (int c = 1; c <= n; ++c) {
+        value *= (static_cast<double>(n - c + 1) / c) * (p / q);
+        pmf[static_cast<std::size_t>(c)] = value;
+    }
+    return pmf;
+}
+
+/** Sample one packed word with >= min_spikes bits set. */
+TimeWord
+sampleActiveWord(Rng& rng, double p, int t, int min_spikes)
+{
+    for (int attempt = 0; attempt < 10000; ++attempt) {
+        TimeWord w = 0;
+        for (int bit = 0; bit < t; ++bit)
+            if (rng.bernoulli(p))
+                w |= (TimeWord{1} << bit);
+        if (popcount64(w) >= min_spikes)
+            return w;
+    }
+    // Probability mass below min_spikes is overwhelming; force the
+    // minimum pattern rather than looping forever.
+    TimeWord w = 0;
+    for (int bit = 0; bit < min_spikes; ++bit)
+        w |= (TimeWord{1} << rng.uniformInt(static_cast<std::uint64_t>(t)));
+    while (popcount64(w) < min_spikes)
+        w |= (TimeWord{1} << rng.uniformInt(static_cast<std::uint64_t>(t)));
+    return w;
+}
+
+std::int8_t
+sampleNonzeroWeight(Rng& rng)
+{
+    const int magnitude = 1 + static_cast<int>(rng.uniformInt(127));
+    return static_cast<std::int8_t>(rng.bernoulli(0.5) ? magnitude
+                                                       : -magnitude);
+}
+
+} // namespace
+
+double
+truncatedBinomialMean(double p, int t, int min_spikes)
+{
+    if (p <= 0.0)
+        return static_cast<double>(min_spikes);
+    if (p >= 1.0)
+        return static_cast<double>(t);
+    const auto pmf = binomialPmf(p, t);
+    double mass = 0.0;
+    double mean = 0.0;
+    for (int c = min_spikes; c <= t; ++c) {
+        mass += pmf[static_cast<std::size_t>(c)];
+        mean += c * pmf[static_cast<std::size_t>(c)];
+    }
+    if (mass <= 0.0)
+        return static_cast<double>(min_spikes);
+    return mean / mass;
+}
+
+double
+solveFiringProbability(double target_mean, int t, int min_spikes)
+{
+    if (min_spikes > t)
+        panic("min_spikes %d > timesteps %d", min_spikes, t);
+    const double lo_mean = truncatedBinomialMean(1e-9, t, min_spikes);
+    const double hi_mean = static_cast<double>(t);
+    const double target = std::clamp(target_mean, lo_mean, hi_mean);
+    if (target >= hi_mean - 1e-9)
+        return 1.0;
+    double lo = 1e-9;
+    double hi = 1.0 - 1e-9;
+    for (int iter = 0; iter < 100; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (truncatedBinomialMean(mid, t, min_spikes) < target)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+LayerData
+generateLayer(const LayerSpec& spec, std::uint64_t seed, bool ft)
+{
+    if (spec.t < 1 || spec.t > kMaxTimesteps)
+        fatal("layer '%s': unsupported timestep count %d",
+              spec.name.c_str(), spec.t);
+
+    Rng rng(seed ^ 0x5bd1e995u);
+    LayerData data{spec, SpikeTensor(spec.m, spec.k, spec.t),
+                   DenseMatrix<std::int8_t>(spec.k, spec.n, 0)};
+
+    const double silent =
+        std::clamp(ft ? spec.silent_ratio_ft : spec.silent_ratio, 0.0, 1.0);
+    const int min_spikes = ft ? std::min(2, spec.t) : 1;
+    const double d0 = 1.0 - spec.spike_sparsity;
+
+    double p = 0.0;
+    if (silent < 1.0) {
+        const double mean_spikes =
+            d0 * static_cast<double>(spec.t) / (1.0 - silent);
+        p = solveFiringProbability(mean_spikes, spec.t, min_spikes);
+    }
+
+    for (std::size_t m = 0; m < spec.m; ++m) {
+        for (std::size_t k = 0; k < spec.k; ++k) {
+            if (silent >= 1.0 || rng.bernoulli(silent))
+                continue;
+            data.spikes.setWord(m, k,
+                                sampleActiveWord(rng, p, spec.t,
+                                                 min_spikes));
+        }
+    }
+
+    const double weight_density = 1.0 - spec.weight_sparsity;
+    for (std::size_t k = 0; k < spec.k; ++k)
+        for (std::size_t n = 0; n < spec.n; ++n)
+            if (rng.bernoulli(weight_density))
+                data.weights(k, n) = sampleNonzeroWeight(rng);
+
+    return data;
+}
+
+std::vector<LayerData>
+generateNetwork(const NetworkSpec& net, std::uint64_t seed, bool ft)
+{
+    std::vector<LayerData> layers;
+    layers.reserve(net.layers.size());
+    for (std::size_t l = 0; l < net.layers.size(); ++l) {
+        const std::uint64_t layer_seed =
+            seed + 0x9e3779b97f4a7c15ull * (l + 1);
+        layers.push_back(generateLayer(net.layers[l], layer_seed, ft));
+    }
+    return layers;
+}
+
+AnnLayerData
+generateAnnLayer(const LayerSpec& spec, std::uint64_t seed)
+{
+    Rng rng(seed ^ 0xcafef00du);
+    AnnLayerData data{spec, DenseMatrix<std::int8_t>(spec.m, spec.k, 0),
+                      DenseMatrix<std::int8_t>(spec.k, spec.n, 0)};
+    const double act_density = 1.0 - spec.spike_sparsity;
+    for (std::size_t m = 0; m < spec.m; ++m)
+        for (std::size_t k = 0; k < spec.k; ++k)
+            if (rng.bernoulli(act_density)) {
+                // ReLU outputs: positive activations only.
+                data.acts(m, k) =
+                    static_cast<std::int8_t>(1 + rng.uniformInt(127));
+            }
+    const double weight_density = 1.0 - spec.weight_sparsity;
+    for (std::size_t k = 0; k < spec.k; ++k)
+        for (std::size_t n = 0; n < spec.n; ++n)
+            if (rng.bernoulli(weight_density))
+                data.weights(k, n) = sampleNonzeroWeight(rng);
+    return data;
+}
+
+} // namespace loas

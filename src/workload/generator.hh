@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Synthetic dual-sparse workload synthesis. Given a LayerSpec, produce a
+ * spike tensor and weight matrix whose measured statistics match the
+ * spec's Table II columns: origin bit sparsity, silent-neuron ratio
+ * (with or without fine-tuned preprocessing) and weight sparsity.
+ *
+ * The accelerators under study are data-structure-driven: cycle counts
+ * and traffic depend only on the non-zero structure, which these
+ * statistics determine, so calibrated synthesis stands in for the
+ * paper's trained-and-pruned checkpoints (see DESIGN.md, Substitutions).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/dense_matrix.hh"
+#include "tensor/spike_tensor.hh"
+#include "workload/layer_spec.hh"
+
+namespace loas {
+
+/** Concrete data for one SNN layer. */
+struct LayerData
+{
+    LayerSpec spec;
+    SpikeTensor spikes;                 // A: M x K x T
+    DenseMatrix<std::int8_t> weights;   // B: K x N
+};
+
+/** Concrete data for one ANN layer (Fig. 18 comparisons). */
+struct AnnLayerData
+{
+    LayerSpec spec;                     // t is 1; spike_sparsity is the
+                                        // activation sparsity
+    DenseMatrix<std::int8_t> acts;      // M x K, int8 activations
+    DenseMatrix<std::int8_t> weights;   // K x N
+};
+
+/**
+ * Generate one layer. With `ft` set, the fine-tuned-preprocessing
+ * statistics are used: the silent ratio rises to spec.silent_ratio_ft
+ * and every remaining active neuron fires at least twice (single-spike
+ * neurons are exactly what preprocessing masks).
+ */
+LayerData generateLayer(const LayerSpec& spec, std::uint64_t seed,
+                        bool ft = false);
+
+/** Generate every layer of a network (seed is diversified per layer). */
+std::vector<LayerData> generateNetwork(const NetworkSpec& net,
+                                       std::uint64_t seed, bool ft = false);
+
+/** Generate an int8 ANN layer with the spec's activation sparsity. */
+AnnLayerData generateAnnLayer(const LayerSpec& spec, std::uint64_t seed);
+
+/**
+ * Mean of a binomial(t, p) conditioned on at least `min_spikes`
+ * successes. Exposed for the calibration tests.
+ */
+double truncatedBinomialMean(double p, int t, int min_spikes);
+
+/**
+ * Solve the per-timestep firing probability p such that the truncated
+ * binomial mean equals `target_mean` (clamped to the reachable range).
+ */
+double solveFiringProbability(double target_mean, int t, int min_spikes);
+
+} // namespace loas

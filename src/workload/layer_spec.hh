@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Workload descriptions: per-layer GEMM shape plus the Table II sparsity
+ * statistics that fully determine the non-zero structure the accelerator
+ * simulators observe.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace loas {
+
+/** One SNN layer lowered to a GEMM: A (M x K x T) times B (K x N). */
+struct LayerSpec
+{
+    std::string name;
+
+    int t = 4;          // timesteps
+    std::size_t m = 0;  // output spatial positions
+    std::size_t n = 0;  // output channels
+    std::size_t k = 0;  // reduction (input channels x kernel)
+
+    /** AvSpA-origin: fraction of zero bits in A across all timesteps. */
+    double spike_sparsity = 0.0;
+    /** AvSpA-packed: fraction of silent neurons. */
+    double silent_ratio = 0.0;
+    /** AvSpA-packed(+FT): silent fraction after fine-tuned preprocessing. */
+    double silent_ratio_ft = 0.0;
+    /** AvSpB: fraction of zero weights in B. */
+    double weight_sparsity = 0.0;
+
+    /** Total output neurons M*N (per timestep). */
+    std::size_t outputs() const { return m * n; }
+
+    /** Dense multiply-accumulate count per timestep (M*N*K). */
+    std::size_t denseMacs() const { return m * n * k; }
+};
+
+/** A multi-layer network workload. */
+struct NetworkSpec
+{
+    std::string name;
+    std::vector<LayerSpec> layers;
+
+    /** Unweighted layer averages, matching Table II's reporting. */
+    double avgSpikeSparsity() const;
+    double avgSilentRatio() const;
+    double avgSilentRatioFt() const;
+    double avgWeightSparsity() const;
+};
+
+} // namespace loas

@@ -1,0 +1,349 @@
+#include "workload/networks.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace loas {
+
+namespace {
+
+double
+layerAverage(const std::vector<LayerSpec>& layers,
+             double LayerSpec::*field)
+{
+    double sum = 0.0;
+    for (const auto& layer : layers)
+        sum += layer.*field;
+    return layers.empty() ? 0.0 : sum / static_cast<double>(layers.size());
+}
+
+} // namespace
+
+double
+NetworkSpec::avgSpikeSparsity() const
+{
+    return layerAverage(layers, &LayerSpec::spike_sparsity);
+}
+
+double
+NetworkSpec::avgSilentRatio() const
+{
+    return layerAverage(layers, &LayerSpec::silent_ratio);
+}
+
+double
+NetworkSpec::avgSilentRatioFt() const
+{
+    return layerAverage(layers, &LayerSpec::silent_ratio_ft);
+}
+
+double
+NetworkSpec::avgWeightSparsity() const
+{
+    return layerAverage(layers, &LayerSpec::weight_sparsity);
+}
+
+namespace tables {
+namespace {
+
+constexpr int kTimesteps = 4;
+
+/** GEMM shape of one reconstructed layer. */
+struct ShapeRow
+{
+    std::size_t m, n, k;
+};
+
+/** Network-average targets from Table II (fractions, not percent). */
+struct NetworkTargets
+{
+    double origin;    // AvSpA-origin
+    double silent;    // AvSpA-packed
+    double silent_ft; // AvSpA-packed(+FT)
+    double weight;    // AvSpB
+};
+
+/**
+ * Build a full network around one pinned (published) layer. Non-pinned
+ * origin sparsities ramp linearly with depth and are shifted so the
+ * unweighted averages reproduce Table II exactly; silent ratios follow
+ * from a single network-wide mean-spikes-per-active-neuron constant
+ * solved from the silent-average target (see DESIGN.md section 6).
+ */
+NetworkSpec
+buildNetwork(const std::string& name, const std::vector<ShapeRow>& shapes,
+             std::size_t pinned_index, const LayerSpec& pinned,
+             const NetworkTargets& targets, double ramp_lo, double ramp_hi)
+{
+    const std::size_t nl = shapes.size();
+    if (pinned_index >= nl)
+        panic("pinned index %zu outside %zu layers", pinned_index, nl);
+    const double nl_d = static_cast<double>(nl);
+    const double np_d = nl_d - 1.0;
+
+    // Linear origin-sparsity ramp over non-pinned layers, then a uniform
+    // shift so the layer average (including the pinned layer) matches.
+    std::vector<double> origin(nl, 0.0);
+    {
+        std::size_t idx = 0;
+        for (std::size_t l = 0; l < nl; ++l) {
+            if (l == pinned_index)
+                continue;
+            const double frac =
+                np_d > 1 ? static_cast<double>(idx) / (np_d - 1.0) : 0.0;
+            origin[l] = ramp_lo + (ramp_hi - ramp_lo) * frac;
+            ++idx;
+        }
+        double sum_np = 0.0;
+        for (std::size_t l = 0; l < nl; ++l)
+            if (l != pinned_index)
+                sum_np += origin[l];
+        const double target_np =
+            targets.origin * nl_d - pinned.spike_sparsity;
+        const double shift = (target_np - sum_np) / np_d;
+        for (std::size_t l = 0; l < nl; ++l)
+            if (l != pinned_index)
+                origin[l] += shift;
+    }
+
+    // Solve the network mean-spikes-per-active-neuron mu so the silent
+    // average matches: silent_l = 1 - d0_l * T / mu.
+    auto solve_mu = [&](double silent_avg, double pinned_silent) {
+        double sum_d0 = 0.0;
+        for (std::size_t l = 0; l < nl; ++l)
+            if (l != pinned_index)
+                sum_d0 += 1.0 - origin[l];
+        const double denom = np_d - silent_avg * nl_d + pinned_silent;
+        if (denom <= 0.0)
+            panic("%s: infeasible silent-average target", name.c_str());
+        return kTimesteps * sum_d0 / denom;
+    };
+    const double mu = solve_mu(targets.silent, pinned.silent_ratio);
+    const double mu_ft = solve_mu(targets.silent_ft, pinned.silent_ratio_ft);
+    if (mu < 1.02 || mu > kTimesteps || mu_ft < 2.02 || mu_ft > kTimesteps) {
+        panic("%s: solved mu=%.3f mu_ft=%.3f outside feasible range",
+              name.c_str(), mu, mu_ft);
+    }
+
+    // Uniform weight sparsity on non-pinned layers.
+    const double weight_np =
+        (targets.weight * nl_d - pinned.weight_sparsity) / np_d;
+
+    NetworkSpec net;
+    net.name = name;
+    for (std::size_t l = 0; l < nl; ++l) {
+        if (l == pinned_index) {
+            net.layers.push_back(pinned);
+            continue;
+        }
+        LayerSpec spec;
+        spec.name = name + "-L" + std::to_string(l + 1);
+        spec.t = kTimesteps;
+        spec.m = shapes[l].m;
+        spec.n = shapes[l].n;
+        spec.k = shapes[l].k;
+        spec.spike_sparsity = origin[l];
+        const double d0 = 1.0 - origin[l];
+        spec.silent_ratio = 1.0 - d0 * kTimesteps / mu;
+        spec.silent_ratio_ft = 1.0 - d0 * kTimesteps / mu_ft;
+        spec.weight_sparsity = weight_np;
+        if (spec.silent_ratio <= 0.0 || spec.silent_ratio_ft <= 0.0)
+            panic("%s layer %zu: infeasible silent ratio", name.c_str(), l);
+        net.layers.push_back(spec);
+    }
+    return net;
+}
+
+LayerSpec
+makeSpec(const std::string& name, int t, std::size_t m, std::size_t n,
+         std::size_t k, double origin, double silent, double silent_ft,
+         double weight)
+{
+    LayerSpec spec;
+    spec.name = name;
+    spec.t = t;
+    spec.m = m;
+    spec.n = n;
+    spec.k = k;
+    spec.spike_sparsity = origin;
+    spec.silent_ratio = silent;
+    spec.silent_ratio_ft = silent_ft;
+    spec.weight_sparsity = weight;
+    return spec;
+}
+
+} // namespace
+
+LayerSpec
+alexnetL4()
+{
+    // Table II: A-L4 = (T=4, M=64, N=256, K=3456), 75.8 / 63.2(69.7) / 98.9
+    return makeSpec("A-L4", 4, 64, 256, 3456, 0.758, 0.632, 0.697, 0.989);
+}
+
+LayerSpec
+vgg16L8()
+{
+    // Table II: V-L8 = (T=4, M=16, N=512, K=2304), 88.1 / 76.5(86.8) / 96.8
+    return makeSpec("V-L8", 4, 16, 512, 2304, 0.881, 0.765, 0.868, 0.968);
+}
+
+LayerSpec
+resnet19L19()
+{
+    // Table II: R-L19 = (T=4, M=16, N=512, K=2304), 57.9 / 51.4(55.7) / 99.1
+    return makeSpec("R-L19", 4, 16, 512, 2304, 0.579, 0.514, 0.557, 0.991);
+}
+
+LayerSpec
+transformerHff()
+{
+    // Table II: T-HFF = (T=4, M=784, N=3072, K=3072), -(86.8) / 96.8.
+    // Origin and non-FT silent ratio are not published; we use values
+    // consistent with the published FT density (see DESIGN.md).
+    return makeSpec("T-HFF", 4, 784, 3072, 3072, 0.880, 0.800, 0.868,
+                    0.968);
+}
+
+LayerSpec
+alexnetL1()
+{
+    return alexnet().layers.at(0);
+}
+
+LayerSpec
+vgg16EarlyL8()
+{
+    return vgg16L8();
+}
+
+LayerSpec
+resnet19L8()
+{
+    return resnet19().layers.at(7);
+}
+
+NetworkSpec
+alexnet()
+{
+    // CIFAR AlexNet: 5 conv + 2 FC. Conv4 is the published A-L4.
+    const std::vector<ShapeRow> shapes = {
+        {1024, 96, 27},   // conv1 3x3x3 -> 96 @ 32x32
+        {256, 256, 864},  // conv2 3x3x96 -> 256 @ 16x16
+        {64, 384, 2304},  // conv3 3x3x256 -> 384 @ 8x8
+        {64, 256, 3456},  // conv4 3x3x384 -> 256 @ 8x8 (= A-L4)
+        {64, 256, 2304},  // conv5 3x3x256 -> 256 @ 8x8
+        {1, 1024, 4096},  // fc1 256*4*4 -> 1024
+        {1, 10, 1024},    // fc2 1024 -> 10
+    };
+    return buildNetwork("AlexNet", shapes, 3, alexnetL4(),
+                        {0.812, 0.713, 0.767, 0.982}, 0.74, 0.90);
+}
+
+NetworkSpec
+vgg16()
+{
+    // CIFAR VGG16: 13 conv + 1 FC. Conv4_1 (layer 8) is V-L8.
+    const std::vector<ShapeRow> shapes = {
+        {1024, 64, 27},   // conv1_1
+        {1024, 64, 576},  // conv1_2
+        {256, 128, 576},  // conv2_1
+        {256, 128, 1152}, // conv2_2
+        {64, 256, 1152},  // conv3_1
+        {64, 256, 2304},  // conv3_2
+        {64, 256, 2304},  // conv3_3
+        {16, 512, 2304},  // conv4_1 (= V-L8)
+        {16, 512, 4608},  // conv4_2
+        {16, 512, 4608},  // conv4_3
+        {4, 512, 4608},   // conv5_1
+        {4, 512, 4608},   // conv5_2
+        {4, 512, 4608},   // conv5_3
+        {1, 10, 512},     // fc
+    };
+    return buildNetwork("VGG16", shapes, 7, vgg16L8(),
+                        {0.823, 0.741, 0.796, 0.982}, 0.72, 0.88);
+}
+
+NetworkSpec
+resnet19()
+{
+    // CIFAR ResNet19 (stem + 16 block convs + transition conv + FC).
+    // The published R-L19 shape (16, 512, 2304) is the 256->512
+    // transition conv at 4x4.
+    const std::vector<ShapeRow> shapes = {
+        {1024, 64, 27},   // stem
+        {1024, 64, 576},  {1024, 64, 576},  {1024, 64, 576},
+        {1024, 64, 576},  {1024, 64, 576},  {1024, 64, 576},
+        {256, 128, 576},  // downsample entry
+        {256, 128, 1152}, {256, 128, 1152}, {256, 128, 1152},
+        {256, 128, 1152}, {256, 128, 1152},
+        {64, 256, 1152},  // stage 3 entry
+        {64, 256, 2304},  {64, 256, 2304},  {64, 256, 2304},
+        {16, 512, 2304},  // transition conv (= R-L19)
+        {1, 10, 512},     // fc
+    };
+    return buildNetwork("ResNet19", shapes, 17, resnet19L19(),
+                        {0.686, 0.596, 0.661, 0.968}, 0.60, 0.77);
+}
+
+std::vector<NetworkSpec>
+allNetworks()
+{
+    return {alexnet(), vgg16(), resnet19()};
+}
+
+LayerSpec
+vgg16L8WithWeightSparsity(double weight_sparsity, int timesteps)
+{
+    LayerSpec spec = vgg16L8();
+    spec.weight_sparsity = weight_sparsity;
+    if (timesteps != spec.t)
+        spec = withTimesteps(spec, timesteps);
+    return spec;
+}
+
+LayerSpec
+withTimesteps(const LayerSpec& source, int timesteps)
+{
+    // Behavioral fit of Fig. 16(b): holding the per-timestep firing rate,
+    // a fraction of the T=4-silent population is truly dead and stays
+    // silent at any T; the rest fires at a low residual rate and leaks
+    // out of the silent set as T grows. FT preprocessing re-silences
+    // most of the leakage (single-spike neurons), so its silent ratio
+    // decays much more slowly.
+    constexpr double kDeadFraction = 0.75;
+    constexpr double kResidualQuiet = 0.93; // per-step stay-quiet prob
+    constexpr double kDeadFractionFt = 0.92;
+
+    LayerSpec spec = source;
+    spec.name = source.name + "-T" + std::to_string(timesteps);
+    spec.t = timesteps;
+    const double extra = static_cast<double>(timesteps - source.t);
+    if (timesteps > source.t) {
+        const double decay = std::pow(kResidualQuiet, extra);
+        spec.silent_ratio = source.silent_ratio *
+                            (kDeadFraction + (1.0 - kDeadFraction) * decay);
+        spec.silent_ratio_ft =
+            source.silent_ratio_ft *
+            (kDeadFractionFt + (1.0 - kDeadFractionFt) * decay);
+    } else if (timesteps == 1) {
+        // With a single timestep every neuron is one bit: the silent
+        // ratio degenerates to the origin bit sparsity.
+        spec.silent_ratio = source.spike_sparsity;
+        spec.silent_ratio_ft = source.spike_sparsity;
+    } else if (timesteps < source.t) {
+        // Shrinking T moves the silent ratio toward the bit sparsity.
+        const double w = static_cast<double>(timesteps - 1) /
+                         static_cast<double>(source.t - 1);
+        spec.silent_ratio = source.spike_sparsity +
+                            (source.silent_ratio - source.spike_sparsity) * w;
+        spec.silent_ratio_ft =
+            source.spike_sparsity +
+            (source.silent_ratio_ft - source.spike_sparsity) * w;
+    }
+    return spec;
+}
+
+} // namespace tables
+} // namespace loas

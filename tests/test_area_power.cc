@@ -1,0 +1,111 @@
+/** @file Tests for the Table IV area/power model and its T-scaling. */
+
+#include <gtest/gtest.h>
+
+#include "energy/area_power.hh"
+
+namespace loas {
+namespace {
+
+TEST(TppeAreaPower, ReproducesTable4AtT4)
+{
+    const TppeAreaPower tppe(4);
+    const auto total = tppe.total();
+    EXPECT_NEAR(total.area_mm2, 0.06, 0.002);
+    EXPECT_NEAR(total.power_mw, 2.82, 0.05);
+
+    // Per-component values of Table IV (right).
+    for (const auto& c : tppe.components()) {
+        if (c.name == "Accumulators") {
+            EXPECT_NEAR(c.area_mm2, 2e-3, 2e-4);
+            EXPECT_NEAR(c.power_mw, 0.16, 0.01);
+        } else if (c.name == "Fast Prefix") {
+            EXPECT_NEAR(c.area_mm2, 0.04, 1e-3);
+            EXPECT_NEAR(c.power_mw, 1.46, 0.01);
+        } else if (c.name == "Laggy Prefix") {
+            EXPECT_NEAR(c.area_mm2, 5e-3, 5e-4);
+            EXPECT_NEAR(c.power_mw, 0.32, 0.01);
+        }
+    }
+}
+
+TEST(TppeAreaPower, Fig16aScaling)
+{
+    const TppeAreaPower t4(4);
+    const TppeAreaPower t16(16);
+    // Paper: at T=16 the TPPE grows 1.37x in area and 1.25x in power
+    // versus T=4.
+    EXPECT_NEAR(t16.total().area_mm2 / t4.total().area_mm2, 1.37, 0.03);
+    EXPECT_NEAR(t16.total().power_mw / t4.total().power_mw, 1.25, 0.03);
+}
+
+TEST(TppeAreaPower, GrowingFractions)
+{
+    // Fig. 16a: the T-dependent portion is 12.5/22.2/36.3 % of area
+    // and 8.4/15.5/26.8 % of power at T = 4/8/16.
+    EXPECT_NEAR(TppeAreaPower(4).growingAreaFraction(), 0.125, 0.02);
+    EXPECT_NEAR(TppeAreaPower(8).growingAreaFraction(), 0.222, 0.025);
+    EXPECT_NEAR(TppeAreaPower(16).growingAreaFraction(), 0.363, 0.03);
+    EXPECT_NEAR(TppeAreaPower(4).growingPowerFraction(), 0.084, 0.02);
+    EXPECT_NEAR(TppeAreaPower(8).growingPowerFraction(), 0.155, 0.025);
+    EXPECT_NEAR(TppeAreaPower(16).growingPowerFraction(), 0.268, 0.03);
+}
+
+TEST(LoasAreaPower, ReproducesTable4System)
+{
+    const LoasAreaPower system(16, 4);
+    const auto total = system.total();
+    EXPECT_NEAR(total.area_mm2, 2.08, 0.03);
+    EXPECT_NEAR(total.power_mw, 188.9, 2.0);
+    for (const auto& c : system.components()) {
+        if (c.name == "TPPEs") {
+            EXPECT_NEAR(c.area_mm2, 0.96, 0.02);
+            EXPECT_NEAR(c.power_mw, 45.1, 0.5);
+        } else if (c.name == "P-LIFs") {
+            EXPECT_NEAR(c.area_mm2, 0.02, 0.005);
+            EXPECT_NEAR(c.power_mw, 1.2, 0.05);
+        } else if (c.name == "Global cache") {
+            EXPECT_NEAR(c.area_mm2, 0.80, 0.01);
+            EXPECT_NEAR(c.power_mw, 124.5, 0.5);
+        }
+    }
+}
+
+TEST(LoasAreaPower, Fig15PowerFractions)
+{
+    // Fig. 15: global cache ~65.9%, TPPEs ~23.9%, others ~10.2%.
+    const LoasAreaPower system(16, 4);
+    for (const auto& [name, fraction] : system.powerFractions()) {
+        if (name == "Global cache") {
+            EXPECT_NEAR(fraction, 0.659, 0.02);
+        } else if (name == "TPPEs") {
+            EXPECT_NEAR(fraction, 0.239, 0.02);
+        }
+    }
+}
+
+TEST(TppeAreaPower, MonotoneInT)
+{
+    double prev_area = 0.0, prev_power = 0.0;
+    for (const int t : {2, 4, 8, 16, 32}) {
+        const TppeAreaPower tppe(t);
+        EXPECT_GT(tppe.total().area_mm2, prev_area);
+        EXPECT_GT(tppe.total().power_mw, prev_power);
+        prev_area = tppe.total().area_mm2;
+        prev_power = tppe.total().power_mw;
+    }
+}
+
+TEST(TppeAreaPower, FastPrefixDominates)
+{
+    // Fig. 15 right: the fast prefix-sum is ~51.8% of TPPE power.
+    const TppeAreaPower tppe(4);
+    double fast = 0.0;
+    for (const auto& c : tppe.components())
+        if (c.name == "Fast Prefix")
+            fast = c.power_mw;
+    EXPECT_NEAR(fast / tppe.total().power_mw, 0.518, 0.02);
+}
+
+} // namespace
+} // namespace loas

@@ -1,0 +1,156 @@
+/** @file Unit and property tests for the Bitmask. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "tensor/bitmask.hh"
+
+namespace loas {
+namespace {
+
+TEST(Bitmask, StartsEmpty)
+{
+    Bitmask mask(100);
+    EXPECT_EQ(mask.size(), 100u);
+    EXPECT_EQ(mask.popcount(), 0u);
+    EXPECT_FALSE(mask.any());
+}
+
+TEST(Bitmask, SetAndTest)
+{
+    Bitmask mask(130);
+    mask.set(0);
+    mask.set(63);
+    mask.set(64);
+    mask.set(129);
+    EXPECT_TRUE(mask.test(0));
+    EXPECT_TRUE(mask.test(63));
+    EXPECT_TRUE(mask.test(64));
+    EXPECT_TRUE(mask.test(129));
+    EXPECT_FALSE(mask.test(1));
+    EXPECT_EQ(mask.popcount(), 4u);
+    mask.set(63, false);
+    EXPECT_FALSE(mask.test(63));
+    EXPECT_EQ(mask.popcount(), 3u);
+}
+
+TEST(Bitmask, RankIsExclusivePrefixCount)
+{
+    Bitmask mask(200);
+    mask.set(3);
+    mask.set(64);
+    mask.set(150);
+    EXPECT_EQ(mask.rank(0), 0u);
+    EXPECT_EQ(mask.rank(3), 0u);
+    EXPECT_EQ(mask.rank(4), 1u);
+    EXPECT_EQ(mask.rank(64), 1u);
+    EXPECT_EQ(mask.rank(65), 2u);
+    EXPECT_EQ(mask.rank(200), 3u);
+}
+
+TEST(Bitmask, AndIntersects)
+{
+    Bitmask a(70), b(70);
+    a.set(1);
+    a.set(65);
+    a.set(33);
+    b.set(65);
+    b.set(2);
+    b.set(33);
+    const Bitmask c = a & b;
+    EXPECT_EQ(c.popcount(), 2u);
+    EXPECT_TRUE(c.test(65));
+    EXPECT_TRUE(c.test(33));
+    EXPECT_FALSE(c.test(1));
+    EXPECT_FALSE(c.test(2));
+}
+
+TEST(Bitmask, ForEachSetVisitsInOrder)
+{
+    Bitmask mask(128);
+    mask.set(5);
+    mask.set(77);
+    mask.set(127);
+    std::vector<std::size_t> seen;
+    mask.forEachSet([&](std::size_t i) { seen.push_back(i); });
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0], 5u);
+    EXPECT_EQ(seen[1], 77u);
+    EXPECT_EQ(seen[2], 127u);
+}
+
+TEST(Bitmask, SetBitsInRange)
+{
+    Bitmask mask(256);
+    mask.set(10);
+    mask.set(128);
+    mask.set(129);
+    mask.set(255);
+    const auto bits = mask.setBitsInRange(11, 255);
+    ASSERT_EQ(bits.size(), 2u);
+    EXPECT_EQ(bits[0], 128u);
+    EXPECT_EQ(bits[1], 129u);
+    EXPECT_EQ(mask.setBitsInRange(0, 256).size(), 4u);
+    EXPECT_TRUE(mask.setBitsInRange(11, 128).empty());
+}
+
+TEST(Bitmask, PopcountRange)
+{
+    Bitmask mask(256);
+    mask.set(0);
+    mask.set(100);
+    mask.set(200);
+    EXPECT_EQ(mask.popcountRange(0, 256), 3u);
+    EXPECT_EQ(mask.popcountRange(1, 200), 1u);
+    EXPECT_EQ(mask.popcountRange(1, 201), 2u);
+    EXPECT_EQ(mask.popcountRange(150, 150), 0u);
+}
+
+TEST(Bitmask, StorageBytes)
+{
+    EXPECT_EQ(Bitmask(0).storageBytes(), 0u);
+    EXPECT_EQ(Bitmask(1).storageBytes(), 1u);
+    EXPECT_EQ(Bitmask(8).storageBytes(), 1u);
+    EXPECT_EQ(Bitmask(9).storageBytes(), 2u);
+    EXPECT_EQ(Bitmask(2304).storageBytes(), 288u);
+}
+
+/** Property sweep: rank/popcount/iteration agree on random masks. */
+class BitmaskProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BitmaskProperty, RandomConsistency)
+{
+    Rng rng(GetParam());
+    const std::size_t size = 1 + rng.uniformInt(500);
+    Bitmask mask(size);
+    std::vector<bool> model(size, false);
+    for (std::size_t i = 0; i < size; ++i) {
+        if (rng.bernoulli(0.3)) {
+            mask.set(i);
+            model[i] = true;
+        }
+    }
+
+    std::size_t running = 0;
+    for (std::size_t i = 0; i < size; ++i) {
+        EXPECT_EQ(mask.rank(i), running);
+        EXPECT_EQ(mask.test(i), model[i]);
+        running += model[i] ? 1 : 0;
+    }
+    EXPECT_EQ(mask.popcount(), running);
+
+    std::size_t visited = 0;
+    mask.forEachSet([&](std::size_t i) {
+        EXPECT_TRUE(model[i]);
+        ++visited;
+    });
+    EXPECT_EQ(visited, running);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitmaskProperty,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+} // namespace
+} // namespace loas

@@ -1,0 +1,72 @@
+/** @file Unit tests for common/bitutil.hh. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.hh"
+
+namespace loas {
+namespace {
+
+TEST(BitUtil, Popcount)
+{
+    EXPECT_EQ(popcount64(0ull), 0);
+    EXPECT_EQ(popcount64(1ull), 1);
+    EXPECT_EQ(popcount64(0xffull), 8);
+    EXPECT_EQ(popcount64(~0ull), 64);
+    EXPECT_EQ(popcount64(0x8000000000000001ull), 2);
+}
+
+TEST(BitUtil, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0u, 8u), 0u);
+    EXPECT_EQ(ceilDiv(1u, 8u), 1u);
+    EXPECT_EQ(ceilDiv(8u, 8u), 1u);
+    EXPECT_EQ(ceilDiv(9u, 8u), 2u);
+    EXPECT_EQ(ceilDiv<std::uint64_t>(2304, 128), 18u);
+    EXPECT_EQ(ceilDiv<std::uint64_t>(2305, 128), 19u);
+}
+
+TEST(BitUtil, RoundUp)
+{
+    EXPECT_EQ(roundUp(0u, 64u), 0u);
+    EXPECT_EQ(roundUp(1u, 64u), 64u);
+    EXPECT_EQ(roundUp(64u, 64u), 64u);
+    EXPECT_EQ(roundUp(65u, 64u), 128u);
+}
+
+TEST(BitUtil, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(1ull << 40));
+    EXPECT_FALSE(isPow2((1ull << 40) + 1));
+}
+
+TEST(BitUtil, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0);
+    EXPECT_EQ(floorLog2(2), 1);
+    EXPECT_EQ(floorLog2(3), 1);
+    EXPECT_EQ(floorLog2(128), 7);
+    EXPECT_EQ(floorLog2(1ull << 63), 63);
+}
+
+TEST(BitUtil, LowestSetBit)
+{
+    EXPECT_EQ(lowestSetBit(1ull), 0);
+    EXPECT_EQ(lowestSetBit(0x80ull), 7);
+    EXPECT_EQ(lowestSetBit(0x8000000000000000ull), 63);
+}
+
+TEST(BitUtil, LowMask)
+{
+    EXPECT_EQ(lowMask64(0), 0ull);
+    EXPECT_EQ(lowMask64(1), 1ull);
+    EXPECT_EQ(lowMask64(8), 0xffull);
+    EXPECT_EQ(lowMask64(64), ~0ull);
+}
+
+} // namespace
+} // namespace loas

@@ -1,0 +1,118 @@
+/** @file Tests for the set-associative LRU cache model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+namespace loas {
+namespace {
+
+CacheConfig
+smallCache()
+{
+    CacheConfig config;
+    config.size_bytes = 1024; // 16 lines
+    config.ways = 4;
+    config.line_bytes = 64;
+    return config;
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache cache(smallCache());
+    auto first = cache.accessLine(0, false, TensorCategory::Input);
+    EXPECT_FALSE(first.hit);
+    auto second = cache.accessLine(32, false, TensorCategory::Input);
+    EXPECT_TRUE(second.hit); // same 64 B line
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 4 sets x 4 ways: addresses with the same set index collide.
+    Cache cache(smallCache());
+    const std::uint64_t stride = 4 * 64; // same set every time
+    for (int i = 0; i < 4; ++i)
+        cache.accessLine(i * stride, false, TensorCategory::Input);
+    // Touch line 0 so line 1 becomes LRU.
+    cache.accessLine(0, false, TensorCategory::Input);
+    // A 5th line evicts line 1 (the LRU), not line 0.
+    cache.accessLine(4 * stride, false, TensorCategory::Input);
+    EXPECT_TRUE(cache.accessLine(0, false, TensorCategory::Input).hit);
+    EXPECT_FALSE(
+        cache.accessLine(1 * stride, false, TensorCategory::Input).hit);
+}
+
+TEST(Cache, DirtyEvictionReportsWriteback)
+{
+    Cache cache(smallCache());
+    const std::uint64_t stride = 4 * 64;
+    cache.accessLine(0, true, TensorCategory::Psum); // dirty
+    for (int i = 1; i <= 3; ++i)
+        cache.accessLine(i * stride, false, TensorCategory::Input);
+    const auto result =
+        cache.accessLine(4 * stride, false, TensorCategory::Input);
+    EXPECT_FALSE(result.hit);
+    EXPECT_TRUE(result.writeback);
+    EXPECT_EQ(result.writeback_cat, TensorCategory::Psum);
+}
+
+TEST(Cache, CleanEvictionNoWriteback)
+{
+    Cache cache(smallCache());
+    const std::uint64_t stride = 4 * 64;
+    for (int i = 0; i <= 4; ++i) {
+        const auto result =
+            cache.accessLine(i * stride, false, TensorCategory::Input);
+        EXPECT_FALSE(result.writeback);
+    }
+}
+
+TEST(Cache, FlushReturnsDirtyBytesByCategory)
+{
+    Cache cache(smallCache());
+    cache.accessLine(0, true, TensorCategory::Psum);
+    cache.accessLine(64, true, TensorCategory::Output);
+    cache.accessLine(128, false, TensorCategory::Input);
+    const auto dirty = cache.flush();
+    EXPECT_EQ(dirty[static_cast<int>(TensorCategory::Psum)], 64u);
+    EXPECT_EQ(dirty[static_cast<int>(TensorCategory::Output)], 64u);
+    EXPECT_EQ(dirty[static_cast<int>(TensorCategory::Input)], 0u);
+    // Everything invalid after the flush.
+    EXPECT_FALSE(cache.accessLine(0, false, TensorCategory::Input).hit);
+}
+
+TEST(Cache, MissRate)
+{
+    Cache cache(smallCache());
+    cache.accessLine(0, false, TensorCategory::Input);
+    cache.accessLine(0, false, TensorCategory::Input);
+    cache.accessLine(0, false, TensorCategory::Input);
+    cache.accessLine(0, false, TensorCategory::Input);
+    EXPECT_DOUBLE_EQ(cache.missRate(), 0.25);
+}
+
+TEST(Cache, Table3GeometryAccepted)
+{
+    CacheConfig config; // defaults: 256 KB, 16-way, 64 B lines
+    Cache cache(config);
+    EXPECT_EQ(cache.config().size_bytes, 256u * 1024);
+    // 256 KB working set fits: second sweep all hits.
+    for (std::uint64_t addr = 0; addr < 256 * 1024; addr += 64)
+        cache.accessLine(addr, false, TensorCategory::Weight);
+    const std::uint64_t misses_after_fill = cache.misses();
+    for (std::uint64_t addr = 0; addr < 256 * 1024; addr += 64)
+        cache.accessLine(addr, false, TensorCategory::Weight);
+    EXPECT_EQ(cache.misses(), misses_after_fill);
+}
+
+TEST(CacheDeath, RejectsBadGeometry)
+{
+    CacheConfig config;
+    config.line_bytes = 48; // not a power of two
+    EXPECT_DEATH({ Cache cache(config); }, "power of two");
+}
+
+} // namespace
+} // namespace loas

@@ -1,0 +1,58 @@
+/** @file Tests for the output spike compressor. */
+
+#include <gtest/gtest.h>
+
+#include "core/compressor.hh"
+
+namespace loas {
+namespace {
+
+TEST(Compressor, DropsSilentNeurons)
+{
+    const OutputCompressor comp(16);
+    const CompressResult r = comp.compress({0b0101, 0, 0b0001, 0});
+    EXPECT_EQ(r.fiber.nnz(), 2u);
+    EXPECT_TRUE(r.fiber.mask.test(0));
+    EXPECT_FALSE(r.fiber.mask.test(1));
+    EXPECT_TRUE(r.fiber.mask.test(2));
+    EXPECT_EQ(r.fiber.values[0], 0b0101u);
+    EXPECT_EQ(r.fiber.values[1], 0b0001u);
+}
+
+TEST(Compressor, FtModeAlsoDropsSingles)
+{
+    // Section V: with preprocessing, the compressor discards output
+    // neurons with 0 or 1 spikes.
+    const OutputCompressor comp(16, /*discard_single=*/true);
+    const CompressResult r = comp.compress({0b0101, 0, 0b0001, 0b1110});
+    EXPECT_EQ(r.fiber.nnz(), 2u);
+    EXPECT_TRUE(r.fiber.mask.test(0));
+    EXPECT_FALSE(r.fiber.mask.test(2)); // single spike dropped
+    EXPECT_TRUE(r.fiber.mask.test(3));
+}
+
+TEST(Compressor, CyclesFromLaggySweep)
+{
+    const OutputCompressor comp(16);
+    EXPECT_EQ(comp.compress(std::vector<TimeWord>(512, 0)).cycles,
+              32u);
+    EXPECT_EQ(comp.compress(std::vector<TimeWord>(100, 0)).cycles, 7u);
+}
+
+TEST(Compressor, OneEncodeOpPerNeuron)
+{
+    const OutputCompressor comp(16);
+    EXPECT_EQ(comp.compress(std::vector<TimeWord>(77, 1)).ops.encode_ops,
+              77u);
+}
+
+TEST(Compressor, EmptyRow)
+{
+    const OutputCompressor comp(16);
+    const CompressResult r = comp.compress({});
+    EXPECT_EQ(r.fiber.nnz(), 0u);
+    EXPECT_EQ(r.cycles, 0u);
+}
+
+} // namespace
+} // namespace loas

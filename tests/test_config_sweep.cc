@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Configuration-space property tests: the LoAS simulator must stay
+ * bit-exact against the functional reference under any hardware
+ * configuration, and its cycle counts must respond monotonically to
+ * the resources that should matter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/loas_sim.hh"
+#include "snn/reference.hh"
+#include "workload/generator.hh"
+#include "workload/networks.hh"
+
+namespace loas {
+namespace {
+
+LayerData
+testLayer(std::uint64_t seed)
+{
+    LayerSpec spec;
+    spec.name = "sweep";
+    spec.t = 4;
+    spec.m = 12;
+    spec.n = 48;
+    spec.k = 500;
+    spec.spike_sparsity = 0.8;
+    spec.silent_ratio = 0.6;
+    spec.silent_ratio_ft = 0.6;
+    spec.weight_sparsity = 0.9;
+    return generateLayer(spec, seed);
+}
+
+/** (chunk_bits, fifo_depth, laggy_adders, num_pes, pipelined). */
+using Config = std::tuple<int, int, int, int, bool>;
+
+class LoasConfigSweep : public ::testing::TestWithParam<Config>
+{
+};
+
+TEST_P(LoasConfigSweep, BitExactUnderAnyConfiguration)
+{
+    const auto [chunk, fifo, adders, pes, pipelined] = GetParam();
+    LoasConfig config;
+    config.join.chunk_bits = static_cast<std::size_t>(chunk);
+    config.join.fifo_depth = static_cast<std::size_t>(fifo);
+    config.join.laggy_adders = adders;
+    config.num_pes = pes;
+    config.pipelined_waves = pipelined;
+
+    const LayerData layer = testLayer(17);
+    LoasSim sim(config);
+    const RunResult r = sim.runLayer(layer);
+    EXPECT_GT(r.total_cycles, 0u);
+    const SpikeTensor expected =
+        referenceSnnLayer(layer.spikes, layer.weights, config.lif);
+    EXPECT_EQ(sim.lastOutput(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LoasConfigSweep,
+    ::testing::Combine(::testing::Values(64, 128, 256),
+                       ::testing::Values(2, 8),
+                       ::testing::Values(8, 32),
+                       ::testing::Values(4, 16),
+                       ::testing::Values(false, true)));
+
+TEST(LoasConfigEffects, MorePesFewerCycles)
+{
+    const LayerData layer = testLayer(3);
+    LoasConfig c4, c16, c64;
+    c4.num_pes = 4;
+    c16.num_pes = 16;
+    c64.num_pes = 64;
+    const auto r4 = LoasSim(c4).runLayer(layer);
+    const auto r16 = LoasSim(c16).runLayer(layer);
+    const auto r64 = LoasSim(c64).runLayer(layer);
+    EXPECT_GT(r4.compute_cycles, r16.compute_cycles);
+    EXPECT_GE(r16.compute_cycles, r64.compute_cycles);
+}
+
+TEST(LoasConfigEffects, DeeperFifoNeverSlower)
+{
+    const LayerData layer = testLayer(5);
+    LoasConfig shallow, deep;
+    shallow.join.fifo_depth = 1;
+    deep.join.fifo_depth = 32;
+    EXPECT_GE(LoasSim(shallow).runLayer(layer).compute_cycles,
+              LoasSim(deep).runLayer(layer).compute_cycles);
+}
+
+TEST(LoasConfigEffects, WiderLaggyNeverSlower)
+{
+    const LayerData layer = testLayer(7);
+    LoasConfig narrow, wide;
+    narrow.join.laggy_adders = 4;
+    wide.join.laggy_adders = 64;
+    EXPECT_GE(LoasSim(narrow).runLayer(layer).compute_cycles,
+              LoasSim(wide).runLayer(layer).compute_cycles);
+}
+
+TEST(LoasConfigEffects, PipeliningHelps)
+{
+    const LayerData layer = testLayer(9);
+    LoasConfig on, off;
+    on.pipelined_waves = true;
+    off.pipelined_waves = false;
+    EXPECT_LT(LoasSim(on).runLayer(layer).compute_cycles,
+              LoasSim(off).runLayer(layer).compute_cycles);
+}
+
+TEST(LoasConfigEffects, SoftResetStaysBitExact)
+{
+    LoasConfig config;
+    config.lif.reset = LifReset::Soft;
+    config.lif.v_th = 20;
+    const LayerData layer = testLayer(11);
+    LoasSim sim(config);
+    sim.runLayer(layer);
+    const SpikeTensor expected =
+        referenceSnnLayer(layer.spikes, layer.weights, config.lif);
+    EXPECT_EQ(sim.lastOutput(), expected);
+}
+
+TEST(LoasConfigEffects, SmallerCacheNeverLessDram)
+{
+    const LayerData layer = generateLayer(tables::alexnetL4(), 13);
+    LoasConfig small, big;
+    small.cache.size_bytes = 32 * 1024;
+    big.cache.size_bytes = 1024 * 1024;
+    const auto r_small = LoasSim(small).runLayer(layer);
+    const auto r_big = LoasSim(big).runLayer(layer);
+    EXPECT_GE(r_small.traffic.dramBytes(), r_big.traffic.dramBytes());
+}
+
+} // namespace
+} // namespace loas

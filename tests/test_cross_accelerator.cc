@@ -1,0 +1,141 @@
+/** @file Cross-accelerator invariants: the paper's headline orderings. */
+
+#include <gtest/gtest.h>
+
+#include "baselines/gamma.hh"
+#include "baselines/gospa.hh"
+#include "baselines/sparten.hh"
+#include "baselines/systolic.hh"
+#include "core/loas_sim.hh"
+#include "energy/energy_model.hh"
+#include "workload/generator.hh"
+#include "workload/networks.hh"
+
+namespace loas {
+namespace {
+
+struct AllResults
+{
+    RunResult loas, sparten, gospa, gamma;
+};
+
+AllResults
+runAll(const LayerData& layer)
+{
+    AllResults r;
+    LoasSim loas;
+    SpartenSim sparten;
+    GospaSim gospa;
+    GammaSim gamma;
+    r.loas = loas.runLayer(layer);
+    r.sparten = sparten.runLayer(layer);
+    r.gospa = gospa.runLayer(layer);
+    r.gamma = gamma.runLayer(layer);
+    return r;
+}
+
+/** Fig. 12's core claim, layer-level: LoAS beats every baseline. */
+class LoasWinsProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LoasWinsProperty, FasterAndMoreEfficientThanAllBaselines)
+{
+    const std::vector<LayerSpec> specs = {
+        tables::alexnetL4(), tables::vgg16L8(), tables::resnet19L19()};
+    const LayerData layer =
+        generateLayer(specs[static_cast<std::size_t>(GetParam())], 3);
+    const AllResults r = runAll(layer);
+
+    EXPECT_LT(r.loas.total_cycles, r.sparten.total_cycles);
+    EXPECT_LT(r.loas.total_cycles, r.gospa.total_cycles);
+    EXPECT_LT(r.loas.total_cycles, r.gamma.total_cycles);
+
+    const EnergyModel model;
+    const double e_loas = model.evaluate(r.loas).totalPj();
+    EXPECT_LT(e_loas, model.evaluate(r.sparten).totalPj());
+    EXPECT_LT(e_loas, model.evaluate(r.gospa).totalPj());
+    EXPECT_LT(e_loas, model.evaluate(r.gamma).totalPj());
+}
+
+INSTANTIATE_TEST_SUITE_P(PublishedLayers, LoasWinsProperty,
+                         ::testing::Values(0, 1, 2));
+
+TEST(CrossAccelerator, LoasHasLeastSramTraffic)
+{
+    // Fig. 13: LoAS has the least on-chip traffic; Gamma pays the
+    // partial-row SRAM penalty.
+    const LayerData layer = generateLayer(tables::resnet19L19(), 5);
+    const AllResults r = runAll(layer);
+    EXPECT_LT(r.loas.traffic.sramBytes(), r.sparten.traffic.sramBytes());
+    EXPECT_LT(r.loas.traffic.sramBytes(), r.gamma.traffic.sramBytes());
+}
+
+TEST(CrossAccelerator, GospaHasLargestPsumDram)
+{
+    // Fig. 14: GoSPA-SNN has the largest psum off-chip traffic.
+    const LayerData layer = generateLayer(tables::vgg16L8(), 7);
+    const AllResults r = runAll(layer);
+    const auto psum = [](const RunResult& result) {
+        return result.traffic.dramBytes(TensorCategory::Psum);
+    };
+    EXPECT_GT(psum(r.gospa), psum(r.sparten));
+    EXPECT_GT(psum(r.gospa), psum(r.gamma));
+    EXPECT_GT(psum(r.gospa), psum(r.loas));
+}
+
+TEST(CrossAccelerator, SpartenHasLargestInputSram)
+{
+    // SparTen re-fetches the dense spike train every timestep.
+    const LayerData layer = generateLayer(tables::vgg16L8(), 9);
+    const AllResults r = runAll(layer);
+    EXPECT_GT(r.sparten.traffic.sramBytes(TensorCategory::Input),
+              r.loas.traffic.sramBytes(TensorCategory::Input));
+}
+
+TEST(CrossAccelerator, SpeedupGrowsAsSpikesDensify)
+{
+    // Fig. 12's second observation: LoAS's edge over SparTen-SNN is
+    // larger on the denser-spike workload (ResNet19 vs VGG16).
+    const LayerData vgg = generateLayer(tables::vgg16L8(), 11);
+    const LayerData res = generateLayer(tables::resnet19L19(), 11);
+    LoasSim loas;
+    SpartenSim sparten;
+    const double speedup_vgg =
+        static_cast<double>(sparten.runLayer(vgg).total_cycles) /
+        static_cast<double>(loas.runLayer(vgg).total_cycles);
+    const double speedup_res =
+        static_cast<double>(sparten.runLayer(res).total_cycles) /
+        static_cast<double>(loas.runLayer(res).total_cycles);
+    EXPECT_GT(speedup_res, speedup_vgg);
+}
+
+TEST(CrossAccelerator, DenseSnnBaselinesAreSlower)
+{
+    // Fig. 19: on the dual-sparse workload, LoAS is far faster than
+    // both dense-SNN systolic designs, and Stellar beats PTB.
+    const LayerData layer = generateLayer(tables::vgg16L8(), 13);
+    LoasSim loas;
+    PtbSim ptb;
+    StellarSim stellar;
+    const auto r_loas = loas.runLayer(layer);
+    const auto r_ptb = ptb.runLayer(layer);
+    const auto r_stellar = stellar.runLayer(layer);
+    EXPECT_GT(r_ptb.total_cycles, 10 * r_loas.total_cycles);
+    EXPECT_GT(r_stellar.total_cycles, r_loas.total_cycles);
+    EXPECT_GT(r_ptb.total_cycles, r_stellar.total_cycles);
+}
+
+TEST(CrossAccelerator, AllSimulatorsAgreeFunctionally)
+{
+    // LoAS and SparTen both compute real spikes: they must agree.
+    const LayerData layer = generateLayer(tables::alexnetL4(), 15);
+    LoasSim loas;
+    SpartenSim sparten;
+    loas.runLayer(layer);
+    sparten.runLayer(layer);
+    EXPECT_EQ(loas.lastOutput(), sparten.lastOutput());
+}
+
+} // namespace
+} // namespace loas

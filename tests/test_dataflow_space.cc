@@ -1,0 +1,112 @@
+/** @file Tests for the Section III dataflow design-space module. */
+
+#include <gtest/gtest.h>
+
+#include "dataflow/loop_nest.hh"
+#include "workload/networks.hh"
+
+namespace loas {
+namespace {
+
+TEST(DataflowSpace, SixteenSequentialOrderingsPlusUnrolled)
+{
+    // Section II-C: 16 possible permutations of the sequential SNN
+    // spMspM loop nest (the paper counts 4 t-positions per base + the
+    // spatially-unrolled variant we expose explicitly).
+    const auto candidates = allCandidates();
+    EXPECT_EQ(candidates.size(), 15u); // 3 bases x 5 placements
+    std::size_t sequential = 0;
+    for (const auto& c : candidates)
+        if (c.placement != TemporalPlacement::InnerUnrolled)
+            ++sequential;
+    EXPECT_EQ(sequential, 12u);
+}
+
+TEST(DataflowSpace, FtpIsTheUniqueWinner)
+{
+    const auto winners = optimalCandidates(tables::vgg16L8());
+    ASSERT_EQ(winners.size(), 1u);
+    EXPECT_EQ(winners[0].base, BaseDataflow::InnerProduct);
+    EXPECT_EQ(winners[0].placement, TemporalPlacement::InnerUnrolled);
+}
+
+TEST(DataflowSpace, Observation1RefetchUnlessInnermost)
+{
+    const LayerSpec spec = tables::vgg16L8();
+    for (const auto& c : allCandidates()) {
+        const auto m = evaluateCandidate(c, spec);
+        const bool inner =
+            c.placement == TemporalPlacement::Innermost ||
+            c.placement == TemporalPlacement::InnerUnrolled;
+        if (inner)
+            EXPECT_DOUBLE_EQ(m.input_refetch_factor, 1.0);
+        else
+            EXPECT_DOUBLE_EQ(m.input_refetch_factor, 4.0);
+    }
+}
+
+TEST(DataflowSpace, Observation2OuterProductAlwaysPaysPsums)
+{
+    const LayerSpec spec = tables::vgg16L8();
+    for (const auto& c : allCandidates()) {
+        if (c.base != BaseDataflow::OuterProduct)
+            continue;
+        EXPECT_DOUBLE_EQ(evaluateCandidate(c, spec).psum_factor, 4.0)
+            << c.name();
+    }
+}
+
+TEST(DataflowSpace, Observation2GustavsonTradesPsumsForRefetch)
+{
+    const LayerSpec spec = tables::vgg16L8();
+    for (const auto& c : allCandidates()) {
+        if (c.base != BaseDataflow::Gustavson)
+            continue;
+        const auto m = evaluateCandidate(c, spec);
+        // Either T times more partial rows or T times more refetch.
+        EXPECT_TRUE(m.psum_factor >= 4.0 ||
+                    m.input_refetch_factor >= 4.0)
+            << c.name();
+    }
+}
+
+TEST(DataflowSpace, Observation3OnlyUnrollingRemovesLatency)
+{
+    const LayerSpec spec = tables::vgg16L8();
+    for (const auto& c : allCandidates()) {
+        const auto m = evaluateCandidate(c, spec);
+        if (c.placement == TemporalPlacement::InnerUnrolled)
+            EXPECT_DOUBLE_EQ(m.latency_factor, 1.0);
+        else
+            EXPECT_DOUBLE_EQ(m.latency_factor, 4.0);
+    }
+}
+
+TEST(DataflowSpace, MetricsScaleWithTimesteps)
+{
+    LayerSpec spec = tables::vgg16L8();
+    spec.t = 8;
+    const DataflowCandidate op_outer{BaseDataflow::OuterProduct,
+                                     TemporalPlacement::Outermost};
+    const auto m = evaluateCandidate(op_outer, spec);
+    EXPECT_DOUBLE_EQ(m.input_refetch_factor, 8.0);
+    EXPECT_DOUBLE_EQ(m.psum_factor, 8.0);
+    EXPECT_DOUBLE_EQ(m.latency_factor, 8.0);
+}
+
+TEST(DataflowSpace, Names)
+{
+    const DataflowCandidate ftp{BaseDataflow::InnerProduct,
+                                TemporalPlacement::InnerUnrolled};
+    EXPECT_EQ(ftp.name(), "IP(m,n,k,T)");
+    const DataflowCandidate ip_mid{BaseDataflow::InnerProduct,
+                                   TemporalPlacement::AboveMiddle};
+    EXPECT_EQ(ip_mid.name(), "IP(m,t,n,k)");
+    const DataflowCandidate op_out{BaseDataflow::OuterProduct,
+                                   TemporalPlacement::Outermost};
+    EXPECT_EQ(op_out.name(), "OP(t,k,m,n)");
+    EXPECT_STREQ(baseDataflowName(BaseDataflow::Gustavson), "Gust");
+}
+
+} // namespace
+} // namespace loas

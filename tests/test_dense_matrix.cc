@@ -1,0 +1,64 @@
+/** @file Unit tests for DenseMatrix. */
+
+#include <gtest/gtest.h>
+
+#include "tensor/dense_matrix.hh"
+
+namespace loas {
+namespace {
+
+TEST(DenseMatrix, ConstructAndFill)
+{
+    DenseMatrix<int> m(3, 4, 7);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            EXPECT_EQ(m.at(r, c), 7);
+}
+
+TEST(DenseMatrix, DefaultIsEmpty)
+{
+    DenseMatrix<int> m;
+    EXPECT_EQ(m.rows(), 0u);
+    EXPECT_EQ(m.cols(), 0u);
+    EXPECT_DOUBLE_EQ(m.sparsity(), 0.0);
+}
+
+TEST(DenseMatrix, RowMajorLayout)
+{
+    DenseMatrix<int> m(2, 3, 0);
+    m(0, 0) = 1;
+    m(0, 2) = 3;
+    m(1, 0) = 4;
+    EXPECT_EQ(m.data()[0], 1);
+    EXPECT_EQ(m.data()[2], 3);
+    EXPECT_EQ(m.data()[3], 4);
+}
+
+TEST(DenseMatrix, ZeroCountAndSparsity)
+{
+    DenseMatrix<std::int8_t> m(2, 2, 0);
+    m(0, 0) = 5;
+    EXPECT_EQ(m.zeroCount(), 3u);
+    EXPECT_DOUBLE_EQ(m.sparsity(), 0.75);
+}
+
+TEST(DenseMatrix, Equality)
+{
+    DenseMatrix<int> a(2, 2, 1);
+    DenseMatrix<int> b(2, 2, 1);
+    EXPECT_EQ(a, b);
+    b(1, 1) = 2;
+    EXPECT_FALSE(a == b);
+}
+
+TEST(DenseMatrixDeath, BoundsChecked)
+{
+    DenseMatrix<int> m(2, 2, 0);
+    EXPECT_DEATH(m.at(2, 0), "out of");
+    EXPECT_DEATH(m.at(0, 2), "out of");
+}
+
+} // namespace
+} // namespace loas

@@ -1,0 +1,87 @@
+/** @file Tests for the energy model. */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hh"
+
+namespace loas {
+namespace {
+
+TEST(EnergyModel, ZeroRunZeroEnergy)
+{
+    const EnergyModel model;
+    const RunResult result;
+    const EnergyBreakdown e = model.evaluate(result);
+    EXPECT_DOUBLE_EQ(e.totalPj(), 0.0);
+}
+
+TEST(EnergyModel, ComputeTermsAdd)
+{
+    EnergyParams params;
+    params.acc_pj = 1.0;
+    params.lif_pj = 2.0;
+    params.static_pj_per_cycle = 0.0;
+    const EnergyModel model(params);
+    RunResult result;
+    result.ops.acc_ops = 10;
+    result.ops.lif_ops = 5;
+    const EnergyBreakdown e = model.evaluate(result);
+    EXPECT_DOUBLE_EQ(e.compute_pj, 10.0 + 10.0);
+    EXPECT_DOUBLE_EQ(e.totalPj(), 20.0);
+}
+
+TEST(EnergyModel, TrafficTerms)
+{
+    EnergyParams params;
+    params.sram_pj_per_byte = 1.0;
+    params.dram_pj_per_byte = 10.0;
+    params.static_pj_per_cycle = 0.0;
+    const EnergyModel model(params);
+    RunResult result;
+    result.traffic.sram_read[0] = 100;
+    result.traffic.dram_write[1] = 7;
+    const EnergyBreakdown e = model.evaluate(result);
+    EXPECT_DOUBLE_EQ(e.sram_pj, 100.0);
+    EXPECT_DOUBLE_EQ(e.dram_pj, 70.0);
+}
+
+TEST(EnergyModel, StaticTermScalesWithCycles)
+{
+    EnergyParams params;
+    params.static_pj_per_cycle = 2.5;
+    const EnergyModel model(params);
+    RunResult result;
+    result.total_cycles = 1000;
+    EXPECT_DOUBLE_EQ(model.evaluate(result).static_pj, 2500.0);
+}
+
+TEST(EnergyModel, DramCostsMoreThanSramPerByte)
+{
+    // Sanity of the default calibration: the memory-hierarchy energy
+    // ordering must hold or every ratio in the evaluation flips.
+    const EnergyParams params;
+    EXPECT_GT(params.dram_pj_per_byte, params.sram_pj_per_byte * 5);
+    // A MAC costs more than an AC (the SNN advantage, Section II-B).
+    EXPECT_GT(params.mac_pj, params.acc_pj * 2);
+    // The fast prefix tree dominates the laggy chain (Table IV).
+    EXPECT_GT(params.fast_prefix_pj, params.laggy_prefix_pj * 3);
+}
+
+TEST(EnergyModel, DataMovementFraction)
+{
+    EnergyParams params;
+    params.static_pj_per_cycle = 0.0;
+    params.acc_pj = 1.0;
+    params.sram_pj_per_byte = 1.0;
+    params.dram_pj_per_byte = 1.0;
+    const EnergyModel model(params);
+    RunResult result;
+    result.ops.acc_ops = 40;
+    result.traffic.sram_read[0] = 30;
+    result.traffic.dram_read[0] = 30;
+    const EnergyBreakdown e = model.evaluate(result);
+    EXPECT_NEAR(e.dataMovementFraction(), 0.6, 1e-12);
+}
+
+} // namespace
+} // namespace loas

@@ -1,0 +1,114 @@
+/** @file Tests for the GoSPA-SNN baseline (psum traffic, Fig. 5). */
+
+#include <gtest/gtest.h>
+
+#include "baselines/gospa.hh"
+#include "workload/generator.hh"
+#include "workload/networks.hh"
+
+namespace loas {
+namespace {
+
+TEST(Gospa, PsumTrafficScalesRoughlyWithT)
+{
+    // Fig. 5: at T=4, on average ~4x more partial-sum off-chip
+    // traffic than at T=1.
+    const LayerSpec spec4 = tables::vgg16L8();
+    const LayerSpec spec1 = tables::withTimesteps(spec4, 1);
+    GospaSim sim;
+    sim.runLayer(generateLayer(spec4, 1));
+    const std::uint64_t psum4 = sim.lastPsumDramBytes();
+    sim.runLayer(generateLayer(spec1, 1));
+    const std::uint64_t psum1 = sim.lastPsumDramBytes();
+    EXPECT_GT(psum4, 0u);
+    // The working set is M*N*T*4B minus the fixed buffer, so the
+    // ratio is at least T.
+    EXPECT_GE(static_cast<double>(psum4),
+              4.0 * static_cast<double>(psum1));
+}
+
+TEST(Gospa, NoSpillWhenPsumFits)
+{
+    GospaConfig config;
+    config.psum_buffer_bytes = 1 << 22; // 4 MB: everything fits
+    LayerSpec spec = tables::vgg16L8();
+    GospaSim sim(config);
+    const RunResult r = sim.runLayer(generateLayer(spec, 2));
+    EXPECT_EQ(sim.lastPsumDramBytes(), 0u);
+    EXPECT_EQ(r.traffic.dramBytes(TensorCategory::Psum), 0u);
+}
+
+TEST(Gospa, SpillBytesMatchWorkingSetModel)
+{
+    GospaConfig config;
+    config.psum_buffer_bytes = 32 * 1024;
+    config.psum_spill_fraction = 0.5;
+    const LayerSpec spec = tables::vgg16L8(); // ws = 16*512*4*4 B
+    GospaSim sim(config);
+    sim.runLayer(generateLayer(spec, 3));
+    const std::uint64_t ws = 16ull * 512 * 4 * 4;
+    EXPECT_EQ(sim.lastPsumDramBytes(),
+              2 * static_cast<std::uint64_t>(0.5 * (ws - 32 * 1024)));
+}
+
+TEST(Gospa, PerSpikeCsrMetadataTraffic)
+{
+    // GoSPA stores spikes with multi-bit coordinates: its metadata
+    // traffic exceeds one bitmask bit per neuron (the inefficiency
+    // Section II-D calls out).
+    const LayerData layer = generateLayer(tables::vgg16L8(), 4);
+    GospaSim sim;
+    const RunResult r = sim.runLayer(layer);
+    const std::uint64_t meta_dram =
+        r.traffic.dram_read[static_cast<int>(TensorCategory::Meta)];
+    const std::uint64_t packed_mask_bytes =
+        layer.spec.m * layer.spec.k / 8;
+    EXPECT_GT(meta_dram, packed_mask_bytes);
+}
+
+TEST(Gospa, UpdateCountMatchesWork)
+{
+    // Every (spike, non-zero weight) pair in a shared k produces one
+    // merge op.
+    LayerSpec spec;
+    spec.name = "tiny";
+    spec.t = 2;
+    spec.m = 4;
+    spec.n = 8;
+    spec.k = 16;
+    spec.spike_sparsity = 0.5;
+    spec.silent_ratio = 0.3;
+    spec.silent_ratio_ft = 0.3;
+    spec.weight_sparsity = 0.5;
+    const LayerData layer = generateLayer(spec, 5);
+    GospaSim sim;
+    const RunResult r = sim.runLayer(layer);
+
+    std::uint64_t expected = 0;
+    for (int t = 0; t < spec.t; ++t)
+        for (std::size_t k = 0; k < spec.k; ++k) {
+            std::uint64_t spikes = 0;
+            for (std::size_t m = 0; m < spec.m; ++m)
+                spikes += layer.spikes.spike(m, k, t) ? 1 : 0;
+            std::uint64_t weights = 0;
+            for (std::size_t n = 0; n < spec.n; ++n)
+                weights += layer.weights(k, n) != 0 ? 1 : 0;
+            expected += spikes * weights;
+        }
+    EXPECT_EQ(r.ops.merge_ops, expected);
+    EXPECT_EQ(r.ops.acc_ops, expected);
+}
+
+TEST(Gospa, ComputeCyclesBoundedBelowByUpdates)
+{
+    const LayerData layer = generateLayer(tables::vgg16L8(), 6);
+    GospaConfig config;
+    GospaSim sim(config);
+    const RunResult r = sim.runLayer(layer);
+    EXPECT_GE(r.compute_cycles,
+              r.ops.merge_ops /
+                  static_cast<std::uint64_t>(config.num_pes));
+}
+
+} // namespace
+} // namespace loas

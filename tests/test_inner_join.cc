@@ -1,0 +1,250 @@
+/** @file Tests for the cycle-level FTP-friendly inner-join unit. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/inner_join.hh"
+#include "tensor/compress.hh"
+
+namespace loas {
+namespace {
+
+SpikeFiber
+makeSpikeFiber(std::size_t k,
+               const std::vector<std::pair<std::size_t, TimeWord>>& nz)
+{
+    SpikeFiber f;
+    f.mask = Bitmask(k);
+    for (const auto& [pos, w] : nz) {
+        f.mask.set(pos);
+        f.values.push_back(w);
+    }
+    return f;
+}
+
+WeightFiber
+makeWeightFiber(std::size_t k,
+                const std::vector<std::pair<std::size_t, std::int32_t>>&
+                    nz)
+{
+    WeightFiber f;
+    f.mask = Bitmask(k);
+    for (const auto& [pos, v] : nz) {
+        f.mask.set(pos);
+        f.values.push_back(v);
+    }
+    return f;
+}
+
+TEST(InnerJoin, Fig10WalkThrough)
+{
+    // The fiber pair of Fig. 10: five positions; a2 matches with word
+    // 1111 (prediction correct, b2 discarded from correction) and a4
+    // with 1010 (prediction wrong at t0 and t2... bit order: spikes at
+    // t1 and t3), so b4 is corrected into the accumulators of the
+    // missing timesteps.
+    const SpikeFiber fa =
+        makeSpikeFiber(5, {{2, 0b1111}, {4, 0b1010}});
+    const WeightFiber fb =
+        makeWeightFiber(5, {{0, 10}, {2, 20}, {4, 30}});
+
+    const InnerJoinUnit unit(InnerJoinConfig{}, 4);
+    const JoinResult r = unit.join(fa, fb);
+
+    EXPECT_EQ(r.matches, 2u);
+    EXPECT_EQ(r.corrections, 1u);
+    // pseudo = 20 + 30; corrections remove 30 from t0 and t2.
+    EXPECT_EQ(r.sums[0], 20);
+    EXPECT_EQ(r.sums[1], 50);
+    EXPECT_EQ(r.sums[2], 20);
+    EXPECT_EQ(r.sums[3], 50);
+}
+
+TEST(InnerJoin, EmptyIntersection)
+{
+    const SpikeFiber fa = makeSpikeFiber(256, {{0, 0b0001}});
+    const WeightFiber fb = makeWeightFiber(256, {{5, 9}});
+    const InnerJoinUnit unit(InnerJoinConfig{}, 4);
+    const JoinResult r = unit.join(fa, fb);
+    EXPECT_EQ(r.matches, 0u);
+    for (const auto s : r.sums)
+        EXPECT_EQ(s, 0);
+    // Still pays the chunk scans plus setup/drain.
+    const InnerJoinConfig config;
+    EXPECT_GE(r.cycles, 2u); // 256/128 chunks
+    EXPECT_LE(r.cycles,
+              config.setup_cycles + 2 + config.drain_cycles + 1);
+}
+
+TEST(InnerJoin, AllOnesNeedNoCorrection)
+{
+    // Dense spike words (neuron fires every timestep): the pseudo
+    // accumulation is always right, as in the paper's dense argument.
+    SpikeFiber fa;
+    fa.mask = Bitmask(128);
+    WeightFiber fb;
+    fb.mask = Bitmask(128);
+    for (std::size_t i = 0; i < 128; ++i) {
+        fa.mask.set(i);
+        fa.values.push_back(0b1111);
+        fb.mask.set(i);
+        fb.values.push_back(1);
+    }
+    const InnerJoinUnit unit(InnerJoinConfig{}, 4);
+    const JoinResult r = unit.join(fa, fb);
+    EXPECT_EQ(r.matches, 128u);
+    EXPECT_EQ(r.corrections, 0u);
+    EXPECT_EQ(r.ops.correction_ops, 4u); // only the final subtraction
+    for (const auto s : r.sums)
+        EXPECT_EQ(s, 128);
+}
+
+TEST(InnerJoin, CyclesLowerBoundedByChunksAndMatches)
+{
+    Rng rng(4);
+    SpikeFiber fa;
+    fa.mask = Bitmask(512);
+    WeightFiber fb;
+    fb.mask = Bitmask(512);
+    for (std::size_t i = 0; i < 512; ++i) {
+        if (rng.bernoulli(0.5)) {
+            fa.mask.set(i);
+            fa.values.push_back(
+                static_cast<TimeWord>(1 + rng.uniformInt(15)));
+        }
+        if (rng.bernoulli(0.5)) {
+            fb.mask.set(i);
+            fb.values.push_back(1);
+        }
+    }
+    const InnerJoinConfig config;
+    const InnerJoinUnit unit(config, 4);
+    const JoinResult r = unit.join(fa, fb);
+    const std::uint64_t chunks = 512 / config.chunk_bits;
+    EXPECT_GE(r.cycles, chunks);
+    EXPECT_GE(r.cycles, r.matches);
+    // And within a small envelope of the ideal pipeline.
+    EXPECT_LE(r.cycles, config.setup_cycles + chunks + r.matches +
+                            config.laggyLatency() +
+                            config.drain_cycles + r.matches / 4 + 4);
+}
+
+TEST(InnerJoin, OpCountsConsistent)
+{
+    const SpikeFiber fa =
+        makeSpikeFiber(128, {{1, 0b0101}, {2, 0b0010}, {100, 0b1000}});
+    const WeightFiber fb =
+        makeWeightFiber(128, {{1, 3}, {100, -5}, {101, 7}});
+    const InnerJoinUnit unit(InnerJoinConfig{}, 4);
+    const JoinResult r = unit.join(fa, fb);
+    EXPECT_EQ(r.matches, 2u);
+    EXPECT_EQ(r.ops.acc_ops, 2u);          // one per match
+    EXPECT_EQ(r.ops.fast_prefix_ops, 2u);  // one per match
+    EXPECT_EQ(r.ops.fifo_ops, 8u);         // 2 push + 2 pop per match
+    EXPECT_EQ(r.ops.mask_and_ops, 1u);     // one 128-bit chunk
+    // a1 = 0101 corrects t1,t3; a100 = 1000 corrects t0,t1,t2; plus
+    // final subtraction of 4.
+    EXPECT_EQ(r.ops.correction_ops, 2u + 3u + 4u);
+}
+
+TEST(InnerJoin, FifoBackpressureSlowsDenseChunks)
+{
+    // A chunk with every position matched must stall once the depth-8
+    // FIFO fills faster than the laggy path drains.
+    SpikeFiber fa;
+    fa.mask = Bitmask(128);
+    WeightFiber fb;
+    fb.mask = Bitmask(128);
+    for (std::size_t i = 0; i < 128; ++i) {
+        fa.mask.set(i);
+        fa.values.push_back(0b0101);
+        fb.mask.set(i);
+        fb.values.push_back(2);
+    }
+    InnerJoinConfig deep;
+    deep.fifo_depth = 1024;
+    InnerJoinConfig shallow;
+    shallow.fifo_depth = 2;
+    const JoinResult fast = InnerJoinUnit(deep, 4).join(fa, fb);
+    const JoinResult slow = InnerJoinUnit(shallow, 4).join(fa, fb);
+    EXPECT_GE(slow.cycles, fast.cycles);
+    EXPECT_EQ(slow.sums, fast.sums); // functionally identical
+}
+
+TEST(InnerJoin, MatchedOffsetsIndexFiberValues)
+{
+    const SpikeFiber fa = makeSpikeFiber(
+        128, {{0, 0b0001}, {5, 0b0011}, {64, 0b1000}});
+    const WeightFiber fb = makeWeightFiber(128, {{5, 1}, {64, 1}});
+    const InnerJoinUnit unit(InnerJoinConfig{}, 4);
+    const JoinResult r = unit.join(fa, fb);
+    ASSERT_EQ(r.matched_offsets_a.size(), 2u);
+    EXPECT_EQ(r.matched_offsets_a[0], 1u); // a5 is the 2nd stored value
+    EXPECT_EQ(r.matched_offsets_a[1], 2u);
+}
+
+/**
+ * Property sweep: the join's functional output equals the brute-force
+ * per-timestep dot product for random fibers (the core correctness
+ * claim of the pseudo-accumulator + correction scheme).
+ */
+class InnerJoinProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(InnerJoinProperty, MatchesBruteForce)
+{
+    const int seed = std::get<0>(GetParam());
+    const int timesteps = std::get<1>(GetParam());
+    Rng rng(static_cast<std::uint64_t>(seed) * 1000 + timesteps);
+    const std::size_t k = 1 + rng.uniformInt(700);
+
+    SpikeFiber fa;
+    fa.mask = Bitmask(k);
+    WeightFiber fb;
+    fb.mask = Bitmask(k);
+    std::vector<TimeWord> dense_a(k, 0);
+    std::vector<std::int32_t> dense_b(k, 0);
+    const TimeWord word_cap = (timesteps >= 32)
+                                  ? ~TimeWord{0}
+                                  : ((TimeWord{1} << timesteps) - 1);
+    for (std::size_t i = 0; i < k; ++i) {
+        if (rng.bernoulli(0.35)) {
+            const TimeWord w = 1 + static_cast<TimeWord>(
+                                       rng.uniformInt(word_cap));
+            dense_a[i] = w;
+            fa.mask.set(i);
+            fa.values.push_back(w);
+        }
+        if (rng.bernoulli(0.3)) {
+            const auto v = static_cast<std::int32_t>(
+                               rng.uniformInt(255)) - 127;
+            if (v != 0) {
+                dense_b[i] = v;
+                fb.mask.set(i);
+                fb.values.push_back(v);
+            }
+        }
+    }
+
+    const InnerJoinUnit unit(InnerJoinConfig{}, timesteps);
+    const JoinResult r = unit.join(fa, fb);
+
+    for (int t = 0; t < timesteps; ++t) {
+        std::int32_t expected = 0;
+        for (std::size_t i = 0; i < k; ++i)
+            if ((dense_a[i] >> t) & 1u)
+                expected += dense_b[i];
+        EXPECT_EQ(r.sums[static_cast<std::size_t>(t)], expected)
+            << "t=" << t << " k=" << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, InnerJoinProperty,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Values(1, 2, 4, 8, 16)));
+
+} // namespace
+} // namespace loas

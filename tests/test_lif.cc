@@ -1,0 +1,153 @@
+/** @file Tests for the integer LIF dynamics (Eqs. 2-3). */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.hh"
+#include "snn/lif.hh"
+
+namespace loas {
+namespace {
+
+TEST(Lif, FiresAboveThreshold)
+{
+    LifParams p;
+    p.v_th = 64;
+    p.tau_shift = 1;
+    const LifStep step = stepLif(100, 0, p);
+    EXPECT_TRUE(step.spike);
+    EXPECT_EQ(step.membrane, 0); // hard reset
+}
+
+TEST(Lif, ThresholdIsStrict)
+{
+    LifParams p;
+    p.v_th = 64;
+    EXPECT_FALSE(stepLif(64, 0, p).spike);
+    EXPECT_TRUE(stepLif(65, 0, p).spike);
+}
+
+TEST(Lif, LeaksWhenSilent)
+{
+    LifParams p;
+    p.v_th = 64;
+    p.tau_shift = 1;
+    const LifStep step = stepLif(30, 10, p);
+    EXPECT_FALSE(step.spike);
+    EXPECT_EQ(step.membrane, 20); // (30 + 10) >> 1
+}
+
+TEST(Lif, MembraneCarriesAcrossTimesteps)
+{
+    LifParams p;
+    p.v_th = 64;
+    p.tau_shift = 1;
+    // 40 then 40: first step leaks to 20, second reaches 60 -> no
+    // spike; third step input 10 reaches 40 -> no spike.
+    LifStep s1 = stepLif(40, 0, p);
+    EXPECT_FALSE(s1.spike);
+    EXPECT_EQ(s1.membrane, 20);
+    LifStep s2 = stepLif(40, s1.membrane, p);
+    EXPECT_FALSE(s2.spike);
+    EXPECT_EQ(s2.membrane, 30);
+    LifStep s3 = stepLif(40, s2.membrane, p);
+    EXPECT_TRUE(s3.spike); // 70 > 64
+    EXPECT_EQ(s3.membrane, 0);
+}
+
+TEST(Lif, NegativeInputsLeakArithmetically)
+{
+    LifParams p;
+    p.v_th = 64;
+    p.tau_shift = 1;
+    const LifStep step = stepLif(-10, 0, p);
+    EXPECT_FALSE(step.spike);
+    EXPECT_EQ(step.membrane, -5);
+}
+
+TEST(Lif, AcrossTimestepsPacksSpikes)
+{
+    LifParams p;
+    p.v_th = 64;
+    p.tau_shift = 1;
+    // t0: 100 -> spike, reset. t1: 50 -> no. t2: 40 (U=25) -> 65 ->
+    // spike. t3: 0 -> no.
+    const TimeWord spikes = lifAcrossTimesteps({100, 50, 40, 0}, p);
+    EXPECT_EQ(spikes, 0b0101u);
+}
+
+TEST(Lif, AcrossTimestepsAllSilent)
+{
+    LifParams p;
+    p.v_th = 1000;
+    EXPECT_EQ(lifAcrossTimesteps({1, 2, 3, 4}, p), 0u);
+}
+
+TEST(Lif, TauShiftTwoQuartersTheMembrane)
+{
+    LifParams p;
+    p.v_th = 100;
+    p.tau_shift = 2;
+    EXPECT_EQ(stepLif(80, 0, p).membrane, 20);
+}
+
+TEST(Lif, SoftResetCarriesResidual)
+{
+    LifParams p;
+    p.v_th = 64;
+    p.tau_shift = 1;
+    p.reset = LifReset::Soft;
+    const LifStep step = stepLif(100, 0, p);
+    EXPECT_TRUE(step.spike);
+    EXPECT_EQ(step.membrane, (100 - 64) >> 1);
+}
+
+TEST(Lif, SoftResetFiresMoreThanHard)
+{
+    LifParams hard;
+    hard.v_th = 64;
+    LifParams soft = hard;
+    soft.reset = LifReset::Soft;
+    // A strong constant drive: soft reset preserves the excess and
+    // fires at least as often.
+    const std::vector<std::int32_t> sums = {150, 30, 30, 30, 30, 30};
+    const int hard_spikes = popcount64(lifAcrossTimesteps(sums, hard));
+    const int soft_spikes = popcount64(lifAcrossTimesteps(sums, soft));
+    EXPECT_GE(soft_spikes, hard_spikes);
+}
+
+/** Property sweep: packed result equals step-by-step recurrence. */
+class LifProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(LifProperty, PackedMatchesStepwise)
+{
+    const int v_th = std::get<0>(GetParam());
+    const int shift = std::get<1>(GetParam());
+    LifParams p;
+    p.v_th = v_th;
+    p.tau_shift = shift;
+
+    std::vector<std::int32_t> sums;
+    for (int i = 0; i < 8; ++i)
+        sums.push_back((i * 37) % 150 - 20);
+
+    TimeWord expected = 0;
+    std::int32_t u = 0;
+    for (std::size_t t = 0; t < sums.size(); ++t) {
+        const LifStep step = stepLif(sums[t], u, p);
+        if (step.spike)
+            expected |= TimeWord{1} << t;
+        u = step.membrane;
+    }
+    EXPECT_EQ(lifAcrossTimesteps(sums, p), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, LifProperty,
+    ::testing::Combine(::testing::Values(16, 64, 90),
+                       ::testing::Values(1, 2, 3)));
+
+} // namespace
+} // namespace loas

@@ -1,0 +1,115 @@
+/** @file Tests for the MemorySystem traffic accounting. */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory_system.hh"
+
+namespace loas {
+namespace {
+
+TEST(MemorySystem, CachedReadChargesSramAlways)
+{
+    MemorySystem mem(CacheConfig{}, DramConfig{});
+    mem.read(TensorCategory::Input, 0, 100);
+    mem.read(TensorCategory::Input, 0, 100);
+    const auto& stats = mem.stats();
+    EXPECT_EQ(stats.sram_read[static_cast<int>(TensorCategory::Input)],
+              200u);
+    // Only the first read misses (2 lines for 100 B at offset 0).
+    EXPECT_EQ(stats.dram_read[static_cast<int>(TensorCategory::Input)],
+              128u);
+}
+
+TEST(MemorySystem, WriteAllocateAndWriteback)
+{
+    CacheConfig small;
+    small.size_bytes = 512; // 8 lines
+    small.ways = 2;
+    MemorySystem mem(small, DramConfig{});
+    mem.write(TensorCategory::Psum, 0, 64);
+    // Evict it by filling the set (4 sets here; stride to collide).
+    const std::uint64_t stride = 4 * 64;
+    mem.read(TensorCategory::Input, stride, 64);
+    mem.read(TensorCategory::Input, 2 * stride, 64);
+    const auto& stats = mem.stats();
+    EXPECT_EQ(stats.dram_write[static_cast<int>(TensorCategory::Psum)],
+              64u);
+}
+
+TEST(MemorySystem, StreamBypassesCache)
+{
+    MemorySystem mem(CacheConfig{}, DramConfig{});
+    mem.streamRead(TensorCategory::Weight, 1000);
+    mem.streamWrite(TensorCategory::Output, 500);
+    EXPECT_EQ(mem.stats().dramReadBytes(), 1000u);
+    EXPECT_EQ(mem.stats().dramWriteBytes(), 500u);
+    EXPECT_EQ(mem.stats().sramBytes(), 0u);
+    EXPECT_EQ(mem.cacheMisses(), 0u);
+}
+
+TEST(MemorySystem, ScratchIsSramOnly)
+{
+    MemorySystem mem(CacheConfig{}, DramConfig{});
+    mem.scratchRead(TensorCategory::Psum, 256);
+    mem.scratchWrite(TensorCategory::Psum, 128);
+    EXPECT_EQ(mem.stats().sramBytes(), 384u);
+    EXPECT_EQ(mem.stats().dramBytes(), 0u);
+}
+
+TEST(MemorySystem, FlushWritesDirtyLines)
+{
+    MemorySystem mem(CacheConfig{}, DramConfig{});
+    mem.write(TensorCategory::Output, 0, 64);
+    mem.flushCache();
+    EXPECT_EQ(
+        mem.stats().dram_write[static_cast<int>(TensorCategory::Output)],
+        64u);
+}
+
+TEST(MemorySystem, DramCyclesFromBandwidth)
+{
+    DramConfig dram;
+    dram.bytes_per_cycle = 160.0; // Table III
+    MemorySystem mem(CacheConfig{}, dram);
+    EXPECT_EQ(mem.dramCyclesFor(0), 0u);
+    EXPECT_EQ(mem.dramCyclesFor(160), 1u);
+    EXPECT_EQ(mem.dramCyclesFor(161), 2u);
+    mem.streamRead(TensorCategory::Input, 1600);
+    EXPECT_EQ(mem.dramCycles(), 10u);
+}
+
+TEST(MemorySystem, CategoryBreakdown)
+{
+    MemorySystem mem(CacheConfig{}, DramConfig{});
+    mem.streamRead(TensorCategory::Input, 10);
+    mem.streamRead(TensorCategory::Weight, 20);
+    mem.streamWrite(TensorCategory::Psum, 30);
+    EXPECT_EQ(mem.stats().dramBytes(TensorCategory::Input), 10u);
+    EXPECT_EQ(mem.stats().dramBytes(TensorCategory::Weight), 20u);
+    EXPECT_EQ(mem.stats().dramBytes(TensorCategory::Psum), 30u);
+    EXPECT_EQ(mem.stats().dramBytes(), 60u);
+}
+
+TEST(TrafficStats, Accumulate)
+{
+    TrafficStats a, b;
+    a.dram_read[0] = 5;
+    a.sram_write[2] = 7;
+    b.dram_read[0] = 3;
+    b.sram_write[2] = 1;
+    a += b;
+    EXPECT_EQ(a.dram_read[0], 8u);
+    EXPECT_EQ(a.sram_write[2], 8u);
+}
+
+TEST(TrafficStats, CategoryNames)
+{
+    EXPECT_STREQ(tensorCategoryName(TensorCategory::Input), "input");
+    EXPECT_STREQ(tensorCategoryName(TensorCategory::Weight), "weight");
+    EXPECT_STREQ(tensorCategoryName(TensorCategory::Psum), "psum");
+    EXPECT_STREQ(tensorCategoryName(TensorCategory::Output), "output");
+    EXPECT_STREQ(tensorCategoryName(TensorCategory::Meta), "meta");
+}
+
+} // namespace
+} // namespace loas

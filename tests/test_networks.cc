@@ -1,0 +1,144 @@
+/** @file Tests for the reconstructed Table II network tables. */
+
+#include <gtest/gtest.h>
+
+#include "workload/networks.hh"
+
+namespace loas {
+namespace {
+
+TEST(Tables, PinnedLayersMatchTable2)
+{
+    const LayerSpec a = tables::alexnetL4();
+    EXPECT_EQ(a.m, 64u);
+    EXPECT_EQ(a.n, 256u);
+    EXPECT_EQ(a.k, 3456u);
+    EXPECT_DOUBLE_EQ(a.spike_sparsity, 0.758);
+    EXPECT_DOUBLE_EQ(a.silent_ratio, 0.632);
+    EXPECT_DOUBLE_EQ(a.silent_ratio_ft, 0.697);
+    EXPECT_DOUBLE_EQ(a.weight_sparsity, 0.989);
+
+    const LayerSpec v = tables::vgg16L8();
+    EXPECT_EQ(v.m, 16u);
+    EXPECT_EQ(v.n, 512u);
+    EXPECT_EQ(v.k, 2304u);
+    EXPECT_DOUBLE_EQ(v.spike_sparsity, 0.881);
+
+    const LayerSpec r = tables::resnet19L19();
+    EXPECT_EQ(r.k, 2304u);
+    EXPECT_DOUBLE_EQ(r.weight_sparsity, 0.991);
+
+    const LayerSpec t = tables::transformerHff();
+    EXPECT_EQ(t.m, 784u);
+    EXPECT_EQ(t.n, 3072u);
+    EXPECT_EQ(t.k, 3072u);
+    EXPECT_DOUBLE_EQ(t.silent_ratio_ft, 0.868);
+}
+
+TEST(Tables, LayerCountsMatchTable2)
+{
+    EXPECT_EQ(tables::alexnet().layers.size(), 7u);
+    EXPECT_EQ(tables::vgg16().layers.size(), 14u);
+    EXPECT_EQ(tables::resnet19().layers.size(), 19u);
+}
+
+TEST(Tables, NetworkAveragesReproduceTable2)
+{
+    const NetworkSpec alex = tables::alexnet();
+    EXPECT_NEAR(alex.avgSpikeSparsity(), 0.812, 0.002);
+    EXPECT_NEAR(alex.avgSilentRatio(), 0.713, 0.002);
+    EXPECT_NEAR(alex.avgSilentRatioFt(), 0.767, 0.002);
+    EXPECT_NEAR(alex.avgWeightSparsity(), 0.982, 0.002);
+
+    const NetworkSpec vgg = tables::vgg16();
+    EXPECT_NEAR(vgg.avgSpikeSparsity(), 0.823, 0.002);
+    EXPECT_NEAR(vgg.avgSilentRatio(), 0.741, 0.002);
+    EXPECT_NEAR(vgg.avgSilentRatioFt(), 0.796, 0.002);
+    EXPECT_NEAR(vgg.avgWeightSparsity(), 0.982, 0.002);
+
+    const NetworkSpec res = tables::resnet19();
+    EXPECT_NEAR(res.avgSpikeSparsity(), 0.686, 0.002);
+    EXPECT_NEAR(res.avgSilentRatio(), 0.596, 0.002);
+    EXPECT_NEAR(res.avgSilentRatioFt(), 0.661, 0.002);
+    EXPECT_NEAR(res.avgWeightSparsity(), 0.968, 0.002);
+}
+
+TEST(Tables, PinnedLayersEmbeddedInNetworks)
+{
+    const NetworkSpec alex = tables::alexnet();
+    EXPECT_EQ(alex.layers[3].name, "A-L4");
+    EXPECT_EQ(alex.layers[3].k, 3456u);
+    const NetworkSpec vgg = tables::vgg16();
+    EXPECT_EQ(vgg.layers[7].name, "V-L8");
+    const NetworkSpec res = tables::resnet19();
+    EXPECT_EQ(res.layers[17].name, "R-L19");
+}
+
+TEST(Tables, EveryLayerIsFeasible)
+{
+    for (const auto& net : tables::allNetworks()) {
+        for (const auto& layer : net.layers) {
+            EXPECT_GT(layer.m, 0u);
+            EXPECT_GT(layer.n, 0u);
+            EXPECT_GT(layer.k, 0u);
+            EXPECT_GT(layer.spike_sparsity, 0.0);
+            EXPECT_LT(layer.spike_sparsity, 1.0);
+            EXPECT_GT(layer.silent_ratio, 0.0);
+            EXPECT_LT(layer.silent_ratio, 1.0);
+            EXPECT_GE(layer.silent_ratio_ft, layer.silent_ratio);
+            // Mean spikes per active neuron within [1, T].
+            const double d0 = 1.0 - layer.spike_sparsity;
+            const double mu =
+                d0 * layer.t / (1.0 - layer.silent_ratio);
+            EXPECT_GE(mu, 1.0) << net.name << " " << layer.name;
+            EXPECT_LE(mu, layer.t) << net.name << " " << layer.name;
+            const double mu_ft =
+                d0 * layer.t / (1.0 - layer.silent_ratio_ft);
+            EXPECT_GE(mu_ft, 2.0) << net.name << " " << layer.name;
+            EXPECT_LE(mu_ft, layer.t) << net.name << " " << layer.name;
+        }
+    }
+}
+
+TEST(Tables, SparsityRampsWithDepth)
+{
+    // Deeper layers are on average sparser than early layers (the
+    // pinned published layer may locally break monotonicity).
+    for (const auto& net : tables::allNetworks()) {
+        const auto& layers = net.layers;
+        double head = 0.0, tail = 0.0;
+        for (std::size_t i = 0; i < 3; ++i) {
+            head += layers[i].spike_sparsity;
+            tail += layers[layers.size() - 1 - i].spike_sparsity;
+        }
+        EXPECT_GT(tail, head) << net.name;
+    }
+}
+
+TEST(Tables, WithTimestepsScalesSilentRatio)
+{
+    const LayerSpec base = tables::vgg16L8();
+    const LayerSpec t8 = tables::withTimesteps(base, 8);
+    const LayerSpec t16 = tables::withTimesteps(base, 16);
+    EXPECT_EQ(t8.t, 8);
+    // Origin bit sparsity is held; silent ratio decays with T.
+    EXPECT_DOUBLE_EQ(t8.spike_sparsity, base.spike_sparsity);
+    EXPECT_LT(t8.silent_ratio, base.silent_ratio);
+    EXPECT_LT(t16.silent_ratio, t8.silent_ratio);
+    // FT silent ratio decays more slowly (Fig. 16b).
+    const double drop8 = base.silent_ratio - t8.silent_ratio;
+    const double drop8_ft = base.silent_ratio_ft - t8.silent_ratio_ft;
+    EXPECT_LT(drop8_ft, drop8);
+}
+
+TEST(Tables, WeightSparsityVariant)
+{
+    const LayerSpec low = tables::vgg16L8WithWeightSparsity(0.25, 4);
+    EXPECT_DOUBLE_EQ(low.weight_sparsity, 0.25);
+    EXPECT_EQ(low.t, 4);
+    const LayerSpec t8 = tables::vgg16L8WithWeightSparsity(0.982, 8);
+    EXPECT_EQ(t8.t, 8);
+}
+
+} // namespace
+} // namespace loas

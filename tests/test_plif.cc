@@ -1,0 +1,51 @@
+/** @file Tests for the P-LIF unit. */
+
+#include <gtest/gtest.h>
+
+#include "core/plif.hh"
+
+namespace loas {
+namespace {
+
+TEST(Plif, MatchesScalarRecurrence)
+{
+    LifParams p;
+    p.v_th = 64;
+    p.tau_shift = 1;
+    const Plif plif(p, 4);
+    const PlifResult r = plif.fire({100, 50, 40, 0});
+    EXPECT_EQ(r.spikes, lifAcrossTimesteps({100, 50, 40, 0}, p));
+}
+
+TEST(Plif, OneOpPerTimestep)
+{
+    const Plif plif(LifParams{}, 4);
+    EXPECT_EQ(plif.fire({0, 0, 0, 0}).ops.lif_ops, 4u);
+    const Plif plif8(LifParams{}, 8);
+    EXPECT_EQ(plif8.fire({0, 0, 0, 0, 0, 0, 0, 0}).ops.lif_ops, 8u);
+}
+
+TEST(Plif, LatencyIsOneStagePerTimestep)
+{
+    EXPECT_EQ(Plif(LifParams{}, 4).latency(), 4u);
+    EXPECT_EQ(Plif(LifParams{}, 16).latency(), 16u);
+}
+
+TEST(PlifDeath, WrongSumCount)
+{
+    const Plif plif(LifParams{}, 4);
+    EXPECT_DEATH(plif.fire({1, 2, 3}), "P-LIF");
+}
+
+TEST(Plif, MembraneCarryProducesLaterSpike)
+{
+    LifParams p;
+    p.v_th = 64;
+    p.tau_shift = 1;
+    const Plif plif(p, 3);
+    // 40 -> U 20; 40 -> 60, U 30; 40 -> 70 > 64 -> spike at t2 only.
+    EXPECT_EQ(plif.fire({40, 40, 40}).spikes, 0b100u);
+}
+
+} // namespace
+} // namespace loas

@@ -1,0 +1,56 @@
+/** @file Tests for the prefix-sum circuit models. */
+
+#include <gtest/gtest.h>
+
+#include "core/prefix_sum.hh"
+
+namespace loas {
+namespace {
+
+TEST(PrefixSum, OffsetsAreRanks)
+{
+    Bitmask mask(16);
+    mask.set(1);
+    mask.set(4);
+    mask.set(9);
+    mask.set(15);
+    const auto offs = prefix_sum::offsets(mask, {1, 4, 9, 15});
+    ASSERT_EQ(offs.size(), 4u);
+    EXPECT_EQ(offs[0], 0u);
+    EXPECT_EQ(offs[1], 1u);
+    EXPECT_EQ(offs[2], 2u);
+    EXPECT_EQ(offs[3], 3u);
+}
+
+TEST(PrefixSum, OffsetsOnSubset)
+{
+    Bitmask mask(300);
+    for (std::size_t i = 0; i < 300; i += 3)
+        mask.set(i);
+    const auto offs = prefix_sum::offsets(mask, {0, 30, 150});
+    EXPECT_EQ(offs[0], 0u);
+    EXPECT_EQ(offs[1], 10u);
+    EXPECT_EQ(offs[2], 50u);
+}
+
+TEST(FastPrefixSum, SingleCycleLatency)
+{
+    EXPECT_EQ(FastPrefixSum::kLatency, 1u);
+}
+
+TEST(LaggyPrefixSum, LatencyMatchesTable3)
+{
+    // Table III: 16 adders over a 128-bit buffer -> 8 cycles.
+    const LaggyPrefixSum laggy(128, 16);
+    EXPECT_EQ(laggy.readyLatency(), 8u);
+}
+
+TEST(LaggyPrefixSum, LatencyScalesWithAdders)
+{
+    EXPECT_EQ(LaggyPrefixSum(128, 32).readyLatency(), 4u);
+    EXPECT_EQ(LaggyPrefixSum(128, 8).readyLatency(), 16u);
+    EXPECT_EQ(LaggyPrefixSum(100, 16).readyLatency(), 7u);
+}
+
+} // namespace
+} // namespace loas

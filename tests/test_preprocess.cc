@@ -1,0 +1,88 @@
+/** @file Tests for sparsity metrics and fine-tuned preprocessing. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "snn/metrics.hh"
+#include "snn/preprocess.hh"
+
+namespace loas {
+namespace {
+
+TEST(Metrics, ComputesTable2Columns)
+{
+    SpikeTensor a(2, 2, 4);
+    a.setWord(0, 0, 0b0001); // single spike
+    a.setWord(0, 1, 0b1011); // three spikes
+    // two silent
+    const SpikeStats stats = computeSpikeStats(a);
+    EXPECT_DOUBLE_EQ(stats.origin_sparsity, 1.0 - 4.0 / 16.0);
+    EXPECT_DOUBLE_EQ(stats.silent_ratio, 0.5);
+    EXPECT_DOUBLE_EQ(stats.single_spike_ratio, 0.25);
+    EXPECT_EQ(stats.neurons, 4u);
+    EXPECT_EQ(stats.spikes, 4u);
+}
+
+TEST(Metrics, WeightSparsity)
+{
+    DenseMatrix<std::int8_t> b(2, 2, 0);
+    b(0, 0) = 1;
+    EXPECT_DOUBLE_EQ(weightSparsity(b), 0.75);
+}
+
+TEST(Preprocess, MasksSingleSpikeNeurons)
+{
+    SpikeTensor a(1, 3, 4);
+    a.setWord(0, 0, 0b0001); // single -> masked
+    a.setWord(0, 1, 0b0011); // double -> kept
+    // neuron 2 already silent
+    const std::size_t masked = maskLowActivityNeurons(a, 1);
+    EXPECT_EQ(masked, 1u);
+    EXPECT_EQ(a.word(0, 0), 0u);
+    EXPECT_EQ(a.word(0, 1), 0b0011u);
+    EXPECT_EQ(a.silentCount(), 2u);
+}
+
+TEST(Preprocess, ThresholdTwoMasksDoubles)
+{
+    SpikeTensor a(1, 2, 4);
+    a.setWord(0, 0, 0b0011);
+    a.setWord(0, 1, 0b0111);
+    EXPECT_EQ(maskLowActivityNeurons(a, 2), 1u);
+    EXPECT_EQ(a.word(0, 0), 0u);
+    EXPECT_EQ(a.word(0, 1), 0b0111u);
+}
+
+TEST(Preprocess, IdempotentOnSecondPass)
+{
+    Rng rng(8);
+    SpikeTensor a(10, 50, 4);
+    for (std::size_t r = 0; r < 10; ++r)
+        for (std::size_t c = 0; c < 50; ++c)
+            for (int t = 0; t < 4; ++t)
+                if (rng.bernoulli(0.2))
+                    a.setSpike(r, c, t);
+    maskLowActivityNeurons(a, 1);
+    EXPECT_EQ(maskLowActivityNeurons(a, 1), 0u);
+}
+
+TEST(Preprocess, IncreasesSilentRatioMonotonically)
+{
+    Rng rng(15);
+    SpikeTensor a(20, 100, 4);
+    for (std::size_t r = 0; r < 20; ++r)
+        for (std::size_t c = 0; c < 100; ++c)
+            for (int t = 0; t < 4; ++t)
+                if (rng.bernoulli(0.25))
+                    a.setSpike(r, c, t);
+    const double before = a.silentRatio();
+    const std::size_t masked = maskLowActivityNeurons(a, 1);
+    EXPECT_GT(masked, 0u);
+    EXPECT_GT(a.silentRatio(), before);
+    // Paper Section V: preprocessing creates up to ~1.1x more silent
+    // neurons; at these densities the effect is clearly visible.
+    EXPECT_GT(a.silentRatio(), before * 1.05);
+}
+
+} // namespace
+} // namespace loas

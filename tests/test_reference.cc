@@ -1,0 +1,146 @@
+/** @file Tests for the functional reference SNN layer (Eq. 1-3). */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "snn/reference.hh"
+
+namespace loas {
+namespace {
+
+TEST(Reference, HandComputedMatmul)
+{
+    // A (1 x 2 x 2), B (2 x 2).
+    SpikeTensor a(1, 2, 2);
+    a.setSpike(0, 0, 0);
+    a.setSpike(0, 1, 0);
+    a.setSpike(0, 1, 1);
+    DenseMatrix<std::int8_t> b(2, 2, 0);
+    b(0, 0) = 3;
+    b(0, 1) = -1;
+    b(1, 0) = 2;
+    b(1, 1) = 4;
+
+    const auto o0 = referenceMatmulAtT(a, b, 0);
+    EXPECT_EQ(o0(0, 0), 5);  // 3 + 2
+    EXPECT_EQ(o0(0, 1), 3);  // -1 + 4
+    const auto o1 = referenceMatmulAtT(a, b, 1);
+    EXPECT_EQ(o1(0, 0), 2);
+    EXPECT_EQ(o1(0, 1), 4);
+}
+
+TEST(Reference, LayerAppliesLifRecurrence)
+{
+    SpikeTensor a(1, 1, 3);
+    a.setSpike(0, 0, 0);
+    a.setSpike(0, 0, 1);
+    a.setSpike(0, 0, 2);
+    DenseMatrix<std::int8_t> b(1, 1, 0);
+    b(0, 0) = 50;
+    LifParams p;
+    p.v_th = 64;
+    p.tau_shift = 1;
+
+    // t0: X=50, no spike, U=25. t1: X=75 -> spike, U=0. t2: X=50, no.
+    const SpikeTensor c = referenceSnnLayer(a, b, p);
+    EXPECT_EQ(c.word(0, 0), 0b010u);
+}
+
+TEST(Reference, FullSumsExposed)
+{
+    SpikeTensor a(2, 3, 2);
+    a.setSpike(0, 0, 0);
+    a.setSpike(1, 2, 1);
+    DenseMatrix<std::int8_t> b(3, 2, 0);
+    b(0, 0) = 7;
+    b(2, 1) = -3;
+    LifParams p;
+
+    DenseMatrix<std::int32_t> sums;
+    referenceSnnLayer(a, b, p, &sums);
+    ASSERT_EQ(sums.rows(), 2u);
+    ASSERT_EQ(sums.cols(), 4u); // n * T
+    EXPECT_EQ(sums(0, 0 * 2 + 0), 7);
+    EXPECT_EQ(sums(0, 0 * 2 + 1), 0);
+    EXPECT_EQ(sums(1, 1 * 2 + 1), -3);
+}
+
+TEST(Reference, SilentInputYieldsSilentOutput)
+{
+    SpikeTensor a(3, 5, 4);
+    DenseMatrix<std::int8_t> b(5, 6, 1);
+    LifParams p;
+    const SpikeTensor c = referenceSnnLayer(a, b, p);
+    EXPECT_EQ(c.countSpikes(), 0u);
+}
+
+TEST(Reference, AcOpsCountsSpikeWeightPairs)
+{
+    SpikeTensor a(1, 2, 2);
+    a.setWord(0, 0, 0b11); // two spikes
+    a.setWord(0, 1, 0b01); // one spike
+    DenseMatrix<std::int8_t> b(2, 3, 0);
+    b(0, 0) = 1; // row 0 has 1 non-zero
+    b(1, 0) = 1;
+    b(1, 2) = 1; // row 1 has 2 non-zeros
+    EXPECT_EQ(referenceAcOps(a, b), 2u * 1 + 1u * 2);
+}
+
+TEST(ReferenceDeath, ShapeMismatch)
+{
+    SpikeTensor a(1, 3, 2);
+    DenseMatrix<std::int8_t> b(4, 2, 0);
+    EXPECT_DEATH(referenceMatmulAtT(a, b, 0), "shape mismatch");
+}
+
+/**
+ * Property: the layer output is invariant to the order in which we
+ * evaluate timesteps (the matmul is per-timestep independent), and
+ * matches a naive per-element recomputation.
+ */
+class ReferenceProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ReferenceProperty, MatchesNaiveRecomputation)
+{
+    Rng rng(GetParam() * 31 + 5);
+    const std::size_t m = 1 + rng.uniformInt(6);
+    const std::size_t k = 1 + rng.uniformInt(20);
+    const std::size_t n = 1 + rng.uniformInt(8);
+    const int timesteps = 1 + static_cast<int>(rng.uniformInt(6));
+
+    SpikeTensor a(m, k, timesteps);
+    for (std::size_t r = 0; r < m; ++r)
+        for (std::size_t c = 0; c < k; ++c)
+            for (int t = 0; t < timesteps; ++t)
+                if (rng.bernoulli(0.3))
+                    a.setSpike(r, c, t);
+    DenseMatrix<std::int8_t> b(k, n, 0);
+    for (std::size_t r = 0; r < k; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            if (rng.bernoulli(0.4))
+                b(r, c) = static_cast<std::int8_t>(
+                    static_cast<int>(rng.uniformInt(100)) - 50);
+
+    LifParams p;
+    p.v_th = 20;
+    const SpikeTensor out = referenceSnnLayer(a, b, p);
+
+    for (std::size_t row = 0; row < m; ++row)
+        for (std::size_t col = 0; col < n; ++col) {
+            std::vector<std::int32_t> sums(
+                static_cast<std::size_t>(timesteps), 0);
+            for (int t = 0; t < timesteps; ++t)
+                for (std::size_t kk = 0; kk < k; ++kk)
+                    if (a.spike(row, kk, t))
+                        sums[static_cast<std::size_t>(t)] += b(kk, col);
+            EXPECT_EQ(out.word(row, col), lifAcrossTimesteps(sums, p));
+        }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReferenceProperty,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+} // namespace
+} // namespace loas

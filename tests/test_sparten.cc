@@ -1,0 +1,114 @@
+/** @file Tests for the SparTen-SNN / SparTen-ANN baseline. */
+
+#include <gtest/gtest.h>
+
+#include "baselines/sparten.hh"
+#include "common/rng.hh"
+#include "snn/reference.hh"
+#include "workload/generator.hh"
+#include "workload/networks.hh"
+
+namespace loas {
+namespace {
+
+TEST(Sparten, OutputMatchesReference)
+{
+    const LayerData layer = generateLayer(tables::vgg16L8(), 1);
+    SpartenSim sim;
+    sim.runLayer(layer);
+    const SpikeTensor expected = referenceSnnLayer(
+        layer.spikes, layer.weights, SpartenConfig{}.lif);
+    EXPECT_EQ(sim.lastOutput(), expected);
+}
+
+TEST(Sparten, SequentialTimestepsCostMoreThanOne)
+{
+    // The core observation of the paper: T sequential timesteps cost
+    // roughly T mask scans plus per-timestep restarts.
+    LayerSpec spec = tables::vgg16L8();
+    const LayerData t4 = generateLayer(spec, 2);
+    const LayerSpec spec1 = tables::withTimesteps(spec, 1);
+    const LayerData t1 = generateLayer(spec1, 2);
+    SpartenSim sim;
+    const auto r4 = sim.runLayer(t4);
+    const auto r1 = sim.runLayer(t1);
+    EXPECT_GT(r4.compute_cycles,
+              3 * r1.compute_cycles);
+}
+
+TEST(Sparten, FetchesDenseSpikeTrains)
+{
+    // SparTen-SNN uses the raw spike train as bitmask-and-data: every
+    // bit of A crosses the SRAM interface, every timestep (Section
+    // II-D), unlike LoAS's non-silent-only fetches.
+    const LayerData layer = generateLayer(tables::vgg16L8(), 3);
+    SpartenSim sim;
+    const RunResult r = sim.runLayer(layer);
+    const std::uint64_t input_sram =
+        r.traffic.sramBytes(TensorCategory::Input);
+    // One full dense pass per (output-column, timestep).
+    const std::uint64_t dense_per_pass =
+        layer.spikes.denseBytesPerTimestep();
+    EXPECT_GE(input_sram,
+              dense_per_pass * layer.spec.n * layer.spec.t / 2);
+}
+
+TEST(Sparten, AnnModeRunsAndCountsMacs)
+{
+    LayerSpec spec = tables::vgg16L8();
+    spec.spike_sparsity = 0.439; // ANN activation sparsity (Fig. 18)
+    const AnnLayerData ann = generateAnnLayer(spec, 4);
+    SpartenSim sim;
+    const RunResult r = sim.runAnnLayer(ann);
+    EXPECT_EQ(r.accel, "SparTen-ANN");
+    EXPECT_GT(r.ops.mac_ops, 0u);
+    EXPECT_EQ(r.ops.acc_ops, 0u);
+    // Two fast prefix circuits per match.
+    EXPECT_EQ(r.ops.fast_prefix_ops, 2 * r.ops.mac_ops);
+    EXPECT_GT(r.total_cycles, 0u);
+}
+
+TEST(Sparten, WaveParallelismUsesAllPes)
+{
+    // 16 PEs: doubling the PE count roughly halves the cycles.
+    const LayerData layer = generateLayer(tables::vgg16L8(), 5);
+    SpartenConfig c16;
+    SpartenConfig c32;
+    c32.num_pes = 32;
+    SpartenSim s16(c16), s32(c32);
+    const auto r16 = s16.runLayer(layer);
+    const auto r32 = s32.runLayer(layer);
+    EXPECT_LT(r32.compute_cycles, r16.compute_cycles * 3 / 4);
+}
+
+/** Property: SparTen-SNN is functionally exact too. */
+class SpartenProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SpartenProperty, BitExactAgainstReference)
+{
+    Rng rng(GetParam() * 7 + 1);
+    LayerSpec spec;
+    spec.name = "prop";
+    spec.t = 1 + static_cast<int>(rng.uniformInt(4));
+    spec.m = 1 + rng.uniformInt(12);
+    spec.n = 1 + rng.uniformInt(24);
+    spec.k = 1 + rng.uniformInt(300);
+    spec.spike_sparsity = rng.uniform(0.3, 0.9);
+    spec.silent_ratio = spec.spike_sparsity * 0.7;
+    spec.silent_ratio_ft = spec.silent_ratio;
+    spec.weight_sparsity = rng.uniform(0.3, 0.95);
+    const LayerData layer = generateLayer(spec, GetParam());
+    SpartenSim sim;
+    sim.runLayer(layer);
+    const SpikeTensor expected = referenceSnnLayer(
+        layer.spikes, layer.weights, SpartenConfig{}.lif);
+    EXPECT_EQ(sim.lastOutput(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpartenProperty,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+} // namespace
+} // namespace loas

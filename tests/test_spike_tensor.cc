@@ -1,0 +1,122 @@
+/** @file Unit tests for the temporally packed SpikeTensor. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "tensor/spike_tensor.hh"
+
+namespace loas {
+namespace {
+
+TEST(SpikeTensor, StartsSilent)
+{
+    SpikeTensor a(4, 8, 4);
+    EXPECT_EQ(a.countSpikes(), 0u);
+    EXPECT_EQ(a.silentCount(), 32u);
+    EXPECT_DOUBLE_EQ(a.silentRatio(), 1.0);
+    EXPECT_DOUBLE_EQ(a.originSparsity(), 1.0);
+}
+
+TEST(SpikeTensor, SetAndReadSpikes)
+{
+    SpikeTensor a(2, 3, 4);
+    a.setSpike(0, 0, 0);
+    a.setSpike(0, 0, 2);
+    a.setSpike(1, 2, 3);
+    EXPECT_TRUE(a.spike(0, 0, 0));
+    EXPECT_FALSE(a.spike(0, 0, 1));
+    EXPECT_TRUE(a.spike(0, 0, 2));
+    EXPECT_TRUE(a.spike(1, 2, 3));
+    EXPECT_EQ(a.word(0, 0), 0b0101u);
+    EXPECT_EQ(a.word(1, 2), 0b1000u);
+    EXPECT_EQ(a.countSpikes(), 3u);
+    a.setSpike(0, 0, 2, false);
+    EXPECT_EQ(a.word(0, 0), 0b0001u);
+}
+
+TEST(SpikeTensor, Fig8Example)
+{
+    // Fig. 8 of the paper: neuron a00 fires at t0 and t2 -> packed
+    // word 0101 (bit t = spike at timestep t); a03 fires at t1,t2,t3.
+    SpikeTensor a(1, 4, 4);
+    a.setWord(0, 0, 0b0101);
+    a.setWord(0, 3, 0b1110);
+    EXPECT_TRUE(a.spike(0, 0, 0));
+    EXPECT_FALSE(a.spike(0, 0, 1));
+    EXPECT_TRUE(a.spike(0, 0, 2));
+    EXPECT_EQ(a.silentCount(), 2u); // a01 and a02 are silent
+    EXPECT_DOUBLE_EQ(a.silentRatio(), 0.5);
+    EXPECT_EQ(a.countSpikes(), 5u);
+}
+
+TEST(SpikeTensor, Statistics)
+{
+    SpikeTensor a(2, 2, 4);
+    a.setWord(0, 0, 0b1111);
+    a.setWord(0, 1, 0b0001);
+    // (1,0) and (1,1) stay silent.
+    EXPECT_EQ(a.countSpikes(), 5u);
+    EXPECT_DOUBLE_EQ(a.originSparsity(), 1.0 - 5.0 / 16.0);
+    EXPECT_EQ(a.silentCount(), 2u);
+    EXPECT_EQ(a.singleSpikeCount(), 1u);
+}
+
+TEST(SpikeTensor, DenseBytes)
+{
+    SpikeTensor a(16, 2304, 4);
+    EXPECT_EQ(a.denseBytes(), 16u * 2304 * 4 / 8);
+    EXPECT_EQ(a.denseBytesPerTimestep(), 16u * 2304 / 8);
+}
+
+TEST(SpikeTensorDeath, RejectsBadTimestep)
+{
+    SpikeTensor a(1, 1, 4);
+    EXPECT_DEATH(a.spike(0, 0, 4), "timestep");
+    EXPECT_DEATH(a.setSpike(0, 0, -1, true), "timestep");
+}
+
+TEST(SpikeTensorDeath, RejectsWordAboveTimesteps)
+{
+    SpikeTensor a(1, 1, 4);
+    EXPECT_DEATH(a.setWord(0, 0, 0x10), "bits above");
+}
+
+/** Property: statistics agree with a per-bit recount. */
+class SpikeTensorProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SpikeTensorProperty, StatsMatchRecount)
+{
+    Rng rng(GetParam());
+    const std::size_t rows = 1 + rng.uniformInt(20);
+    const std::size_t cols = 1 + rng.uniformInt(40);
+    const int timesteps = 1 + static_cast<int>(rng.uniformInt(8));
+    SpikeTensor a(rows, cols, timesteps);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            for (int t = 0; t < timesteps; ++t)
+                if (rng.bernoulli(0.25))
+                    a.setSpike(r, c, t);
+
+    std::uint64_t spikes = 0;
+    std::size_t silent = 0, single = 0;
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c) {
+            int count = 0;
+            for (int t = 0; t < timesteps; ++t)
+                count += a.spike(r, c, t) ? 1 : 0;
+            spikes += static_cast<std::uint64_t>(count);
+            silent += count == 0;
+            single += count == 1;
+        }
+    EXPECT_EQ(a.countSpikes(), spikes);
+    EXPECT_EQ(a.silentCount(), silent);
+    EXPECT_EQ(a.singleSpikeCount(), single);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpikeTensorProperty,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+} // namespace
+} // namespace loas

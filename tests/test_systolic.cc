@@ -1,0 +1,89 @@
+/** @file Tests for the PTB / Stellar systolic baselines (Fig. 19). */
+
+#include <gtest/gtest.h>
+
+#include "baselines/systolic.hh"
+#include "workload/generator.hh"
+#include "workload/networks.hh"
+
+namespace loas {
+namespace {
+
+TEST(Systolic, PtbCyclesAreDense)
+{
+    // PTB streams every input position: cycles track M*K*ceil(N/16)
+    // regardless of sparsity.
+    const LayerData layer = generateLayer(tables::vgg16L8(), 1);
+    PtbSim sim;
+    const RunResult r = sim.runLayer(layer);
+    const std::uint64_t tiles = (512 + 15) / 16;
+    const std::uint64_t stream = 16ull * 2304;
+    EXPECT_GE(r.compute_cycles, tiles * stream);
+    EXPECT_LE(r.compute_cycles, tiles * (stream + 2304 + 64));
+}
+
+TEST(Systolic, StellarSkipsZeroSpikes)
+{
+    // Stellar's spike-skipping makes it far faster than PTB on the
+    // same sparse workload (Fig. 19: Stellar outperforms PTB).
+    const LayerData layer = generateLayer(tables::vgg16L8(), 2);
+    PtbSim ptb;
+    StellarSim stellar;
+    const RunResult r_ptb = ptb.runLayer(layer);
+    const RunResult r_stellar = stellar.runLayer(layer);
+    EXPECT_LT(r_stellar.compute_cycles, r_ptb.compute_cycles / 2);
+}
+
+TEST(Systolic, DenseWeightTraffic)
+{
+    // Neither design exploits weight sparsity: the full dense K*N
+    // int8 weights cross DRAM.
+    const LayerData layer = generateLayer(tables::vgg16L8(), 3);
+    PtbSim sim;
+    const RunResult r = sim.runLayer(layer);
+    EXPECT_GE(r.traffic.dram_read[static_cast<int>(
+                  TensorCategory::Weight)],
+              layer.spec.k * layer.spec.n);
+}
+
+TEST(Systolic, StellarDenseWorkloadEqualsPtb)
+{
+    // On a fully dense workload spike skipping buys nothing.
+    LayerSpec spec;
+    spec.name = "dense";
+    spec.t = 4;
+    spec.m = 8;
+    spec.n = 32;
+    spec.k = 128;
+    spec.spike_sparsity = 0.0;
+    spec.silent_ratio = 0.0;
+    spec.silent_ratio_ft = 0.0;
+    spec.weight_sparsity = 0.0;
+    const LayerData layer = generateLayer(spec, 4);
+    PtbSim ptb;
+    StellarSim stellar;
+    EXPECT_EQ(ptb.runLayer(layer).compute_cycles,
+              stellar.runLayer(layer).compute_cycles);
+}
+
+TEST(Systolic, AccOpsGatedBySpikes)
+{
+    const LayerData layer = generateLayer(tables::vgg16L8(), 5);
+    PtbSim sim;
+    const RunResult r = sim.runLayer(layer);
+    EXPECT_EQ(r.ops.acc_ops,
+              layer.spikes.countSpikes() * layer.spec.n);
+}
+
+TEST(Systolic, LifOpsPerOutputTimestep)
+{
+    const LayerData layer = generateLayer(tables::vgg16L8(), 6);
+    StellarSim sim;
+    const RunResult r = sim.runLayer(layer);
+    EXPECT_EQ(r.ops.lif_ops,
+              static_cast<std::uint64_t>(layer.spec.m) * layer.spec.n *
+                  static_cast<std::uint64_t>(layer.spec.t));
+}
+
+} // namespace
+} // namespace loas

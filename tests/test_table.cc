@@ -1,0 +1,67 @@
+/** @file Unit tests for the ASCII table / CSV emitters. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace loas {
+namespace {
+
+TEST(TextTable, RendersHeadersAndRows)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"alpha", "1"});
+    table.addRow({"beta", "22"});
+    const std::string out = table.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    // Header, rule, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, ColumnsAligned)
+{
+    TextTable table({"a", "b"});
+    table.addRow({"xxxxxx", "y"});
+    const std::string out = table.str();
+    std::istringstream is(out);
+    std::string line1, line2;
+    std::getline(is, line1);
+    std::getline(is, line2);
+    std::string line3;
+    std::getline(is, line3);
+    EXPECT_EQ(line1.size(), line3.size());
+}
+
+TEST(TextTable, Formatters)
+{
+    EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::fmtX(4.081, 2), "4.08x");
+    EXPECT_EQ(TextTable::fmtInt(1234567), "1,234,567");
+    EXPECT_EQ(TextTable::fmtInt(12), "12");
+    EXPECT_EQ(TextTable::fmtPct(0.812, 1), "81.2%");
+}
+
+TEST(CsvWriter, WritesRows)
+{
+    const std::string path = "/tmp/loas_test_csv.csv";
+    {
+        CsvWriter csv(path, {"x", "y"});
+        csv.addRow({"1", "2"});
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "x,y");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1,2");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace loas

@@ -1,0 +1,164 @@
+/** @file Tests for the BPTT / LTH training substrate. */
+
+#include <gtest/gtest.h>
+
+#include "train/mlp_snn.hh"
+
+namespace loas {
+namespace {
+
+MlpSnnConfig
+tinyConfig()
+{
+    MlpSnnConfig config;
+    config.inputs = 12;
+    config.hidden = 32;
+    config.classes = 4;
+    config.timesteps = 4;
+    return config;
+}
+
+Dataset
+tinyData(std::uint64_t seed = 1)
+{
+    return makeClusterDataset(320, 12, 4, 0.35, seed);
+}
+
+TEST(Dataset, ShapesAndLabels)
+{
+    const Dataset data = tinyData();
+    EXPECT_EQ(data.size(), 320u);
+    EXPECT_EQ(data.x.rows(), 320u);
+    EXPECT_EQ(data.x.cols(), 12u);
+    for (const auto label : data.y) {
+        EXPECT_GE(label, 0);
+        EXPECT_LT(label, 4);
+    }
+}
+
+TEST(Dataset, SplitPreservesSamples)
+{
+    const Dataset data = tinyData();
+    const auto [train, test] = splitDataset(data, 0.75);
+    EXPECT_EQ(train.size(), 240u);
+    EXPECT_EQ(test.size(), 80u);
+    EXPECT_EQ(train.x(0, 0), data.x(0, 0));
+    EXPECT_EQ(test.y[0], data.y[240]);
+}
+
+TEST(Train, LossDecreases)
+{
+    const Dataset data = tinyData();
+    MlpSnn snn(tinyConfig(), 3);
+    const float first = snn.trainEpoch(data);
+    float last = first;
+    for (int e = 0; e < 4; ++e)
+        last = snn.trainEpoch(data);
+    EXPECT_LT(last, first);
+}
+
+TEST(Train, BeatsChanceAfterTraining)
+{
+    const Dataset data = tinyData();
+    const auto [train, test] = splitDataset(data, 0.8);
+    MlpSnn snn(tinyConfig(), 3);
+    for (int e = 0; e < 6; ++e)
+        snn.trainEpoch(train);
+    EXPECT_GT(snn.accuracy(test), 0.5); // chance is 0.25
+}
+
+TEST(Train, PruningReachesTargetSparsity)
+{
+    MlpSnn snn(tinyConfig(), 5);
+    EXPECT_NEAR(snn.weightSparsity(), 0.0, 1e-9);
+    snn.pruneToSparsity(0.6);
+    EXPECT_NEAR(snn.weightSparsity(), 0.6, 0.02);
+    snn.pruneToSparsity(0.9);
+    EXPECT_NEAR(snn.weightSparsity(), 0.9, 0.02);
+    // Lowering the target is a no-op (pruning is monotone).
+    snn.pruneToSparsity(0.5);
+    EXPECT_NEAR(snn.weightSparsity(), 0.9, 0.02);
+}
+
+TEST(Train, RewindRestoresSurvivors)
+{
+    const Dataset data = tinyData();
+    MlpSnn a(tinyConfig(), 7);
+    MlpSnn b(tinyConfig(), 7); // identical init
+    a.trainEpoch(data);
+    a.pruneToSparsity(0.5);
+    a.rewindWeights();
+    // After rewind, surviving weights equal the untouched twin's init
+    // => the two nets classify identically when b is given a's mask.
+    b.pruneToSparsity(0.0); // no-op
+    // Indirect check: rewound net still functions and has the mask.
+    EXPECT_NEAR(a.weightSparsity(), 0.5, 0.02);
+    EXPECT_GT(a.accuracy(data), 0.0);
+}
+
+TEST(Train, LotteryTicketRecoversAccuracy)
+{
+    const Dataset data = tinyData(9);
+    const auto [train, test] = splitDataset(data, 0.8);
+    MlpSnn snn(tinyConfig(), 11);
+    for (int e = 0; e < 6; ++e)
+        snn.trainEpoch(train);
+    const double dense_acc = snn.accuracy(test);
+    snn.pruneToSparsity(0.7);
+    snn.rewindWeights();
+    for (int e = 0; e < 8; ++e)
+        snn.trainEpoch(train);
+    const double sparse_acc = snn.accuracy(test);
+    EXPECT_GT(sparse_acc, dense_acc - 0.15);
+}
+
+TEST(Train, MaskingSilencesNeuronsAndFtRecovers)
+{
+    // The Fig. 11 trend: masking costs a little accuracy; a few
+    // fine-tuning epochs recover most of it.
+    const Dataset data = tinyData(13);
+    const auto [train, test] = splitDataset(data, 0.8);
+    MlpSnn snn(tinyConfig(), 17);
+    for (int e = 0; e < 8; ++e)
+        snn.trainEpoch(train);
+    const double origin = snn.accuracy(test);
+    const auto before = snn.hiddenActivity(test);
+
+    const std::size_t masked = snn.maskLowActivityHidden(train, 1);
+    const auto after = snn.hiddenActivity(test);
+    EXPECT_GE(after.silent_ratio, before.silent_ratio);
+    if (masked > 0) {
+        for (int e = 0; e < 5; ++e)
+            snn.trainEpoch(train);
+        const double recovered = snn.accuracy(test);
+        EXPECT_GT(recovered, origin - 0.08);
+    }
+}
+
+TEST(Train, ExportedSpikesMatchActivity)
+{
+    const Dataset data = tinyData(21);
+    MlpSnn snn(tinyConfig(), 23);
+    snn.trainEpoch(data);
+    const SpikeTensor spikes = snn.exportHiddenSpikes(data, 16);
+    EXPECT_EQ(spikes.rows(), 16u);
+    EXPECT_EQ(spikes.cols(), 32u);
+    EXPECT_EQ(spikes.timesteps(), 4);
+    // Forward passes are deterministic: exporting twice agrees.
+    EXPECT_EQ(snn.exportHiddenSpikes(data, 16), spikes);
+}
+
+TEST(Train, QuantizedWeightsInRange)
+{
+    MlpSnn snn(tinyConfig(), 29);
+    const auto q = snn.exportQuantizedW2();
+    EXPECT_EQ(q.rows(), 32u);
+    EXPECT_EQ(q.cols(), 32u);
+    bool any_nonzero = false;
+    for (const auto v : q.data())
+        any_nonzero = any_nonzero || v != 0;
+    EXPECT_TRUE(any_nonzero);
+}
+
+} // namespace
+} // namespace loas
