@@ -1,8 +1,8 @@
 /**
  * @file
  * Shared helpers for the network-level benchmark harnesses
- * (Figs. 12-14): run every accelerator model on every Table II
- * network.
+ * (Figs. 12-14): the Table II networks on the paper's compared designs,
+ * executed as one SimEngine job matrix.
  */
 
 #pragma once
@@ -10,58 +10,56 @@
 #include <string>
 #include <vector>
 
-#include "baselines/gamma.hh"
-#include "baselines/gospa.hh"
-#include "baselines/sparten.hh"
-#include "core/loas_sim.hh"
-#include "workload/generator.hh"
+#include "api/sim_engine.hh"
 #include "workload/networks.hh"
 
 namespace loas {
 namespace bench {
 
-/** Results of one network across the compared designs. */
-struct NetworkRuns
+/** The designs compared by the paper's main figures, in figure order. */
+inline const std::vector<std::string>&
+comparedDesigns()
 {
-    std::string name;
-    RunResult sparten;
-    RunResult gospa;
-    RunResult gamma;
-    RunResult loas;
-    RunResult loas_ft; // with fine-tuned preprocessing
-};
-
-/** Run one network on every design. */
-inline NetworkRuns
-runNetworkOnAll(const NetworkSpec& net, std::uint64_t seed)
-{
-    NetworkRuns runs;
-    runs.name = net.name;
-    const auto layers = generateNetwork(net, seed);
-    const auto layers_ft = generateNetwork(net, seed, /*ft=*/true);
-
-    SpartenSim sparten;
-    GospaSim gospa;
-    GammaSim gamma;
-    LoasSim loas;
-    LoasSim loas_ft(LoasConfig{}, /*ft_compress=*/true);
-
-    runs.sparten = sparten.runNetwork(layers, net.name);
-    runs.gospa = gospa.runNetwork(layers, net.name);
-    runs.gamma = gamma.runNetwork(layers, net.name);
-    runs.loas = loas.runNetwork(layers, net.name);
-    runs.loas_ft = loas_ft.runNetwork(layers_ft, net.name);
-    return runs;
+    static const std::vector<std::string> designs = {
+        "sparten", "gospa", "gamma", "loas", "loas-ft"};
+    return designs;
 }
 
-/** Run all three Table II networks on every design. */
-inline std::vector<NetworkRuns>
+/** Display names matching the figure legends, aligned with the above. */
+inline const std::vector<std::string>&
+comparedDesignNames()
+{
+    static const std::vector<std::string> names = {
+        "SparTen-SNN", "GoSPA-SNN", "Gamma-SNN", "LoAS", "LoAS+FT"};
+    return names;
+}
+
+/** Run all three Table II networks on every compared design. */
+inline SimReport
 runAllNetworks(std::uint64_t seed)
 {
-    std::vector<NetworkRuns> all;
-    for (const auto& net : tables::allNetworks())
-        all.push_back(runNetworkOnAll(net, seed));
-    return all;
+    SimRequest request;
+    request.accels = comparedDesigns();
+    request.networks = tables::allNetworks();
+    request.seed = seed;
+    return SimEngine().run(request);
+}
+
+/**
+ * Wrap single layers as one-layer networks for layer-level figures.
+ * The Engine synthesizes them through generateNetwork, whose per-layer
+ * seed diversification differs from a raw generateLayer(spec, seed)
+ * call — layer instances (and last-decimal figure values) differ from
+ * the pre-Engine harness, but the calibrated statistics and every
+ * normalized ratio are unchanged.
+ */
+inline std::vector<NetworkSpec>
+layerNetworks(const std::vector<LayerSpec>& specs)
+{
+    std::vector<NetworkSpec> networks;
+    for (const auto& spec : specs)
+        networks.push_back(NetworkSpec{spec.name, {spec}});
+    return networks;
 }
 
 } // namespace bench

@@ -9,14 +9,12 @@
 
 #include "bench_common.hh"
 #include "common/table.hh"
-#include "energy/energy_model.hh"
 
 int
 main()
 {
     using namespace loas;
-    const auto all = bench::runAllNetworks(101);
-    const EnergyModel model;
+    const SimReport report = bench::runAllNetworks(101);
 
     std::printf("Fig. 12 (top): speedup vs SparTen-SNN\n\n");
     TextTable speed({"Network", "SparTen-SNN", "GoSPA-SNN", "Gamma-SNN",
@@ -28,36 +26,37 @@ main()
 
     double sum_speed_loas = 0.0, sum_speed_gospa = 0.0,
            sum_speed_gamma = 0.0;
-    for (const auto& runs : all) {
-        const double base =
-            static_cast<double>(runs.sparten.total_cycles);
-        auto speedup = [&](const RunResult& r) {
-            return base / static_cast<double>(r.total_cycles);
+    std::size_t networks = 0;
+    for (const auto& net : tables::allNetworks()) {
+        const SimRun& base = report.at("sparten", net.name);
+        auto speedup = [&](const char* accel) {
+            return static_cast<double>(base.result.total_cycles) /
+                   static_cast<double>(
+                       report.at(accel, net.name).result.total_cycles);
         };
-        speed.addRow({runs.name, "1.00x",
-                      TextTable::fmtX(speedup(runs.gospa)),
-                      TextTable::fmtX(speedup(runs.gamma)),
-                      TextTable::fmtX(speedup(runs.loas)),
-                      TextTable::fmtX(speedup(runs.loas_ft))});
-        sum_speed_loas += speedup(runs.loas_ft);
-        sum_speed_gospa += speedup(runs.loas_ft) / speedup(runs.gospa);
-        sum_speed_gamma += speedup(runs.loas_ft) / speedup(runs.gamma);
+        speed.addRow({net.name, "1.00x",
+                      TextTable::fmtX(speedup("gospa")),
+                      TextTable::fmtX(speedup("gamma")),
+                      TextTable::fmtX(speedup("loas")),
+                      TextTable::fmtX(speedup("loas-ft"))});
+        sum_speed_loas += speedup("loas-ft");
+        sum_speed_gospa += speedup("loas-ft") / speedup("gospa");
+        sum_speed_gamma += speedup("loas-ft") / speedup("gamma");
 
-        const double e_base =
-            model.evaluate(runs.sparten).totalPj();
-        auto gain = [&](const RunResult& r) {
-            return e_base / model.evaluate(r).totalPj();
+        auto gain = [&](const char* accel) {
+            return base.energy.totalPj() /
+                   report.at(accel, net.name).energy.totalPj();
         };
-        energy.addRow({runs.name, "1.00x",
-                       TextTable::fmtX(gain(runs.gospa)),
-                       TextTable::fmtX(gain(runs.gamma)),
-                       TextTable::fmtX(gain(runs.loas)),
-                       TextTable::fmtX(gain(runs.loas_ft))});
+        energy.addRow({net.name, "1.00x", TextTable::fmtX(gain("gospa")),
+                       TextTable::fmtX(gain("gamma")),
+                       TextTable::fmtX(gain("loas")),
+                       TextTable::fmtX(gain("loas-ft"))});
+        ++networks;
     }
     std::printf("%s\n", speed.str().c_str());
     std::printf("%s\n", energy.str().c_str());
 
-    const double n = static_cast<double>(all.size());
+    const double n = static_cast<double>(networks);
     std::printf("LoAS+FT average speedup: %.2fx vs SparTen-SNN, "
                 "%.2fx vs GoSPA-SNN, %.2fx vs Gamma-SNN\n",
                 sum_speed_loas / n, sum_speed_gospa / n,

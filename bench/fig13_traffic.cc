@@ -14,30 +14,30 @@ int
 main()
 {
     using namespace loas;
-    const auto all = bench::runAllNetworks(101);
+    const SimReport report = bench::runAllNetworks(101);
 
     std::printf("Fig. 13: memory traffic\n\n");
     TextTable table({"Network", "Design", "off-chip KB", "on-chip MB",
                      "DRAM vs LoAS", "SRAM vs LoAS"});
-    for (const auto& runs : all) {
+    for (const auto& net : tables::allNetworks()) {
+        const TrafficStats& loas_traffic =
+            report.at("loas", net.name).result.traffic;
         const double dram_loas =
-            static_cast<double>(runs.loas.traffic.dramBytes());
+            static_cast<double>(loas_traffic.dramBytes());
         const double sram_loas =
-            static_cast<double>(runs.loas.traffic.sramBytes());
-        auto add = [&](const char* design, const RunResult& r) {
+            static_cast<double>(loas_traffic.sramBytes());
+        for (std::size_t i = 0; i < bench::comparedDesigns().size();
+             ++i) {
+            const TrafficStats& t =
+                report.at(bench::comparedDesigns()[i], net.name)
+                    .result.traffic;
             table.addRow(
-                {runs.name, design,
-                 TextTable::fmt(r.traffic.dramBytes() / 1024.0, 1),
-                 TextTable::fmt(
-                     r.traffic.sramBytes() / (1024.0 * 1024.0), 2),
-                 TextTable::fmtX(r.traffic.dramBytes() / dram_loas),
-                 TextTable::fmtX(r.traffic.sramBytes() / sram_loas)});
-        };
-        add("SparTen-SNN", runs.sparten);
-        add("GoSPA-SNN", runs.gospa);
-        add("Gamma-SNN", runs.gamma);
-        add("LoAS", runs.loas);
-        add("LoAS+FT", runs.loas_ft);
+                {net.name, bench::comparedDesignNames()[i],
+                 TextTable::fmt(t.dramBytes() / 1024.0, 1),
+                 TextTable::fmt(t.sramBytes() / (1024.0 * 1024.0), 2),
+                 TextTable::fmtX(t.dramBytes() / dram_loas),
+                 TextTable::fmtX(t.sramBytes() / sram_loas)});
+        }
     }
     std::printf("%s\n", table.str().c_str());
     std::printf("paper: LoAS has 3.93x/3.57x/4.07x less SRAM and "

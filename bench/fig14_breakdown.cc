@@ -6,62 +6,54 @@
  * on the ResNet19 layer.
  */
 
+#include <algorithm>
 #include <cstdio>
 
-#include "baselines/gamma.hh"
-#include "baselines/gospa.hh"
-#include "baselines/sparten.hh"
+#include "bench_common.hh"
 #include "common/table.hh"
-#include "core/loas_sim.hh"
-#include "workload/generator.hh"
-#include "workload/networks.hh"
 
 int
 main()
 {
     using namespace loas;
 
-    const std::vector<LayerSpec> specs = {
-        tables::alexnetL4(), tables::vgg16L8(), tables::resnet19L19()};
+    // The four designs of the breakdown; Fig. 14 uses the
+    // FT-preprocessed workload for LoAS, which the Engine feeds to
+    // "loas-ft" automatically.
+    const std::vector<std::string> designs = {"sparten", "gospa",
+                                              "gamma", "loas-ft"};
+    const std::vector<std::string> names = {"SparTen-SNN", "GoSPA-SNN",
+                                            "Gamma-SNN", "LoAS+FT"};
+
+    SimRequest request;
+    request.accels = designs;
+    request.networks = bench::layerNetworks(
+        {tables::alexnetL4(), tables::vgg16L8(), tables::resnet19L19()});
+    request.seed = 33;
+    request.energy = false;
+    const SimReport report = SimEngine().run(request);
 
     std::printf("Fig. 14: off-chip traffic breakdown (KB), "
                 "normalized factor vs LoAS in parentheses\n\n");
     TextTable table({"Layer", "Design", "weight", "input", "psum",
                      "meta", "output", "total", "vs LoAS"});
 
-    for (const auto& spec : specs) {
-        // Fig. 14 uses the FT-preprocessed workload for LoAS.
-        const LayerData layer = generateLayer(spec, 33);
-        const LayerData layer_ft = generateLayer(spec, 33, true);
-
-        SpartenSim sparten;
-        GospaSim gospa;
-        GammaSim gamma;
-        LoasSim loas(LoasConfig{}, /*ft_compress=*/true);
-
-        const RunResult r_sp = sparten.runLayer(layer);
-        const RunResult r_go = gospa.runLayer(layer);
-        const RunResult r_ga = gamma.runLayer(layer);
-        const RunResult r_lo = loas.runLayer(layer_ft);
-
-        const double total_loas =
-            static_cast<double>(r_lo.traffic.dramBytes());
-        auto add = [&](const char* design, const RunResult& r) {
+    for (const auto& net : request.networks) {
+        const double total_loas = static_cast<double>(
+            report.at("loas-ft", net.name).result.traffic.dramBytes());
+        for (std::size_t i = 0; i < designs.size(); ++i) {
+            const TrafficStats& t =
+                report.at(designs[i], net.name).result.traffic;
             auto kb = [&](TensorCategory cat) {
-                return TextTable::fmt(
-                    r.traffic.dramBytes(cat) / 1024.0, 1);
+                return TextTable::fmt(t.dramBytes(cat) / 1024.0, 1);
             };
             table.addRow(
-                {spec.name, design, kb(TensorCategory::Weight),
+                {net.name, names[i], kb(TensorCategory::Weight),
                  kb(TensorCategory::Input), kb(TensorCategory::Psum),
                  kb(TensorCategory::Meta), kb(TensorCategory::Output),
-                 TextTable::fmt(r.traffic.dramBytes() / 1024.0, 1),
-                 TextTable::fmtX(r.traffic.dramBytes() / total_loas)});
-        };
-        add("SparTen-SNN", r_sp);
-        add("GoSPA-SNN", r_go);
-        add("Gamma-SNN", r_ga);
-        add("LoAS+FT", r_lo);
+                 TextTable::fmt(t.dramBytes() / 1024.0, 1),
+                 TextTable::fmtX(t.dramBytes() / total_loas)});
+        }
     }
     std::printf("%s\n", table.str().c_str());
 
@@ -70,26 +62,24 @@ main()
     // large early layers, whose dense spike trains exceed the shared
     // 256 KB cache for the sequential-timestep baselines.
     {
-        const auto net = tables::resnet19();
-        const auto layers = generateNetwork(net, 33);
-        const auto layers_ft = generateNetwork(net, 33, true);
-        SpartenSim sparten;
-        GospaSim gospa;
-        GammaSim gamma;
-        LoasSim loas(LoasConfig{}, /*ft_compress=*/true);
-        const RunResult r_sp = sparten.runNetwork(layers, net.name);
-        const RunResult r_go = gospa.runNetwork(layers, net.name);
-        const RunResult r_ga = gamma.runNetwork(layers, net.name);
-        const RunResult r_lo = loas.runNetwork(layers_ft, net.name);
-        const double miss_loas = std::max(r_lo.cacheMissRate(), 1e-12);
+        SimRequest net_request;
+        net_request.accels = designs;
+        net_request.networks = {tables::resnet19()};
+        net_request.seed = 33;
+        net_request.energy = false;
+        const SimReport net_report = SimEngine().run(net_request);
+        const std::string& net = net_request.networks.front().name;
+        auto miss = [&](const char* accel) {
+            return net_report.at(accel, net).result.cacheMissRate();
+        };
+        const double miss_loas = std::max(miss("loas-ft"), 1e-12);
         std::printf("Normalized SRAM miss rate, whole ResNet19 "
                     "(LoAS = 1):\n");
         std::printf("  SparTen-SNN %.2fx  GoSPA-SNN %.2fx  Gamma-SNN "
                     "%.2fx  LoAS 1.00x (absolute %.3f%%)\n",
-                    r_sp.cacheMissRate() / miss_loas,
-                    r_go.cacheMissRate() / miss_loas,
-                    r_ga.cacheMissRate() / miss_loas,
-                    100.0 * r_lo.cacheMissRate());
+                    miss("sparten") / miss_loas,
+                    miss("gospa") / miss_loas,
+                    miss("gamma") / miss_loas, 100.0 * miss_loas);
     }
     std::printf("\npaper: SparTen-SNN has the largest input traffic, "
                 "GoSPA-SNN the largest psum and compressed-format "

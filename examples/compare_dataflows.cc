@@ -4,20 +4,17 @@
  * fully temporal-parallel inner product against the SparTen/GoSPA/
  * Gamma sequential-timestep baselines) and print a side-by-side
  * comparison: the single-layer version of the paper's Fig. 12/13.
+ *
+ * The designs are named by registry spec strings and executed as one
+ * SimEngine batch, so comparing a variant is an argv edit away
+ * (e.g. "gamma?pes=32"): see `loas_cli list` for the registry keys.
  */
 
 #include <cstdio>
-#include <memory>
-#include <vector>
+#include <string>
 
-#include "accel/accelerator.hh"
-#include "baselines/gamma.hh"
-#include "baselines/gospa.hh"
-#include "baselines/sparten.hh"
+#include "api/sim_engine.hh"
 #include "common/table.hh"
-#include "core/loas_sim.hh"
-#include "energy/energy_model.hh"
-#include "workload/generator.hh"
 #include "workload/networks.hh"
 
 int
@@ -39,38 +36,30 @@ main(int argc, char** argv)
             return 1;
         }
     }
-    const LayerData layer = generateLayer(spec, 7);
 
-    std::vector<std::unique_ptr<Accelerator>> accels;
-    accels.push_back(std::make_unique<SpartenSim>());
-    accels.push_back(std::make_unique<GospaSim>());
-    accels.push_back(std::make_unique<GammaSim>());
-    accels.push_back(std::make_unique<LoasSim>());
+    SimRequest request;
+    request.accels = {"sparten", "gospa", "gamma", "loas"};
+    request.networks = {NetworkSpec{spec.name, {spec}}};
+    request.seed = 7;
+    const SimReport report = SimEngine().run(request);
 
-    const EnergyModel energy_model;
     TextTable table({"accelerator", "cycles", "speedup", "off-chip KB",
                      "on-chip MB", "energy uJ", "eff. gain"});
 
-    std::vector<RunResult> results;
-    for (auto& accel : accels)
-        results.push_back(accel->runLayer(layer));
-
-    const double base_cycles =
-        static_cast<double>(results.front().total_cycles);
-    const double base_energy =
-        energy_model.evaluate(results.front()).totalPj();
-    for (const auto& r : results) {
-        const EnergyBreakdown e = energy_model.evaluate(r);
+    const SimRun& base = report.runs.front();
+    for (const SimRun& run : report.runs) {
         table.addRow({
-            r.accel,
-            TextTable::fmtInt(r.total_cycles),
-            TextTable::fmtX(base_cycles /
-                            static_cast<double>(r.total_cycles)),
-            TextTable::fmt(r.traffic.dramBytes() / 1024.0, 1),
-            TextTable::fmt(r.traffic.sramBytes() / (1024.0 * 1024.0),
-                           2),
-            TextTable::fmt(e.totalPj() / 1e6, 2),
-            TextTable::fmtX(base_energy / e.totalPj()),
+            run.result.accel,
+            TextTable::fmtInt(run.result.total_cycles),
+            TextTable::fmtX(
+                static_cast<double>(base.result.total_cycles) /
+                static_cast<double>(run.result.total_cycles)),
+            TextTable::fmt(run.result.traffic.dramBytes() / 1024.0, 1),
+            TextTable::fmt(
+                run.result.traffic.sramBytes() / (1024.0 * 1024.0), 2),
+            TextTable::fmt(run.energy.totalPj() / 1e6, 2),
+            TextTable::fmtX(base.energy.totalPj() /
+                            run.energy.totalPj()),
         });
     }
 

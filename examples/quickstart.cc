@@ -6,7 +6,7 @@
  * headline statistics.
  *
  * Build & run:
- *   cmake -B build -G Ninja && cmake --build build
+ *   cmake -B build -S . && cmake --build build -j
  *   ./build/examples/quickstart
  */
 

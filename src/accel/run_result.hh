@@ -11,6 +11,7 @@
 #include <string>
 
 #include "accel/op_counts.hh"
+#include "common/logging.hh"
 #include "mem/traffic.hh"
 
 namespace loas {
@@ -49,10 +50,37 @@ struct RunResult
                                 static_cast<double>(total);
     }
 
-    /** Layer-wise aggregation: cycles add, traffic and counters add. */
+    /** True when this result carries any simulated work. */
+    bool
+    hasWork() const
+    {
+        return compute_cycles != 0 || total_cycles != 0 ||
+               ops.total() != 0;
+    }
+
+    /**
+     * Layer-wise aggregation: cycles add, traffic and counters add.
+     *
+     * static_scale is a property of the hardware, not of a layer, so
+     * summing makes no sense: the accumulator adopts the scale of the
+     * first work-bearing summand, and every later work-bearing summand
+     * must agree — mixing results from differently-scaled hardware in
+     * one aggregate is a harness bug and panics, instead of silently
+     * keeping whichever layer happened to come last. Zero-work
+     * summands contribute no background-power cycles, so their scale
+     * is immaterial and ignored.
+     */
     RunResult&
     operator+=(const RunResult& o)
     {
+        if (o.hasWork()) {
+            if (!hasWork())
+                static_scale = o.static_scale;
+            else if (static_scale != o.static_scale)
+                panic("aggregating RunResults with different "
+                      "static_scale (%g vs %g)",
+                      static_scale, o.static_scale);
+        }
         compute_cycles += o.compute_cycles;
         dram_cycles += o.dram_cycles;
         total_cycles += o.total_cycles;
@@ -60,7 +88,6 @@ struct RunResult
         ops += o.ops;
         cache_hits += o.cache_hits;
         cache_misses += o.cache_misses;
-        static_scale = o.static_scale;
         return *this;
     }
 };

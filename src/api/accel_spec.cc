@@ -1,0 +1,162 @@
+#include "api/accel_spec.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace loas {
+namespace {
+
+bool
+isTokenChar(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+           c == '_' || c == '-';
+}
+
+void
+checkToken(const std::string& token, const char* what,
+           const std::string& spec)
+{
+    if (token.empty())
+        throw std::invalid_argument(std::string("empty ") + what +
+                                    " in accelerator spec '" + spec +
+                                    "'");
+    for (const char c : token)
+        if (!isTokenChar(c))
+            throw std::invalid_argument(
+                std::string("bad character '") + c + "' in " + what +
+                " of accelerator spec '" + spec + "'");
+}
+
+} // namespace
+
+std::string
+AccelSpec::str() const
+{
+    std::string out = key;
+    char sep = '?';
+    for (const auto& [name, value] : options) {
+        out += sep;
+        out += name;
+        out += '=';
+        out += value;
+        sep = '&';
+    }
+    return out;
+}
+
+AccelSpec
+parseAccelSpec(const std::string& spec)
+{
+    AccelSpec parsed;
+    const auto qmark = spec.find('?');
+    parsed.key = spec.substr(0, qmark);
+    checkToken(parsed.key, "key", spec);
+    if (qmark == std::string::npos)
+        return parsed;
+
+    std::string rest = spec.substr(qmark + 1);
+    std::size_t pos = 0;
+    while (pos <= rest.size()) {
+        auto amp = rest.find('&', pos);
+        if (amp == std::string::npos)
+            amp = rest.size();
+        const std::string pair = rest.substr(pos, amp - pos);
+        const auto eq = pair.find('=');
+        if (eq == std::string::npos)
+            throw std::invalid_argument(
+                "option '" + pair + "' in accelerator spec '" + spec +
+                "' is not name=value");
+        const std::string name = pair.substr(0, eq);
+        const std::string value = pair.substr(eq + 1);
+        checkToken(name, "option name", spec);
+        if (value.empty())
+            throw std::invalid_argument("empty value for option '" +
+                                        name + "' in accelerator spec '" +
+                                        spec + "'");
+        if (!parsed.options.emplace(name, value).second)
+            throw std::invalid_argument("duplicate option '" + name +
+                                        "' in accelerator spec '" + spec +
+                                        "'");
+        pos = amp + 1;
+    }
+    return parsed;
+}
+
+std::vector<std::string>
+splitSpecList(const std::string& list)
+{
+    std::vector<std::string> specs;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        auto comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        const std::string item = list.substr(pos, comma - pos);
+        if (!item.empty())
+            specs.push_back(item);
+        pos = comma + 1;
+    }
+    return specs;
+}
+
+const std::string*
+OptionReader::find(const std::string& name)
+{
+    const auto it = spec_.options.find(name);
+    if (it == spec_.options.end())
+        return nullptr;
+    consumed_.insert(name);
+    return &it->second;
+}
+
+int
+OptionReader::getInt(const std::string& name, int def, int min)
+{
+    const std::string* value = find(name);
+    if (value == nullptr)
+        return def;
+    char* end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(value->c_str(), &end, 10);
+    if (end == value->c_str() || *end != '\0')
+        throw std::invalid_argument("option '" + name + "=" + *value +
+                                    "' of accelerator '" + spec_.key +
+                                    "' is not an integer");
+    if (errno == ERANGE || parsed < min ||
+        parsed > std::numeric_limits<int>::max())
+        throw std::invalid_argument(
+            "option '" + name + "=" + *value + "' of accelerator '" +
+            spec_.key + "' is out of range (min " +
+            std::to_string(min) + ")");
+    return static_cast<int>(parsed);
+}
+
+bool
+OptionReader::getBool(const std::string& name, bool def)
+{
+    const std::string* value = find(name);
+    if (value == nullptr)
+        return def;
+    if (*value == "1" || *value == "true" || *value == "yes")
+        return true;
+    if (*value == "0" || *value == "false" || *value == "no")
+        return false;
+    throw std::invalid_argument("option '" + name + "=" + *value +
+                                "' of accelerator '" + spec_.key +
+                                "' is not a boolean");
+}
+
+void
+OptionReader::finish() const
+{
+    for (const auto& [name, value] : spec_.options)
+        if (consumed_.count(name) == 0)
+            throw std::invalid_argument("accelerator '" + spec_.key +
+                                        "' does not understand option '" +
+                                        name + "'");
+}
+
+} // namespace loas

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Accelerator spec strings: a registry key plus an options map, written
+ * `"loas?t=8&pes=32"`. Spec strings are how benchmark harnesses, the
+ * CLI and SimRequests name design variants without touching C++
+ * configuration structs.
+ *
+ * Parse and option errors throw std::invalid_argument (the API layer is
+ * the user-facing surface, and callers like loas_cli want to report the
+ * bad spec rather than exit deep inside the library).
+ */
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace loas {
+
+/** A parsed accelerator spec: registry key + key=value options. */
+struct AccelSpec
+{
+    std::string key;
+    std::map<std::string, std::string> options;
+
+    /** Canonical spec string ("key" or "key?a=1&b=2", keys sorted). */
+    std::string str() const;
+};
+
+/**
+ * Parse `"key?opt=val&opt2=val2"`. The key and option names must be
+ * non-empty `[a-z0-9_-]` tokens; duplicate option names are an error.
+ */
+AccelSpec parseAccelSpec(const std::string& spec);
+
+/** Split a comma-separated list of spec strings ("loas,gamma?pes=8"). */
+std::vector<std::string> splitSpecList(const std::string& list);
+
+/**
+ * Typed, checked access to an AccelSpec's options. Factories read the
+ * options they understand and then call finish(), which rejects any
+ * option the factory never consumed — a misspelled key fails loudly
+ * instead of silently running the default configuration.
+ */
+class OptionReader
+{
+  public:
+    explicit OptionReader(const AccelSpec& spec) : spec_(spec) {}
+
+    /**
+     * Integer option. Throws if present but not an integer, or below
+     * `min` — every current option is a positive hardware quantity
+     * (PEs, timesteps, bits), so the default floor is 1.
+     */
+    int getInt(const std::string& name, int def, int min = 1);
+
+    /** Boolean option: 1/0/true/false/yes/no. */
+    bool getBool(const std::string& name, bool def);
+
+    /** Throws listing any option key no get*() call consumed. */
+    void finish() const;
+
+  private:
+    const std::string* find(const std::string& name);
+
+    const AccelSpec& spec_;
+    std::set<std::string> consumed_;
+};
+
+} // namespace loas

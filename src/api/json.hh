@@ -1,0 +1,35 @@
+/**
+ * @file
+ * JSON serialization of simulation results, so loas_cli and external
+ * tooling (plotting scripts, dashboards, regression checks) can consume
+ * a SimReport without parsing ASCII tables. Hand-rolled writer — the
+ * tree has no JSON dependency and the schema is small.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "accel/op_counts.hh"
+#include "accel/run_result.hh"
+#include "api/sim_engine.hh"
+#include "energy/energy_model.hh"
+#include "mem/traffic.hh"
+
+namespace loas {
+namespace json {
+
+/** JSON string literal with escaping, including the quotes. */
+std::string quote(const std::string& s);
+
+std::string toJson(const OpCounts& ops);
+std::string toJson(const TrafficStats& traffic);
+std::string toJson(const EnergyBreakdown& energy);
+std::string toJson(const RunResult& result);
+std::string toJson(const SimRun& run);
+
+/** Whole report: `{"runs": [...]}`, pretty-printed. */
+std::string toJson(const SimReport& report);
+
+} // namespace json
+} // namespace loas

@@ -1,0 +1,74 @@
+#include "api/registry.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/logging.hh"
+
+namespace loas {
+
+AcceleratorRegistry&
+AcceleratorRegistry::instance()
+{
+    static AcceleratorRegistry registry;
+    return registry;
+}
+
+void
+AcceleratorRegistry::add(const std::string& key, Entry entry)
+{
+    for (const auto& [existing, unused] : entries_)
+        if (existing == key)
+            panic("accelerator '%s' registered twice", key.c_str());
+    if (!entry.factory)
+        panic("accelerator '%s' registered without a factory",
+              key.c_str());
+    entries_.emplace_back(key, std::move(entry));
+}
+
+bool
+AcceleratorRegistry::contains(const std::string& key) const
+{
+    for (const auto& [existing, unused] : entries_)
+        if (existing == key)
+            return true;
+    return false;
+}
+
+std::vector<std::string>
+AcceleratorRegistry::keys() const
+{
+    std::vector<std::string> keys;
+    keys.reserve(entries_.size());
+    for (const auto& [key, unused] : entries_)
+        keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+const AcceleratorRegistry::Entry&
+AcceleratorRegistry::entry(const std::string& key) const
+{
+    for (const auto& [existing, entry] : entries_)
+        if (existing == key)
+            return entry;
+    std::string known;
+    for (const auto& name : keys())
+        known += (known.empty() ? "" : ", ") + name;
+    throw std::invalid_argument("unknown accelerator '" + key +
+                                "' (known: " + known + ")");
+}
+
+std::unique_ptr<Accelerator>
+AcceleratorRegistry::make(const AccelSpec& spec) const
+{
+    return entry(spec.key).factory(spec);
+}
+
+std::unique_ptr<Accelerator>
+AcceleratorRegistry::make(const std::string& spec) const
+{
+    return make(parseAccelSpec(spec));
+}
+
+} // namespace loas

@@ -1,0 +1,167 @@
+#include "api/sim_engine.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "api/registry.hh"
+#include "common/logging.hh"
+#include "workload/generator.hh"
+
+namespace loas {
+namespace {
+
+/**
+ * Run `jobs` instances of `body(job_index)` across `threads` workers.
+ * Exceptions escaping a job are rethrown in the caller (first one
+ * wins); remaining jobs still drain so the workers join cleanly.
+ */
+template <typename Body>
+void
+parallelFor(std::size_t jobs, int threads, Body&& body)
+{
+    if (threads <= 1 || jobs <= 1) {
+        for (std::size_t i = 0; i < jobs; ++i)
+            body(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+
+    auto worker = [&] {
+        while (true) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= jobs)
+                return;
+            if (failed.load())
+                continue; // drain without doing more work
+            try {
+                body(i);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error)
+                    error = std::current_exception();
+                failed.store(true);
+            }
+        }
+    };
+
+    const std::size_t n_workers =
+        std::min<std::size_t>(static_cast<std::size_t>(threads), jobs);
+    std::vector<std::thread> pool;
+    pool.reserve(n_workers);
+    for (std::size_t w = 0; w < n_workers; ++w)
+        pool.emplace_back(worker);
+    for (auto& t : pool)
+        t.join();
+    if (error)
+        std::rethrow_exception(error);
+}
+
+int
+resolveThreads(int requested)
+{
+    if (requested > 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+} // namespace
+
+const SimRun*
+SimReport::find(const std::string& accel_spec,
+                const std::string& network) const
+{
+    for (const auto& run : runs)
+        if (run.accel_spec == accel_spec && run.network == network)
+            return &run;
+    return nullptr;
+}
+
+const SimRun&
+SimReport::at(const std::string& accel_spec,
+              const std::string& network) const
+{
+    const SimRun* run = find(accel_spec, network);
+    if (run == nullptr)
+        fatal("SimReport has no cell (%s, %s)", accel_spec.c_str(),
+              network.c_str());
+    return *run;
+}
+
+SimReport
+SimEngine::run(const SimRequest& request) const
+{
+    const auto& registry = AcceleratorRegistry::instance();
+
+    // Validate the whole request up front: parse every spec, resolve
+    // every registry key, and build (but discard) one instance so bad
+    // options surface before any simulation time is spent.
+    struct AccelJob
+    {
+        std::string spec_string;
+        AccelSpec spec;
+        bool ft_workload = false;
+    };
+    std::vector<AccelJob> accels;
+    accels.reserve(request.accels.size());
+    for (const auto& spec_string : request.accels) {
+        AccelJob job;
+        job.spec_string = spec_string;
+        job.spec = parseAccelSpec(spec_string);
+        job.ft_workload = registry.entry(job.spec.key).ft_workload;
+        registry.make(job.spec);
+        accels.push_back(std::move(job));
+    }
+
+    const int threads = resolveThreads(request.threads);
+
+    // Phase 1: synthesize each needed (network, ft-variant) workload
+    // once; the cached layers are shared read-only by every backend.
+    const std::size_t n_nets = request.networks.size();
+    bool want_plain = false, want_ft = false;
+    for (const auto& accel : accels)
+        (accel.ft_workload ? want_ft : want_plain) = true;
+
+    std::vector<std::vector<LayerData>> plain(n_nets), ft(n_nets);
+    parallelFor(n_nets, threads, [&](std::size_t i) {
+        const NetworkSpec& net = request.networks[i];
+        if (want_plain)
+            plain[i] = generateNetwork(net, request.seed);
+        if (want_ft)
+            ft[i] = generateNetwork(net, request.seed, /*ft=*/true);
+    });
+
+    // Phase 2: the (accelerator x network) job matrix. Each job owns a
+    // private accelerator instance and writes its fixed report slot,
+    // which keeps multi-threaded runs bit-identical to serial ones.
+    SimReport report;
+    report.runs.resize(accels.size() * n_nets);
+    const EnergyModel energy_model(request.energy_params);
+
+    parallelFor(report.runs.size(), threads, [&](std::size_t i) {
+        const std::size_t a = i / n_nets;
+        const std::size_t n = i % n_nets;
+        const AccelJob& accel = accels[a];
+        const NetworkSpec& net = request.networks[n];
+        const auto& layers = accel.ft_workload ? ft[n] : plain[n];
+
+        SimRun& run = report.runs[i];
+        run.accel_spec = accel.spec_string;
+        run.network = net.name;
+        run.result =
+            registry.make(accel.spec)->runNetwork(layers, net.name);
+        if (request.energy)
+            run.energy = energy_model.evaluate(run.result);
+    });
+
+    return report;
+}
+
+} // namespace loas

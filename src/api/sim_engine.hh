@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Batched, multi-threaded simulation engine. A SimRequest names a job
+ * matrix — accelerator spec strings x network specs — and the engine
+ * executes every (accelerator, network) cell on a thread pool,
+ * returning a SimReport of RunResult + EnergyBreakdown rows.
+ *
+ * Workload generation (the expensive synthesis of calibrated spike and
+ * weight tensors) runs once per (network, ft-variant) and the cached
+ * layers are shared read-only by every accelerator, so adding a design
+ * to a sweep costs only its simulation time.
+ *
+ * Results are deterministic: each cell is simulated on a private
+ * accelerator instance from seeded inputs and written to its fixed
+ * slot, so a run with N worker threads is bit-identical to the serial
+ * run of the same request.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/run_result.hh"
+#include "energy/energy_model.hh"
+#include "workload/layer_spec.hh"
+
+namespace loas {
+
+/** One batch of simulation jobs: every accelerator on every network. */
+struct SimRequest
+{
+    /** Accelerator spec strings ("loas", "gamma?pes=32", ...). */
+    std::vector<std::string> accels;
+
+    /** Workloads; single-layer networks express layer studies. */
+    std::vector<NetworkSpec> networks;
+
+    /** Workload-synthesis seed (per-layer diversified downstream). */
+    std::uint64_t seed = 101;
+
+    /** Also evaluate the energy model on every result. */
+    bool energy = true;
+
+    /** Per-op energies used when `energy` is set. */
+    EnergyParams energy_params;
+
+    /**
+     * Worker threads: 1 = serial in the calling thread, 0 = one per
+     * hardware thread (capped by the job count).
+     */
+    int threads = 0;
+};
+
+/** One (accelerator, network) cell of a finished job matrix. */
+struct SimRun
+{
+    std::string accel_spec;   // spec string as requested
+    std::string network;      // NetworkSpec::name
+    RunResult result;
+    EnergyBreakdown energy;   // zeros when the request disabled energy
+};
+
+/** All cells of a finished SimRequest, in accel-major request order. */
+struct SimReport
+{
+    std::vector<SimRun> runs;
+
+    /** Cell lookup by request spec string + network name. */
+    const SimRun* find(const std::string& accel_spec,
+                       const std::string& network) const;
+
+    /** Like find(), but a missing cell is fatal (harness convenience). */
+    const SimRun& at(const std::string& accel_spec,
+                     const std::string& network) const;
+};
+
+/** Executes SimRequests. Stateless; one instance can serve any number
+ *  of requests from any thread. */
+class SimEngine
+{
+  public:
+    SimEngine() = default;
+
+    /**
+     * Run the full job matrix. Throws std::invalid_argument for
+     * malformed specs, unknown registry keys or bad options before any
+     * simulation starts.
+     */
+    SimReport run(const SimRequest& request) const;
+};
+
+} // namespace loas

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
+#include "api/registry.hh"
 #include "common/bitutil.hh"
 #include "mem/memory_system.hh"
 #include "tensor/compress.hh"
@@ -244,5 +246,22 @@ GammaSim::runAnnLayer(const AnnLayerData& layer)
     result.cache_hits = row_uses - distinct_rows;
     return result;
 }
+
+
+namespace {
+
+const RegisterAccelerator register_gamma(
+    "gamma",
+    {"Gamma-SNN row-wise merging baseline (pes, radix)",
+     /*ft_workload=*/false, [](const AccelSpec& spec) {
+         OptionReader opts(spec);
+         GammaConfig config;
+         config.num_pes = opts.getInt("pes", config.num_pes);
+         config.merge_radix = opts.getInt("radix", config.merge_radix);
+         opts.finish();
+         return std::make_unique<GammaSim>(config);
+     }});
+
+} // namespace
 
 } // namespace loas

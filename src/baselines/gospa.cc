@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
+#include "api/registry.hh"
 #include "common/bitutil.hh"
 #include "core/scheduler.hh"
 #include "mem/memory_system.hh"
@@ -156,5 +158,21 @@ GospaSim::runLayer(const LayerData& layer)
     result.cache_misses = mem.cacheMisses();
     return result;
 }
+
+
+namespace {
+
+const RegisterAccelerator register_gospa(
+    "gospa",
+    {"GoSPA-SNN sequential-timestep streaming baseline (pes)",
+     /*ft_workload=*/false, [](const AccelSpec& spec) {
+         OptionReader opts(spec);
+         GospaConfig config;
+         config.num_pes = opts.getInt("pes", config.num_pes);
+         opts.finish();
+         return std::make_unique<GospaSim>(config);
+     }});
+
+} // namespace
 
 } // namespace loas

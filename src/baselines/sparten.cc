@@ -1,7 +1,9 @@
 #include "baselines/sparten.hh"
 
 #include <algorithm>
+#include <memory>
 
+#include "api/registry.hh"
 #include "common/bitutil.hh"
 #include "common/logging.hh"
 #include "core/scheduler.hh"
@@ -240,5 +242,23 @@ SpartenSim::runAnnLayer(const AnnLayerData& layer)
     result.cache_misses = mem.cacheMisses();
     return result;
 }
+
+
+namespace {
+
+const RegisterAccelerator register_sparten(
+    "sparten",
+    {"SparTen-SNN sequential-timestep inner-join baseline (pes, chunk)",
+     /*ft_workload=*/false, [](const AccelSpec& spec) {
+         OptionReader opts(spec);
+         SpartenConfig config;
+         config.num_pes = opts.getInt("pes", config.num_pes);
+         config.chunk_bits = static_cast<std::size_t>(opts.getInt(
+             "chunk", static_cast<int>(config.chunk_bits)));
+         opts.finish();
+         return std::make_unique<SpartenSim>(config);
+     }});
+
+} // namespace
 
 } // namespace loas

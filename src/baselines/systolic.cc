@@ -1,7 +1,9 @@
 #include "baselines/systolic.hh"
 
 #include <algorithm>
+#include <memory>
 
+#include "api/registry.hh"
 #include "common/bitutil.hh"
 #include "mem/memory_system.hh"
 
@@ -177,5 +179,40 @@ StellarSim::runLayer(const LayerData& layer)
     result.cache_misses = mem.cacheMisses();
     return result;
 }
+
+
+namespace {
+
+SystolicConfig
+systolicConfigFromSpec(OptionReader& opts)
+{
+    SystolicConfig config;
+    config.rows = opts.getInt("rows", config.rows);
+    config.cols = opts.getInt("cols", config.cols);
+    return config;
+}
+
+const RegisterAccelerator register_ptb(
+    "systolic",
+    {"PTB partially temporal-parallel systolic array (rows, cols)",
+     /*ft_workload=*/false, [](const AccelSpec& spec) {
+         OptionReader opts(spec);
+         const SystolicConfig config = systolicConfigFromSpec(opts);
+         opts.finish();
+         return std::make_unique<PtbSim>(config);
+     }});
+
+const RegisterAccelerator register_stellar(
+    "stellar",
+    {"Stellar fully temporal-parallel FS-neuron systolic array "
+     "(rows, cols)",
+     /*ft_workload=*/false, [](const AccelSpec& spec) {
+         OptionReader opts(spec);
+         const SystolicConfig config = systolicConfigFromSpec(opts);
+         opts.finish();
+         return std::make_unique<StellarSim>(config);
+     }});
+
+} // namespace
 
 } // namespace loas

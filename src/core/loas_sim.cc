@@ -1,7 +1,9 @@
 #include "core/loas_sim.hh"
 
 #include <algorithm>
+#include <memory>
 
+#include "api/registry.hh"
 #include "common/bitutil.hh"
 #include "common/logging.hh"
 #include "core/compressor.hh"
@@ -208,4 +210,41 @@ LoasSim::runLayer(const LayerData& layer)
     return result;
 }
 
+
+namespace {
+
+LoasConfig
+loasConfigFromSpec(OptionReader& opts)
+{
+    LoasConfig config;
+    config.timesteps = opts.getInt("t", config.timesteps);
+    config.num_pes = opts.getInt("pes", config.num_pes);
+    config.join.chunk_bits = static_cast<std::size_t>(
+        opts.getInt("chunk", static_cast<int>(config.join.chunk_bits)));
+    config.pipelined_waves =
+        opts.getBool("pipelined", config.pipelined_waves);
+    return config;
+}
+
+const RegisterAccelerator register_loas(
+    "loas",
+    {"LoAS fully temporal-parallel dataflow (t, pes, chunk, pipelined)",
+     /*ft_workload=*/false, [](const AccelSpec& spec) {
+         OptionReader opts(spec);
+         const LoasConfig config = loasConfigFromSpec(opts);
+         opts.finish();
+         return std::make_unique<LoasSim>(config);
+     }});
+
+const RegisterAccelerator register_loas_ft(
+    "loas-ft",
+    {"LoAS with fine-tuned preprocessing (t, pes, chunk, pipelined)",
+     /*ft_workload=*/true, [](const AccelSpec& spec) {
+         OptionReader opts(spec);
+         const LoasConfig config = loasConfigFromSpec(opts);
+         opts.finish();
+         return std::make_unique<LoasSim>(config, /*ft_compress=*/true);
+     }});
+
+} // namespace
 } // namespace loas

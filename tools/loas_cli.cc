@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Command-line driver over the accelerator registry and the SimEngine.
+ *
+ *   loas_cli list
+ *       Print every registered accelerator key with its description.
+ *
+ *   loas_cli run [--accel LIST] [--network LIST] [--seed N]
+ *                [--threads N] [--no-energy] [--json PATH]
+ *       Run the (accelerator x network) job matrix and print a summary
+ *       table (speedup and energy gain are relative to the first
+ *       accelerator in LIST). LIST entries are comma-separated; an
+ *       accelerator entry is a registry spec string, so design
+ *       variants work directly: --accel "loas,loas?pes=64,gamma".
+ *       --network accepts alexnet / vgg16 / resnet19 / all.
+ *       --json writes the full report (per-category traffic, op
+ *       counts, energy breakdown) to PATH, or stdout for "-".
+ */
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/accel_spec.hh"
+#include "api/json.hh"
+#include "api/registry.hh"
+#include "api/sim_engine.hh"
+#include "common/table.hh"
+#include "workload/networks.hh"
+
+namespace {
+
+using namespace loas;
+
+int
+usage(const char* argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s list\n"
+        "       %s run [--accel LIST] [--network LIST] [--seed N]\n"
+        "           [--threads N] [--no-energy] [--json PATH]\n"
+        "\n"
+        "  --accel LIST    comma-separated accelerator specs\n"
+        "                  (default: sparten,gospa,gamma,loas,loas-ft)\n"
+        "  --network LIST  alexnet, vgg16, resnet19 or all (default)\n"
+        "  --seed N        workload-synthesis seed (default 101)\n"
+        "  --threads N     worker threads (default: all cores)\n"
+        "  --no-energy     skip the energy model\n"
+        "  --json PATH     write the full report as JSON (\"-\": stdout)\n",
+        argv0, argv0);
+    return 2;
+}
+
+int
+runList()
+{
+    const auto& registry = AcceleratorRegistry::instance();
+    TextTable table({"key", "description"});
+    for (const auto& key : registry.keys())
+        table.addRow({key, registry.entry(key).description});
+    std::printf("%s", table.str().c_str());
+    return 0;
+}
+
+std::uint64_t
+parseUint(const std::string& flag, const std::string& value)
+{
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long parsed =
+        std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || errno == ERANGE)
+        throw std::invalid_argument(flag + " value '" + value +
+                                    "' is not a non-negative integer");
+    return parsed;
+}
+
+std::vector<NetworkSpec>
+resolveNetworks(const std::string& list)
+{
+    std::vector<NetworkSpec> networks;
+    for (const auto& name : splitSpecList(list)) {
+        if (name == "all") {
+            for (const auto& net : tables::allNetworks())
+                networks.push_back(net);
+        } else if (name == "alexnet") {
+            networks.push_back(tables::alexnet());
+        } else if (name == "vgg16") {
+            networks.push_back(tables::vgg16());
+        } else if (name == "resnet19") {
+            networks.push_back(tables::resnet19());
+        } else {
+            throw std::invalid_argument(
+                "unknown network '" + name +
+                "' (known: alexnet, vgg16, resnet19, all)");
+        }
+    }
+    return networks;
+}
+
+int
+runRun(int argc, char** argv)
+{
+    std::string accel_list = "sparten,gospa,gamma,loas,loas-ft";
+    std::string network_list = "all";
+    std::string json_path;
+    SimRequest request;
+
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                throw std::invalid_argument(arg + " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--accel")
+            accel_list = value();
+        else if (arg == "--network")
+            network_list = value();
+        else if (arg == "--seed")
+            request.seed = parseUint(arg, value());
+        else if (arg == "--threads")
+            request.threads = static_cast<int>(std::min<std::uint64_t>(
+                parseUint(arg, value()), 1024));
+        else if (arg == "--no-energy")
+            request.energy = false;
+        else if (arg == "--json")
+            json_path = value();
+        else
+            throw std::invalid_argument("unknown flag '" + arg + "'");
+    }
+
+    request.accels = splitSpecList(accel_list);
+    if (request.accels.empty())
+        throw std::invalid_argument("--accel list is empty");
+    request.networks = resolveNetworks(network_list);
+    if (request.networks.empty())
+        throw std::invalid_argument("--network list is empty");
+
+    const SimReport report = SimEngine().run(request);
+
+    // Summary table, normalized to the first requested accelerator.
+    std::vector<std::string> headers = {"network", "accel", "cycles",
+                                        "speedup", "off-chip KB",
+                                        "on-chip MB"};
+    if (request.energy) {
+        headers.push_back("energy uJ");
+        headers.push_back("eff. gain");
+    }
+    TextTable table(std::move(headers));
+    const std::string& base_accel = request.accels.front();
+    for (const auto& net : request.networks) {
+        const SimRun& base = report.at(base_accel, net.name);
+        for (const auto& accel : request.accels) {
+            const SimRun& run = report.at(accel, net.name);
+            std::vector<std::string> row = {
+                net.name, accel,
+                TextTable::fmtInt(run.result.total_cycles),
+                TextTable::fmtX(
+                    static_cast<double>(base.result.total_cycles) /
+                    static_cast<double>(run.result.total_cycles)),
+                TextTable::fmt(run.result.traffic.dramBytes() / 1024.0,
+                               1),
+                TextTable::fmt(run.result.traffic.sramBytes() /
+                                   (1024.0 * 1024.0),
+                               2)};
+            if (request.energy) {
+                row.push_back(
+                    TextTable::fmt(run.energy.totalPj() / 1e6, 2));
+                row.push_back(TextTable::fmtX(base.energy.totalPj() /
+                                              run.energy.totalPj()));
+            }
+            table.addRow(std::move(row));
+        }
+    }
+    std::printf("%s", table.str().c_str());
+
+    if (!json_path.empty()) {
+        const std::string out = json::toJson(report);
+        if (json_path == "-") {
+            std::printf("%s", out.c_str());
+        } else {
+            std::ofstream file(json_path);
+            if (!file) {
+                std::fprintf(stderr, "cannot open '%s' for writing\n",
+                             json_path.c_str());
+                return 1;
+            }
+            file << out;
+            std::printf("wrote %s\n", json_path.c_str());
+        }
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2)
+        return usage(argv[0]);
+    const std::string command = argv[1];
+    try {
+        if (command == "list")
+            return runList();
+        if (command == "run")
+            return runRun(argc - 2, argv + 2);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return usage(argv[0]);
+}
