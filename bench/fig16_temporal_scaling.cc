@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "api/sweep.hh"
 #include "common/table.hh"
 #include "energy/area_power.hh"
 #include "snn/metrics.hh"
@@ -44,11 +45,14 @@ main()
                 "normalized to origin @ T=4\n\n");
     TextTable b({"T", "origin (measured)", "origin (norm)",
                  "FT (measured)", "FT (norm)"});
-    const LayerSpec spec4 = tables::vgg16L8();
+    // The T axis as a sweep-layer network grid — the same timestep
+    // variants (and byte-identical layer statistics) `loas_cli sweep
+    // --network vgg16-l8?t=4,8,16` simulates.
     double base_ratio = 0.0;
-    for (const int t : {4, 8, 16}) {
-        const LayerSpec spec =
-            t == 4 ? spec4 : tables::withTimesteps(spec4, t);
+    for (const NetworkSpec& net :
+         expandNetworkGrids({"vgg16-l8?t=4,8,16"})) {
+        const LayerSpec& spec = net.layers.front();
+        const int t = spec.t;
         const LayerData origin = generateLayer(spec, 55, false);
         const LayerData ft = generateLayer(spec, 55, true);
         const double r_origin = origin.spikes.silentRatio();

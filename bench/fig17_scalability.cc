@@ -4,14 +4,40 @@
  * (98.2% / 68.4% / 25%), (2) the timestep count (4 vs 8), and
  * (3) the layer size (V-L8 vs the SpikeTransformer hidden
  * feed-forward layer T-HFF).
+ *
+ * All three studies run as SweepEngine grids — the same cells
+ * `loas_cli sweep` produces for the equivalent --grid/--network
+ * arguments (byte-identical: both paths are the same engine and
+ * seed). The pre-sweep harness called generateLayer directly; the
+ * engine's per-layer seed diversification shifts layer instances
+ * (not the calibrated statistics or normalized ratios), as already
+ * documented for the Fig. 12-14 harnesses in bench_common.hh.
  */
 
 #include <cstdio>
+#include <iterator>
+#include <string>
+#include <vector>
 
+#include "api/sweep.hh"
 #include "common/table.hh"
-#include "core/loas_sim.hh"
-#include "workload/generator.hh"
 #include "workload/networks.hh"
+
+namespace {
+
+loas::SweepReport
+runSweep(const std::string& grid,
+         const std::vector<std::string>& networks, std::uint64_t seed)
+{
+    loas::SweepRequest request;
+    request.grids = {grid};
+    request.networks = networks;
+    request.seed = seed;
+    request.energy = false;
+    return loas::SweepEngine().run(request);
+}
+
+} // namespace
 
 int
 main()
@@ -21,43 +47,47 @@ main()
     // (1) Weight-sparsity sweep on V-L8.
     std::printf("Fig. 17 (left): weight-sparsity sweep on V-L8\n\n");
     TextTable ws({"AvSpB", "cycles", "normalized perf"});
-    double perf_high = 0.0;
-    for (const double sparsity : {0.982, 0.684, 0.25}) {
-        const LayerSpec spec =
-            tables::vgg16L8WithWeightSparsity(sparsity, 4);
-        const LayerData layer = generateLayer(spec, 71);
-        LoasSim sim;
-        const RunResult r = sim.runLayer(layer);
-        const double perf = 1.0 / static_cast<double>(r.total_cycles);
-        if (perf_high == 0.0)
-            perf_high = perf;
-        ws.addRow({TextTable::fmtPct(sparsity),
-                   TextTable::fmtInt(r.total_cycles),
-                   TextTable::fmt(perf / perf_high, 3)});
+    const double ws_values[] = {0.982, 0.684, 0.25};
+    const SweepReport ws_report =
+        runSweep("loas", {"vgg16-l8?ws=0.982,0.684,0.25"}, 71);
+    // Rows zip the cells with the swept values; sweep cells land in
+    // value-list order, and the size check keeps grid edits honest.
+    if (ws_report.cells.size() != std::size(ws_values)) {
+        std::fprintf(stderr, "ws grid and ws_values disagree\n");
+        return 1;
+    }
+    const double cycles_high = static_cast<double>(
+        ws_report.cells.front().result.total_cycles);
+    for (std::size_t i = 0; i < ws_report.cells.size(); ++i) {
+        const auto& cell = ws_report.cells[i];
+        ws.addRow({TextTable::fmtPct(ws_values[i]),
+                   TextTable::fmtInt(cell.result.total_cycles),
+                   TextTable::fmt(
+                       cycles_high /
+                           static_cast<double>(cell.result.total_cycles),
+                       3)});
     }
     std::printf("%s\n", ws.str().c_str());
     std::printf("paper: performance drops ~88%% from 98.2%% to 25%% "
                 "weight sparsity\n\n");
 
-    // (2) Timestep sweep.
+    // (2) Timestep sweep: the design's T and the workload's T move
+    //     together, so each T is one diagonal (grid, network) cell.
     std::printf("Fig. 17 (middle): timestep sweep on V-L8\n\n");
     TextTable ts({"T", "cycles", "normalized perf"});
-    double perf_t4 = 0.0;
+    double cycles_t4 = 0.0;
     for (const int t : {4, 8}) {
-        LayerSpec spec =
-            t == 4 ? tables::vgg16L8()
-                   : tables::withTimesteps(tables::vgg16L8(), 8);
-        LoasConfig config;
-        config.timesteps = t;
-        const LayerData layer = generateLayer(spec, 72);
-        LoasSim sim(config);
-        const RunResult r = sim.runLayer(layer);
-        const double perf = 1.0 / static_cast<double>(r.total_cycles);
-        if (perf_t4 == 0.0)
-            perf_t4 = perf;
-        ts.addRow({std::to_string(t),
-                   TextTable::fmtInt(r.total_cycles),
-                   TextTable::fmt(perf / perf_t4, 3)});
+        const std::string t_str = std::to_string(t);
+        const SweepReport report = runSweep(
+            "loas?t=" + t_str, {"vgg16-l8?t=" + t_str}, 72);
+        const double cycles = static_cast<double>(
+            report.cells.front().result.total_cycles);
+        if (t == 4)
+            cycles_t4 = cycles;
+        ts.addRow({t_str,
+                   TextTable::fmtInt(
+                       report.cells.front().result.total_cycles),
+                   TextTable::fmt(cycles_t4 / cycles, 3)});
     }
     std::printf("%s\n", ts.str().c_str());
     std::printf("paper: only ~14%% performance loss when doubling the "
@@ -66,16 +96,22 @@ main()
     // (3) Layer-size scaling: V-L8 vs T-HFF, cycles per output.
     std::printf("Fig. 17 (right): layer-size scaling\n\n");
     TextTable sz({"Layer", "M*N*K", "cycles", "cycles per k-output"});
-    for (const LayerSpec& spec :
-         {tables::vgg16L8(), tables::transformerHff()}) {
-        const LayerData layer = generateLayer(spec, 73);
-        LoasSim sim;
-        const RunResult r = sim.runLayer(layer);
+    const SweepReport sz_report =
+        runSweep("loas", {"vgg16-l8", "t-hff"}, 73);
+    const LayerSpec sz_specs[] = {tables::vgg16L8(),
+                                  tables::transformerHff()};
+    if (sz_report.cells.size() != std::size(sz_specs)) {
+        std::fprintf(stderr, "layer grid and sz_specs disagree\n");
+        return 1;
+    }
+    for (std::size_t i = 0; i < sz_report.cells.size(); ++i) {
+        const auto& cell = sz_report.cells[i];
+        const LayerSpec& spec = sz_specs[i];
         const double per_output =
-            static_cast<double>(r.total_cycles) /
+            static_cast<double>(cell.result.total_cycles) /
             (static_cast<double>(spec.m * spec.n) / 1000.0);
         sz.addRow({spec.name, TextTable::fmtInt(spec.denseMacs()),
-                   TextTable::fmtInt(r.total_cycles),
+                   TextTable::fmtInt(cell.result.total_cycles),
                    TextTable::fmt(per_output, 1)});
     }
     std::printf("%s\n", sz.str().c_str());

@@ -1,7 +1,10 @@
 #include "api/accel_spec.hh"
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <iterator>
 #include <limits>
 #include <stdexcept>
 
@@ -86,20 +89,136 @@ parseAccelSpec(const std::string& spec)
 }
 
 std::vector<std::string>
-splitSpecList(const std::string& list)
+splitSpecList(const std::string& list, char sep)
 {
     std::vector<std::string> specs;
     std::size_t pos = 0;
     while (pos <= list.size()) {
-        auto comma = list.find(',', pos);
-        if (comma == std::string::npos)
-            comma = list.size();
-        const std::string item = list.substr(pos, comma - pos);
+        auto next = list.find(sep, pos);
+        if (next == std::string::npos)
+            next = list.size();
+        const std::string item = list.substr(pos, next - pos);
         if (!item.empty())
             specs.push_back(item);
-        pos = comma + 1;
+        pos = next + 1;
     }
     return specs;
+}
+
+std::size_t
+AccelSpecGrid::cells() const
+{
+    // Saturate just past the expansion cap so a pathological grid
+    // cannot overflow the product before the limit check rejects it.
+    std::size_t n = 1;
+    for (const auto& [name, values] : options) {
+        n *= values.size();
+        if (n > kMaxGridCells)
+            return kMaxGridCells + 1;
+    }
+    return n;
+}
+
+std::vector<AccelSpec>
+AccelSpecGrid::expand() const
+{
+    std::vector<AccelSpec> specs;
+    specs.reserve(cells());
+
+    // Odometer over the (sorted) option axes; digits[i] indexes into
+    // the i-th option's value list and the last axis varies fastest.
+    std::vector<std::size_t> digits(options.size(), 0);
+    bool done = false;
+    while (!done) {
+        AccelSpec spec;
+        spec.key = key;
+        std::size_t axis = 0;
+        for (const auto& [name, values] : options)
+            spec.options.emplace(name, values[digits[axis++]]);
+        specs.push_back(std::move(spec));
+
+        done = true;
+        for (std::size_t i = digits.size(); i-- > 0;) {
+            const auto& values = std::next(options.begin(),
+                                           static_cast<std::ptrdiff_t>(i))
+                                     ->second;
+            if (++digits[i] < values.size()) {
+                done = false;
+                break;
+            }
+            digits[i] = 0;
+        }
+    }
+    return specs;
+}
+
+AccelSpecGrid
+parseAccelSpecGrid(const std::string& grid)
+{
+    const AccelSpec flat = parseAccelSpec(grid);
+    AccelSpecGrid parsed;
+    parsed.key = flat.key;
+    for (const auto& [name, list] : flat.options) {
+        std::vector<std::string> values;
+        std::size_t pos = 0;
+        while (pos <= list.size()) {
+            auto comma = list.find(',', pos);
+            if (comma == std::string::npos)
+                comma = list.size();
+            std::string value = list.substr(pos, comma - pos);
+            if (value.empty())
+                throw std::invalid_argument(
+                    "empty value in list '" + name + "=" + list +
+                    "' of spec grid '" + grid + "'");
+            if (std::find(values.begin(), values.end(), value) !=
+                values.end())
+                throw std::invalid_argument(
+                    "duplicate value '" + value + "' in list '" + name +
+                    "=" + list + "' of spec grid '" + grid + "'");
+            values.push_back(std::move(value));
+            pos = comma + 1;
+        }
+        parsed.options.emplace(name, std::move(values));
+    }
+    // cells() saturates past the cap, so report the limit rather than
+    // a (possibly clamped) count.
+    if (parsed.cells() > kMaxGridCells)
+        throw std::invalid_argument(
+            "spec grid '" + grid + "' expands to more than " +
+            std::to_string(kMaxGridCells) + " cells");
+    return parsed;
+}
+
+std::vector<std::string>
+expandSpecGrid(const std::string& grid)
+{
+    std::vector<std::string> specs;
+    for (const auto& spec : parseAccelSpecGrid(grid).expand())
+        specs.push_back(spec.str());
+    return specs;
+}
+
+std::vector<std::string>
+expandSpecGridList(const std::vector<std::string>& grids)
+{
+    std::vector<std::string> specs;
+    std::set<std::string> seen;
+    for (const auto& grid : grids) {
+        for (auto& spec : expandSpecGrid(grid))
+            if (seen.insert(spec).second)
+                specs.push_back(std::move(spec));
+        if (specs.size() > kMaxGridCells)
+            throw std::invalid_argument(
+                "spec grid list expands to more than " +
+                std::to_string(kMaxGridCells) + " cells");
+    }
+    return specs;
+}
+
+std::vector<std::string>
+expandSpecGridList(const std::string& list)
+{
+    return expandSpecGridList(splitSpecList(list, ';'));
 }
 
 const std::string*
@@ -123,12 +242,12 @@ OptionReader::getInt(const std::string& name, int def, int min)
     const long parsed = std::strtol(value->c_str(), &end, 10);
     if (end == value->c_str() || *end != '\0')
         throw std::invalid_argument("option '" + name + "=" + *value +
-                                    "' of accelerator '" + spec_.key +
+                                    "' of spec '" + spec_.key +
                                     "' is not an integer");
     if (errno == ERANGE || parsed < min ||
         parsed > std::numeric_limits<int>::max())
         throw std::invalid_argument(
-            "option '" + name + "=" + *value + "' of accelerator '" +
+            "option '" + name + "=" + *value + "' of spec '" +
             spec_.key + "' is out of range (min " +
             std::to_string(min) + ")");
     return static_cast<int>(parsed);
@@ -145,8 +264,32 @@ OptionReader::getBool(const std::string& name, bool def)
     if (*value == "0" || *value == "false" || *value == "no")
         return false;
     throw std::invalid_argument("option '" + name + "=" + *value +
-                                "' of accelerator '" + spec_.key +
+                                "' of spec '" + spec_.key +
                                 "' is not a boolean");
+}
+
+double
+OptionReader::getDouble(const std::string& name, double def, double min,
+                        double max)
+{
+    const std::string* value = find(name);
+    if (value == nullptr)
+        return def;
+    char* end = nullptr;
+    errno = 0;
+    const double parsed = std::strtod(value->c_str(), &end);
+    if (end == value->c_str() || *end != '\0' || errno == ERANGE)
+        throw std::invalid_argument("option '" + name + "=" + *value +
+                                    "' of spec '" + spec_.key +
+                                    "' is not a number");
+    if (!(parsed >= min && parsed <= max)) {
+        char range[48];
+        std::snprintf(range, sizeof(range), "[%g, %g]", min, max);
+        throw std::invalid_argument(
+            "option '" + name + "=" + *value + "' of spec '" +
+            spec_.key + "' is outside " + range);
+    }
+    return parsed;
 }
 
 void
@@ -154,7 +297,7 @@ OptionReader::finish() const
 {
     for (const auto& [name, value] : spec_.options)
         if (consumed_.count(name) == 0)
-            throw std::invalid_argument("accelerator '" + spec_.key +
+            throw std::invalid_argument("spec '" + spec_.key +
                                         "' does not understand option '" +
                                         name + "'");
 }

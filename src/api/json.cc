@@ -6,7 +6,6 @@
 
 namespace loas {
 namespace json {
-namespace {
 
 std::string
 num(std::uint64_t v)
@@ -21,6 +20,20 @@ num(double v)
     std::snprintf(buf, sizeof(buf), "%.17g", v);
     return buf;
 }
+
+std::string
+shift(const std::string& rendered)
+{
+    std::string out;
+    for (const char c : rendered) {
+        out += c;
+        if (c == '\n')
+            out += "  ";
+    }
+    return out;
+}
+
+namespace {
 
 /** Accumulates `"key": value` pairs and renders one JSON object. */
 class Obj
@@ -50,19 +63,6 @@ class Obj
   private:
     std::vector<std::pair<std::string, std::string>> fields_;
 };
-
-/** Shift an already-rendered multi-line value two spaces deeper. */
-std::string
-shift(const std::string& rendered)
-{
-    std::string out;
-    for (const char c : rendered) {
-        out += c;
-        if (c == '\n')
-            out += "  ";
-    }
-    return out;
-}
 
 /** Render `{...}`; nested values are re-indented so levels compose. */
 std::string

@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "accel/op_counts.hh"
@@ -21,6 +22,15 @@ namespace json {
 
 /** JSON string literal with escaping, including the quotes. */
 std::string quote(const std::string& s);
+
+/** Decimal integer rendering. */
+std::string num(std::uint64_t v);
+
+/** Round-trip-exact (%.17g) double rendering. */
+std::string num(double v);
+
+/** Shift an already-rendered multi-line value two spaces deeper. */
+std::string shift(const std::string& rendered);
 
 std::string toJson(const OpCounts& ops);
 std::string toJson(const TrafficStats& traffic);

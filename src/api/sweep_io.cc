@@ -1,0 +1,127 @@
+#include "api/sweep_io.hh"
+
+#include <cstdio>
+
+#include "api/json.hh"
+
+namespace loas {
+
+namespace csv {
+
+std::string
+escape(const std::string& field)
+{
+    if (field.find_first_of(",\"\r\n") == std::string::npos)
+        return field;
+    std::string out = "\"";
+    for (const char c : field) {
+        out += c;
+        if (c == '"')
+            out += '"';
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace csv
+
+std::string
+toCsv(const SweepReport& report)
+{
+    std::string out = "accel_spec,accel_key,network";
+    for (const auto& name : report.option_columns) {
+        out += ',';
+        out += csv::escape(name);
+    }
+    out += ",total_cycles,compute_cycles,dram_cycles,dram_bytes,"
+           "sram_bytes,cache_miss_rate,energy_pj,speedup,energy_gain,"
+           "edp,pareto,baseline\n";
+
+    for (const auto& cell : report.cells) {
+        out += csv::escape(cell.accel_spec);
+        for (const std::string& field :
+             {csv::escape(cell.accel_key), csv::escape(cell.network)}) {
+            out += ',';
+            out += field;
+        }
+        for (const auto& name : report.option_columns) {
+            const auto it = cell.accel_options.find(name);
+            out += ',';
+            if (it != cell.accel_options.end())
+                out += csv::escape(it->second);
+        }
+        for (const std::string& field :
+             {json::num(cell.result.total_cycles),
+              json::num(cell.result.compute_cycles),
+              json::num(cell.result.dram_cycles),
+              json::num(cell.result.traffic.dramBytes()),
+              json::num(cell.result.traffic.sramBytes()),
+              json::num(cell.result.cacheMissRate()),
+              json::num(cell.energy.totalPj()),
+              json::num(cell.speedup), json::num(cell.energy_gain),
+              json::num(cell.edp)}) {
+            out += ',';
+            out += field;
+        }
+        out += cell.pareto ? ",1" : ",0";
+        out += cell.is_baseline ? ",1\n" : ",0\n";
+    }
+    return out;
+}
+
+namespace json {
+
+namespace {
+
+std::string
+cellToJson(const SweepCell& cell)
+{
+    std::string out = "{\n";
+    out += "  \"accel_spec\": " + quote(cell.accel_spec) + ",\n";
+    out += "  \"accel_key\": " + quote(cell.accel_key) + ",\n";
+    out += "  \"options\": {";
+    bool first = true;
+    for (const auto& [name, value] : cell.accel_options) {
+        out += first ? "" : ", ";
+        out += quote(name) + ": " + quote(value);
+        first = false;
+    }
+    out += "},\n";
+    out += "  \"network\": " + quote(cell.network) + ",\n";
+    out += "  \"speedup\": " + num(cell.speedup) + ",\n";
+    out += "  \"energy_gain\": " + num(cell.energy_gain) + ",\n";
+    out += "  \"edp\": " + num(cell.edp) + ",\n";
+    out += std::string("  \"pareto\": ") +
+           (cell.pareto ? "true" : "false") + ",\n";
+    out += std::string("  \"baseline\": ") +
+           (cell.is_baseline ? "true" : "false") + ",\n";
+    out += "  \"result\": " + shift(toJson(cell.result)) + ",\n";
+    out += "  \"energy\": " + shift(toJson(cell.energy)) + "\n";
+    out += "}";
+    return out;
+}
+
+} // namespace
+
+std::string
+toJson(const SweepReport& report)
+{
+    std::string out = "{\n";
+    out += "  \"baseline\": " + quote(report.baseline) + ",\n";
+    out += "  \"option_columns\": [";
+    for (std::size_t i = 0; i < report.option_columns.size(); ++i) {
+        out += i == 0 ? "" : ", ";
+        out += quote(report.option_columns[i]);
+    }
+    out += "],\n";
+    out += "  \"cells\": [\n";
+    for (std::size_t i = 0; i < report.cells.size(); ++i) {
+        out += "    " + shift(shift(cellToJson(report.cells[i])));
+        out += i + 1 < report.cells.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+} // namespace json
+} // namespace loas

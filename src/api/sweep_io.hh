@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Sweep result serialization: CSV for spreadsheet/pandas-style
+ * analysis of large design-space grids (one row per cell, one column
+ * per swept option, derived columns inline), and JSON carrying the
+ * full per-cell detail (traffic categories, op counts, energy
+ * breakdown) for plotting scripts and regression checks.
+ *
+ * Both formats are deterministic functions of the SweepReport, which
+ * is itself thread-count invariant — sweep artifacts diff cleanly.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "api/sweep.hh"
+
+namespace loas {
+
+namespace csv {
+
+/**
+ * RFC 4180 field escaping: values containing a comma, quote, CR or LF
+ * are double-quoted with embedded quotes doubled; anything else passes
+ * through unchanged.
+ */
+std::string escape(const std::string& field);
+
+} // namespace csv
+
+/**
+ * Whole report as CSV. Header:
+ *   accel_spec,accel_key,network,<option columns...>,total_cycles,
+ *   compute_cycles,dram_cycles,dram_bytes,sram_bytes,cache_miss_rate,
+ *   energy_pj,speedup,energy_gain,edp,pareto,baseline
+ * Option columns are the report's option_columns; a design that does
+ * not set an option leaves its column empty.
+ */
+std::string toCsv(const SweepReport& report);
+
+namespace json {
+
+/** Whole report: baseline, option_columns and every cell, pretty. */
+std::string toJson(const SweepReport& report);
+
+} // namespace json
+
+} // namespace loas

@@ -223,12 +223,24 @@ loasConfigFromSpec(OptionReader& opts)
         opts.getInt("chunk", static_cast<int>(config.join.chunk_bits)));
     config.pipelined_waves =
         opts.getBool("pipelined", config.pipelined_waves);
+    config.cache.size_bytes =
+        static_cast<std::uint64_t>(opts.getInt(
+            "cache_kb",
+            static_cast<int>(config.cache.size_bytes / 1024))) *
+        1024;
+    // Table III: 128 GB/s at 800 MHz is 160 bytes per cycle.
+    config.dram.bytes_per_cycle =
+        opts.getDouble("dram_gbps",
+                       config.dram.bytes_per_cycle * 800.0e6 / 1.0e9,
+                       1.0, 8192.0) *
+        1.0e9 / 800.0e6;
     return config;
 }
 
 const RegisterAccelerator register_loas(
     "loas",
-    {"LoAS fully temporal-parallel dataflow (t, pes, chunk, pipelined)",
+    {"LoAS fully temporal-parallel dataflow (t, pes, chunk, pipelined, "
+     "cache_kb, dram_gbps)",
      /*ft_workload=*/false, [](const AccelSpec& spec) {
          OptionReader opts(spec);
          const LoasConfig config = loasConfigFromSpec(opts);
@@ -238,7 +250,8 @@ const RegisterAccelerator register_loas(
 
 const RegisterAccelerator register_loas_ft(
     "loas-ft",
-    {"LoAS with fine-tuned preprocessing (t, pes, chunk, pipelined)",
+    {"LoAS with fine-tuned preprocessing (t, pes, chunk, pipelined, "
+     "cache_kb, dram_gbps)",
      /*ft_workload=*/true, [](const AccelSpec& spec) {
          OptionReader opts(spec);
          const LoasConfig config = loasConfigFromSpec(opts);

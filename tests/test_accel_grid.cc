@@ -1,0 +1,127 @@
+/** @file Tests for multi-value spec grids and OptionReader::getDouble. */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "api/accel_spec.hh"
+
+namespace loas {
+namespace {
+
+TEST(AccelSpecGrid, BareKeyExpandsToItself)
+{
+    const auto specs = expandSpecGrid("loas");
+    ASSERT_EQ(specs.size(), 1u);
+    EXPECT_EQ(specs[0], "loas");
+}
+
+TEST(AccelSpecGrid, SingleValuedOptionsExpandToOneSpec)
+{
+    const auto specs = expandSpecGrid("gamma?pes=32&radix=8");
+    ASSERT_EQ(specs.size(), 1u);
+    EXPECT_EQ(specs[0], "gamma?pes=32&radix=8");
+}
+
+TEST(AccelSpecGrid, CartesianExpansionInOdometerOrder)
+{
+    // Option axes iterate in sorted name order ("pes" < "t") and the
+    // last axis varies fastest.
+    const auto specs = expandSpecGrid("loas?pes=16,32&t=4,8");
+    ASSERT_EQ(specs.size(), 4u);
+    EXPECT_EQ(specs[0], "loas?pes=16&t=4");
+    EXPECT_EQ(specs[1], "loas?pes=16&t=8");
+    EXPECT_EQ(specs[2], "loas?pes=32&t=4");
+    EXPECT_EQ(specs[3], "loas?pes=32&t=8");
+}
+
+TEST(AccelSpecGrid, ValueOrderIsPreservedWithinAnAxis)
+{
+    const auto specs = expandSpecGrid("loas?pes=64,16");
+    ASSERT_EQ(specs.size(), 2u);
+    EXPECT_EQ(specs[0], "loas?pes=64");
+    EXPECT_EQ(specs[1], "loas?pes=16");
+}
+
+TEST(AccelSpecGrid, CellCountIsTheProductOfAxisSizes)
+{
+    const AccelSpecGrid grid =
+        parseAccelSpecGrid("loas?pes=1,2,3&t=4,8&chunk=64,128");
+    EXPECT_EQ(grid.cells(), 12u);
+    EXPECT_EQ(grid.expand().size(), 12u);
+}
+
+TEST(AccelSpecGrid, RejectsEmptyAndDuplicateValues)
+{
+    EXPECT_THROW(parseAccelSpecGrid("loas?pes=16,,32"),
+                 std::invalid_argument);
+    EXPECT_THROW(parseAccelSpecGrid("loas?pes=,16"),
+                 std::invalid_argument);
+    EXPECT_THROW(parseAccelSpecGrid("loas?pes=16,16"),
+                 std::invalid_argument);
+}
+
+TEST(AccelSpecGrid, RejectsMalformedSpecsLikeTheScalarParser)
+{
+    EXPECT_THROW(parseAccelSpecGrid(""), std::invalid_argument);
+    EXPECT_THROW(parseAccelSpecGrid("LoAS?pes=16"),
+                 std::invalid_argument);
+    EXPECT_THROW(parseAccelSpecGrid("loas?pes"),
+                 std::invalid_argument);
+    EXPECT_THROW(parseAccelSpecGrid("loas?pes=16&pes=32"),
+                 std::invalid_argument);
+}
+
+TEST(AccelSpecGrid, RejectsExpansionsPastTheCellCap)
+{
+    // 70 x 70 = 4900 > kMaxGridCells.
+    std::string a = "x?a=0", b = "&b=0";
+    for (int i = 1; i < 70; ++i) {
+        a += ',';
+        a += std::to_string(i);
+        b += ',';
+        b += std::to_string(i);
+    }
+    EXPECT_NO_THROW(parseAccelSpecGrid(a));
+    EXPECT_THROW(parseAccelSpecGrid(a + b), std::invalid_argument);
+}
+
+TEST(AccelSpecGrid, GridListExpandsAndDeduplicatesAcrossGrids)
+{
+    const auto specs =
+        expandSpecGridList("loas?pes=16,32;sparten;loas?pes=32,64");
+    ASSERT_EQ(specs.size(), 4u);
+    EXPECT_EQ(specs[0], "loas?pes=16");
+    EXPECT_EQ(specs[1], "loas?pes=32");
+    EXPECT_EQ(specs[2], "sparten");
+    EXPECT_EQ(specs[3], "loas?pes=64"); // pes=32 deduped, order kept
+
+    // The vector overload is the same expansion without the split.
+    EXPECT_EQ(expandSpecGridList(
+                  {"loas?pes=16,32", "sparten", "loas?pes=32,64"}),
+              specs);
+}
+
+TEST(OptionReaderDouble, ParsesValidatesAndDefaults)
+{
+    const AccelSpec spec = parseAccelSpec("net?ws=0.25");
+    {
+        OptionReader opts(spec);
+        EXPECT_DOUBLE_EQ(opts.getDouble("ws", 0.9, 0.0, 1.0), 0.25);
+        EXPECT_DOUBLE_EQ(opts.getDouble("absent", 0.5, 0.0, 1.0), 0.5);
+        EXPECT_NO_THROW(opts.finish());
+    }
+    {
+        OptionReader opts(spec);
+        EXPECT_THROW(opts.getDouble("ws", 0.0, 0.5, 1.0),
+                     std::invalid_argument); // below min
+    }
+    const AccelSpec bad = parseAccelSpec("net?ws=abc");
+    OptionReader opts(bad);
+    EXPECT_THROW(opts.getDouble("ws", 0.0, 0.0, 1.0),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace loas

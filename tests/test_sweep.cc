@@ -1,0 +1,261 @@
+/** @file Tests for the design-space sweep engine and its writers. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/json.hh"
+#include "api/sim_engine.hh"
+#include "api/sweep.hh"
+#include "api/sweep_io.hh"
+#include "workload/networks.hh"
+
+namespace loas {
+namespace {
+
+/** A small sweep: 2x LoAS grid + the SparTen baseline on one layer. */
+SweepRequest
+smallSweep()
+{
+    SweepRequest request;
+    request.grids = {"loas?pes=8,16"};
+    request.baseline = "sparten";
+    request.networks = {"alexnet-l4"};
+    request.seed = 7;
+    return request;
+}
+
+TEST(NetworkGrids, ExpandsLayerVariantsWithUniqueNames)
+{
+    const auto nets =
+        expandNetworkGrids({"vgg16-l8?ws=0.5,0.25", "t-hff"});
+    ASSERT_EQ(nets.size(), 3u);
+    EXPECT_EQ(nets[0].name, "vgg16-l8?ws=0.5");
+    EXPECT_EQ(nets[1].name, "vgg16-l8?ws=0.25");
+    EXPECT_EQ(nets[2].name, "t-hff");
+    ASSERT_EQ(nets[0].layers.size(), 1u);
+    EXPECT_DOUBLE_EQ(nets[0].layers[0].weight_sparsity, 0.5);
+    EXPECT_DOUBLE_EQ(nets[1].layers[0].weight_sparsity, 0.25);
+}
+
+TEST(NetworkGrids, TimestepOptionRescalesTheLayer)
+{
+    const auto nets = expandNetworkGrids({"vgg16-l8?t=4,8"});
+    ASSERT_EQ(nets.size(), 2u);
+    EXPECT_EQ(nets[0].layers[0].t, 4);
+    EXPECT_EQ(nets[1].layers[0].t, 8);
+    // t=4 is the base layer, untouched by the rescale.
+    EXPECT_DOUBLE_EQ(nets[0].layers[0].silent_ratio,
+                     tables::vgg16L8().silent_ratio);
+    EXPECT_LT(nets[1].layers[0].silent_ratio,
+              nets[0].layers[0].silent_ratio);
+}
+
+TEST(NetworkGrids, FullNetworksExpandAndDeduplicate)
+{
+    const auto nets = expandNetworkGrids({"all", "alexnet"});
+    ASSERT_EQ(nets.size(), 3u); // alexnet deduped against "all"
+    EXPECT_EQ(nets[0].name, tables::alexnet().name);
+}
+
+TEST(NetworkGrids, RejectsUnknownKeysAndOptions)
+{
+    EXPECT_THROW(expandNetworkGrids({"no-such-net"}),
+                 std::invalid_argument);
+    EXPECT_THROW(expandNetworkGrids({"vgg16-l8?bogus=1"}),
+                 std::invalid_argument);
+    EXPECT_THROW(expandNetworkGrids({"vgg16?t=8"}),
+                 std::invalid_argument); // options on a full network
+    EXPECT_THROW(expandNetworkGrids({"vgg16-l8?ws=1.5"}),
+                 std::invalid_argument); // sparsity out of range
+}
+
+TEST(SweepEngine, RejectsBadRequestsBeforeSimulating)
+{
+    SweepRequest request = smallSweep();
+    request.grids = {"no-such-accel?pes=8,16"};
+    EXPECT_THROW(SweepEngine().run(request), std::invalid_argument);
+    request = smallSweep();
+    request.grids.push_back("loas?bogus=1,2");
+    EXPECT_THROW(SweepEngine().run(request), std::invalid_argument);
+    request = smallSweep();
+    request.grids.clear();
+    EXPECT_THROW(SweepEngine().run(request), std::invalid_argument);
+}
+
+TEST(SweepEngine, MatchesAHandWrittenSimEngineLoopByteIdentically)
+{
+    const SweepRequest request = smallSweep();
+    const SweepReport sweep = SweepEngine().run(request);
+
+    // The retired-harness pattern: expand by hand, run the SimEngine
+    // directly, one cell at a time.
+    SimRequest sim;
+    sim.accels = {"loas?pes=8", "loas?pes=16", "sparten"};
+    sim.networks = expandNetworkGrids({"alexnet-l4"});
+    sim.seed = 7;
+    const SimReport direct = SimEngine().run(sim);
+
+    ASSERT_EQ(sweep.cells.size(), direct.runs.size());
+    for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
+        SCOPED_TRACE(sweep.cells[i].accel_spec);
+        EXPECT_EQ(sweep.cells[i].accel_spec,
+                  direct.runs[i].accel_spec);
+        EXPECT_EQ(json::toJson(sweep.cells[i].result),
+                  json::toJson(direct.runs[i].result));
+        EXPECT_EQ(json::toJson(sweep.cells[i].energy),
+                  json::toJson(direct.runs[i].energy));
+    }
+}
+
+TEST(SweepEngine, DerivedColumnsAreConsistent)
+{
+    const SweepReport report = SweepEngine().run(smallSweep());
+    EXPECT_EQ(report.baseline, "sparten");
+    ASSERT_EQ(report.cells.size(), 3u);
+
+    const SweepCell& base = report.at("sparten", "alexnet-l4");
+    EXPECT_TRUE(base.is_baseline);
+    EXPECT_DOUBLE_EQ(base.speedup, 1.0);
+    EXPECT_DOUBLE_EQ(base.energy_gain, 1.0);
+
+    for (const auto& cell : report.cells) {
+        EXPECT_DOUBLE_EQ(
+            cell.speedup,
+            static_cast<double>(base.result.total_cycles) /
+                static_cast<double>(cell.result.total_cycles));
+        EXPECT_DOUBLE_EQ(cell.edp,
+                         cell.energy.totalPj() *
+                             static_cast<double>(
+                                 cell.result.total_cycles));
+        EXPECT_FALSE(cell.is_baseline &&
+                     cell.accel_spec != "sparten");
+    }
+}
+
+TEST(SweepEngine, GridValueWithSemicolonIsRejectedNotSplit)
+{
+    // A ';' inside a grid element must not silently split it into
+    // extra designs (the CLI splits on ';' before building the
+    // request; a programmatic caller's stray ';' is a bad value).
+    SweepRequest request = smallSweep();
+    request.grids = {"loas?t=4;gamma"};
+    EXPECT_THROW(SweepEngine().run(request), std::invalid_argument);
+}
+
+TEST(SweepEngine, BaselineInsideTheGridIsNotDuplicated)
+{
+    SweepRequest request = smallSweep();
+    request.grids.push_back("sparten");
+    const SweepReport report = SweepEngine().run(request);
+    EXPECT_EQ(report.cells.size(), 3u);
+}
+
+TEST(SweepEngine, OutputIsThreadCountInvariant)
+{
+    SweepRequest request = smallSweep();
+    request.grids = {"loas?pes=8,16", "gospa"};
+    request.threads = 1;
+    const SweepReport serial = SweepEngine().run(request);
+    request.threads = 8;
+    const SweepReport threaded = SweepEngine().run(request);
+
+    EXPECT_EQ(toCsv(serial), toCsv(threaded));
+    EXPECT_EQ(json::toJson(serial), json::toJson(threaded));
+}
+
+TEST(ParetoFront, FlagsExactlyTheNonDominatedPoints)
+{
+    const std::vector<std::pair<double, double>> points = {
+        {1.0, 4.0}, // front
+        {2.0, 2.0}, // front
+        {4.0, 1.0}, // front
+        {3.0, 3.0}, // dominated by (2,2)
+        {2.0, 4.0}, // dominated by (1,4) and (2,2)
+    };
+    const auto front = paretoFront(points);
+    EXPECT_EQ(front,
+              (std::vector<bool>{true, true, true, false, false}));
+}
+
+TEST(ParetoFront, DuplicatesAndEdgeCases)
+{
+    EXPECT_EQ(paretoFront({}), std::vector<bool>{});
+    EXPECT_EQ(paretoFront({{1.0, 1.0}}), std::vector<bool>{true});
+    // Equal points do not dominate each other.
+    EXPECT_EQ(paretoFront({{1.0, 1.0}, {1.0, 1.0}}),
+              (std::vector<bool>{true, true}));
+    // Ties on one axis: strictly better on the other axis wins.
+    EXPECT_EQ(paretoFront({{1.0, 2.0}, {1.0, 1.0}}),
+              (std::vector<bool>{false, true}));
+}
+
+TEST(SweepEngine, ParetoColumnMatchesTheFreeFunction)
+{
+    SweepRequest request = smallSweep();
+    request.grids = {"loas?pes=8,16", "gamma"};
+    const SweepReport report = SweepEngine().run(request);
+
+    std::vector<std::pair<double, double>> points;
+    for (const auto& cell : report.cells)
+        points.emplace_back(
+            static_cast<double>(cell.result.total_cycles),
+            cell.energy.totalPj());
+    const auto front = paretoFront(points);
+    for (std::size_t i = 0; i < report.cells.size(); ++i)
+        EXPECT_EQ(report.cells[i].pareto, front[i]) << i;
+}
+
+TEST(SweepCsv, EscapesFieldsPerRfc4180)
+{
+    EXPECT_EQ(csv::escape("plain"), "plain");
+    EXPECT_EQ(csv::escape("loas?pes=16&t=4"), "loas?pes=16&t=4");
+    EXPECT_EQ(csv::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csv::escape("a\"b"), "\"a\"\"b\"");
+    EXPECT_EQ(csv::escape("a\nb"), "\"a\nb\"");
+    EXPECT_EQ(csv::escape(""), "");
+}
+
+TEST(SweepCsv, LaysOutOptionColumnsAndDerivedFields)
+{
+    const SweepReport report = SweepEngine().run(smallSweep());
+    ASSERT_EQ(report.option_columns,
+              std::vector<std::string>{"pes"});
+
+    const std::string out = toCsv(report);
+    EXPECT_EQ(out.substr(0, out.find('\n')),
+              "accel_spec,accel_key,network,pes,total_cycles,"
+              "compute_cycles,dram_cycles,dram_bytes,sram_bytes,"
+              "cache_miss_rate,energy_pj,speedup,energy_gain,edp,"
+              "pareto,baseline");
+    // One header + one row per cell, every row ending in the
+    // pareto/baseline flags; sparten leaves the pes column empty.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'),
+              static_cast<long>(1 + report.cells.size()));
+    EXPECT_NE(out.find("loas?pes=8,loas,alexnet-l4,8,"),
+              std::string::npos);
+    EXPECT_NE(out.find("sparten,sparten,alexnet-l4,,"),
+              std::string::npos);
+}
+
+TEST(SweepJson, CarriesDerivedColumnsAndFullDetail)
+{
+    const SweepReport report = SweepEngine().run(smallSweep());
+    const std::string out = json::toJson(report);
+    EXPECT_NE(out.find("\"baseline\": \"sparten\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"option_columns\": [\"pes\"]"),
+              std::string::npos);
+    EXPECT_NE(out.find("\"speedup\": "), std::string::npos);
+    EXPECT_NE(out.find("\"edp\": "), std::string::npos);
+    EXPECT_NE(out.find("\"pareto\": "), std::string::npos);
+    EXPECT_NE(out.find("\"total_cycles\": "), std::string::npos);
+    EXPECT_NE(out.find("\"dram_read_bytes\": "), std::string::npos);
+}
+
+} // namespace
+} // namespace loas

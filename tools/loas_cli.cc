@@ -15,22 +15,43 @@
  *       --network accepts alexnet / vgg16 / resnet19 / all.
  *       --json writes the full report (per-category traffic, op
  *       counts, energy breakdown) to PATH, or stdout for "-".
+ *
+ *   loas_cli sweep --grid GRIDS [--network GRIDS] [--baseline SPEC]
+ *                  [--seed N] [--threads N] [--no-energy]
+ *                  [--csv PATH] [--json PATH]
+ *       Expand design-space grids ("loas?pes=16,32,64&t=4,8,16") into
+ *       one batched job matrix, simulate it, and emit derived columns
+ *       (speedup vs --baseline, EDP, Pareto flag). Grids are
+ *       semicolon-separated (commas separate values inside a grid);
+ *       --grid may repeat. --network takes network grids
+ *       ("vgg16-l8?ws=0.982,0.684,0.25") or named networks.
+ *
+ *   loas_cli bench [--quick] [--seed N] [--threads N] [--out PATH]
+ *       Self-timing harness for the simulator itself: measures
+ *       workload-synthesis time, per-accelerator simulation time and
+ *       sweep-engine throughput (cells/s), and writes a schema-stable
+ *       BENCH_sweep.json for the perf trajectory.
  */
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/accel_spec.hh"
 #include "api/json.hh"
 #include "api/registry.hh"
 #include "api/sim_engine.hh"
+#include "api/sweep.hh"
+#include "api/sweep_io.hh"
 #include "common/table.hh"
+#include "workload/generator.hh"
 #include "workload/networks.hh"
 
 namespace {
@@ -45,15 +66,37 @@ usage(const char* argv0)
         "usage: %s list\n"
         "       %s run [--accel LIST] [--network LIST] [--seed N]\n"
         "           [--threads N] [--no-energy] [--json PATH]\n"
+        "       %s sweep --grid GRIDS [--network GRIDS]\n"
+        "           [--baseline SPEC] [--seed N] [--threads N]\n"
+        "           [--no-energy] [--csv PATH] [--json PATH]\n"
+        "       %s bench [--quick] [--seed N] [--threads N] [--out PATH]\n"
         "\n"
+        "run:\n"
         "  --accel LIST    comma-separated accelerator specs\n"
         "                  (default: sparten,gospa,gamma,loas,loas-ft)\n"
         "  --network LIST  alexnet, vgg16, resnet19 or all (default)\n"
         "  --seed N        workload-synthesis seed (default 101)\n"
         "  --threads N     worker threads (default: all cores)\n"
         "  --no-energy     skip the energy model\n"
-        "  --json PATH     write the full report as JSON (\"-\": stdout)\n",
-        argv0, argv0);
+        "  --json PATH     write the full report as JSON (\"-\": stdout)\n"
+        "\n"
+        "sweep:\n"
+        "  --grid GRIDS    accelerator spec grids, ';'-separated; commas\n"
+        "                  separate values (\"loas?pes=16,32,64&t=4,8\");\n"
+        "                  the flag may repeat\n"
+        "  --network GRIDS network grids, ';'-separated: alexnet, vgg16,\n"
+        "                  resnet19, all, or single-layer workloads\n"
+        "                  alexnet-l4 / vgg16-l8 / resnet19-l19 / t-hff\n"
+        "                  with t= and ws= value lists (default: all)\n"
+        "  --baseline SPEC design the speedup/energy-gain columns are\n"
+        "                  relative to (default: first expanded design)\n"
+        "  --csv PATH      write per-cell CSV (\"-\": stdout)\n"
+        "  --json PATH     write the full sweep JSON (\"-\": stdout)\n"
+        "\n"
+        "bench:\n"
+        "  --quick         small matrix for the CI perf-smoke job\n"
+        "  --out PATH      output JSON (default BENCH_sweep.json)\n",
+        argv0, argv0, argv0, argv0);
     return 2;
 }
 
@@ -79,6 +122,74 @@ parseUint(const std::string& flag, const std::string& value)
         throw std::invalid_argument(flag + " value '" + value +
                                     "' is not a non-negative integer");
     return parsed;
+}
+
+/** Cursor over a subcommand's argv tail. */
+class ArgCursor
+{
+  public:
+    ArgCursor(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+    bool more() const { return i_ < argc_; }
+
+    std::string next() { return argv_[i_++]; }
+
+    /** The value following `flag`; throws when the tail is exhausted. */
+    std::string
+    value(const std::string& flag)
+    {
+        if (i_ >= argc_)
+            throw std::invalid_argument(flag + " needs a value");
+        return argv_[i_++];
+    }
+
+  private:
+    int argc_;
+    char** argv_;
+    int i_ = 0;
+};
+
+/** Flags every subcommand shares; true when `arg` was consumed. */
+bool
+handleCommonFlag(const std::string& arg, ArgCursor& args,
+                 std::uint64_t& seed, int& threads)
+{
+    if (arg == "--seed") {
+        seed = parseUint(arg, args.value(arg));
+        return true;
+    }
+    if (arg == "--threads") {
+        threads = static_cast<int>(std::min<std::uint64_t>(
+            parseUint(arg, args.value(arg)), 1024));
+        return true;
+    }
+    return false;
+}
+
+/** Write `content` to PATH, or stdout when PATH is "-". */
+int
+writeOutput(const std::string& path, const std::string& content,
+            bool quiet = false)
+{
+    if (path == "-") {
+        std::printf("%s", content.c_str());
+        return 0;
+    }
+    std::ofstream file(path);
+    if (!file) {
+        std::fprintf(stderr, "cannot open '%s' for writing\n",
+                     path.c_str());
+        return 1;
+    }
+    file << content;
+    file.close();
+    if (!file) {
+        std::fprintf(stderr, "error writing '%s'\n", path.c_str());
+        return 1;
+    }
+    if (!quiet)
+        std::printf("wrote %s\n", path.c_str());
+    return 0;
 }
 
 std::vector<NetworkSpec>
@@ -112,26 +223,20 @@ runRun(int argc, char** argv)
     std::string json_path;
     SimRequest request;
 
-    for (int i = 0; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto value = [&]() -> std::string {
-            if (i + 1 >= argc)
-                throw std::invalid_argument(arg + " needs a value");
-            return argv[++i];
-        };
+    ArgCursor args(argc, argv);
+    while (args.more()) {
+        const std::string arg = args.next();
         if (arg == "--accel")
-            accel_list = value();
+            accel_list = args.value(arg);
         else if (arg == "--network")
-            network_list = value();
-        else if (arg == "--seed")
-            request.seed = parseUint(arg, value());
-        else if (arg == "--threads")
-            request.threads = static_cast<int>(std::min<std::uint64_t>(
-                parseUint(arg, value()), 1024));
+            network_list = args.value(arg);
+        else if (handleCommonFlag(arg, args, request.seed,
+                                  request.threads))
+            continue;
         else if (arg == "--no-energy")
             request.energy = false;
         else if (arg == "--json")
-            json_path = value();
+            json_path = args.value(arg);
         else
             throw std::invalid_argument("unknown flag '" + arg + "'");
     }
@@ -181,22 +286,193 @@ runRun(int argc, char** argv)
     }
     std::printf("%s", table.str().c_str());
 
-    if (!json_path.empty()) {
-        const std::string out = json::toJson(report);
-        if (json_path == "-") {
-            std::printf("%s", out.c_str());
-        } else {
-            std::ofstream file(json_path);
-            if (!file) {
-                std::fprintf(stderr, "cannot open '%s' for writing\n",
-                             json_path.c_str());
-                return 1;
-            }
-            file << out;
-            std::printf("wrote %s\n", json_path.c_str());
-        }
-    }
+    if (!json_path.empty())
+        return writeOutput(json_path, json::toJson(report));
     return 0;
+}
+
+int
+runSweep(int argc, char** argv)
+{
+    SweepRequest request;
+    std::string csv_path, json_path;
+
+    ArgCursor args(argc, argv);
+    while (args.more()) {
+        const std::string arg = args.next();
+        if (arg == "--grid")
+            for (auto& grid : splitSpecList(args.value(arg), ';'))
+                request.grids.push_back(std::move(grid));
+        else if (arg == "--network")
+            for (auto& grid : splitSpecList(args.value(arg), ';'))
+                request.networks.push_back(std::move(grid));
+        else if (arg == "--baseline")
+            request.baseline = args.value(arg);
+        else if (handleCommonFlag(arg, args, request.seed,
+                                  request.threads))
+            continue;
+        else if (arg == "--no-energy")
+            request.energy = false;
+        else if (arg == "--csv")
+            csv_path = args.value(arg);
+        else if (arg == "--json")
+            json_path = args.value(arg);
+        else
+            throw std::invalid_argument("unknown flag '" + arg + "'");
+    }
+    if (request.grids.empty())
+        throw std::invalid_argument("sweep needs at least one --grid");
+    if (csv_path == "-" && json_path == "-")
+        throw std::invalid_argument(
+            "--csv - and --json - would interleave two formats on "
+            "stdout; write at most one of them to '-'");
+    if (request.networks.empty())
+        request.networks.push_back("all");
+
+    const SweepReport report = SweepEngine().run(request);
+
+    // Summary table; full per-cell detail goes to --csv/--json.
+    const bool to_stdout = csv_path == "-" || json_path == "-";
+    if (!to_stdout) {
+        std::vector<std::string> headers = {"network", "design",
+                                            "cycles", "speedup"};
+        if (request.energy) {
+            headers.push_back("energy uJ");
+            headers.push_back("eff. gain");
+            headers.push_back("EDP uJ*Mcyc");
+        }
+        headers.push_back("pareto");
+        TextTable table(std::move(headers));
+        for (const auto& cell : report.cells) {
+            std::vector<std::string> row = {
+                cell.network,
+                cell.accel_spec + (cell.is_baseline ? " *" : ""),
+                TextTable::fmtInt(cell.result.total_cycles),
+                TextTable::fmtX(cell.speedup)};
+            if (request.energy) {
+                row.push_back(
+                    TextTable::fmt(cell.energy.totalPj() / 1e6, 2));
+                row.push_back(TextTable::fmtX(cell.energy_gain));
+                row.push_back(TextTable::fmt(cell.edp / 1e12, 3));
+            }
+            row.push_back(cell.pareto ? "yes" : "");
+            table.addRow(std::move(row));
+        }
+        std::printf("%s", table.str().c_str());
+        std::size_t n_designs = 0;
+        for (const auto& cell : report.cells)
+            if (cell.network == report.cells.front().network)
+                ++n_designs;
+        std::printf("(* = baseline %s; %zu designs x %zu networks)\n",
+                    report.baseline.c_str(), n_designs,
+                    n_designs == 0 ? 0
+                                   : report.cells.size() / n_designs);
+    }
+
+    int rc = 0;
+    if (!csv_path.empty())
+        rc |= writeOutput(csv_path, toCsv(report), to_stdout);
+    if (!json_path.empty())
+        rc |= writeOutput(json_path, json::toJson(report), to_stdout);
+    return rc;
+}
+
+int
+runBench(int argc, char** argv)
+{
+    bool quick = false;
+    std::uint64_t seed = 101;
+    int threads = 0;
+    std::string out_path = "BENCH_sweep.json";
+
+    ArgCursor args(argc, argv);
+    while (args.more()) {
+        const std::string arg = args.next();
+        if (arg == "--quick")
+            quick = true;
+        else if (handleCommonFlag(arg, args, seed, threads))
+            continue;
+        else if (arg == "--out")
+            out_path = args.value(arg);
+        else
+            throw std::invalid_argument("unknown flag '" + arg + "'");
+    }
+
+    using Clock = std::chrono::steady_clock;
+    auto ms_since = [](Clock::time_point start) {
+        return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                         start)
+            .count();
+    };
+
+    std::vector<std::pair<std::string, double>> metrics;
+
+    // 1. Workload synthesis: the expensive calibrated tensor
+    //    generation the engine caches per (network, ft-variant).
+    const NetworkSpec net =
+        quick ? NetworkSpec{"alexnet-l4", {tables::alexnetL4()}}
+              : tables::alexnet();
+    const auto t_synth = Clock::now();
+    const std::vector<LayerData> layers = generateNetwork(net, seed);
+    const std::vector<LayerData> layers_ft =
+        generateNetwork(net, seed, /*ft=*/true);
+    metrics.emplace_back("workload_synthesis_ms", ms_since(t_synth));
+
+    // 2. Per-accelerator simulation on the shared workload.
+    const auto& registry = AcceleratorRegistry::instance();
+    for (const std::string design :
+         {"sparten", "gospa", "gamma", "loas", "loas-ft"}) {
+        const bool ft = registry.entry(design).ft_workload;
+        const auto t_sim = Clock::now();
+        const RunResult r = registry.make(design)->runNetwork(
+            ft ? layers_ft : layers, net.name);
+        double ms = ms_since(t_sim);
+        if (r.total_cycles == 0)
+            throw std::runtime_error("bench run produced zero cycles");
+        metrics.emplace_back(std::string("sim_ms_") + design, ms);
+    }
+
+    // 3. Sweep-engine throughput, end to end (expansion, synthesis,
+    //    simulation, derived columns) on a representative grid.
+    SweepRequest sweep;
+    sweep.grids = {quick ? "loas?pes=8,16&t=4,8"
+                         : "loas?pes=8,16,32,64&t=4,8,16"};
+    sweep.baseline = "sparten";
+    if (quick)
+        sweep.networks = {"alexnet-l4"};
+    else
+        sweep.networks = {"vgg16-l8", "alexnet-l4"};
+    sweep.seed = seed;
+    sweep.threads = threads;
+    const auto t_sweep = Clock::now();
+    const SweepReport report = SweepEngine().run(sweep);
+    const double sweep_ms = ms_since(t_sweep);
+    metrics.emplace_back("sweep_wall_ms", sweep_ms);
+    metrics.emplace_back("sweep_cells",
+                         static_cast<double>(report.cells.size()));
+    metrics.emplace_back("sweep_cells_per_s",
+                         static_cast<double>(report.cells.size()) /
+                             (sweep_ms / 1000.0));
+
+    // Schema-stable output: the perf-trajectory tooling and the CI
+    // perf-smoke validator both key on "schema" and the metric list.
+    std::string out = "{\n";
+    out += "  \"schema\": \"loas-bench/1\",\n";
+    out += std::string("  \"mode\": ") +
+           (quick ? "\"quick\"" : "\"full\"") + ",\n";
+    out += "  \"threads\": " + std::to_string(threads) + ",\n";
+    out += "  \"seed\": " + std::to_string(seed) + ",\n";
+    out += "  \"metrics\": [\n";
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+        out += "    {\"name\": " + json::quote(metrics[i].first) +
+               ", \"value\": " + json::num(metrics[i].second) + "}";
+        out += i + 1 < metrics.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+
+    for (const auto& [name, value] : metrics)
+        std::printf("%-24s %12.3f\n", name.c_str(), value);
+    return writeOutput(out_path, out);
 }
 
 } // namespace
@@ -212,6 +488,10 @@ main(int argc, char** argv)
             return runList();
         if (command == "run")
             return runRun(argc - 2, argv + 2);
+        if (command == "sweep")
+            return runSweep(argc - 2, argv + 2);
+        if (command == "bench")
+            return runBench(argc - 2, argv + 2);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
