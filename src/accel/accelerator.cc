@@ -3,6 +3,12 @@
 namespace loas {
 
 RunResult
+Accelerator::runLayer(const LayerData& layer)
+{
+    return execute(prepare(layer));
+}
+
+RunResult
 Accelerator::runNetwork(const std::vector<LayerData>& layers,
                         const std::string& workload_name)
 {
@@ -11,8 +17,19 @@ Accelerator::runNetwork(const std::vector<LayerData>& layers,
     total.workload = workload_name;
     for (const auto& layer : layers)
         total += runLayer(layer);
+    return total;
+}
+
+RunResult
+Accelerator::runNetwork(
+    const std::vector<std::shared_ptr<const CompiledLayer>>& layers,
+    const std::string& workload_name)
+{
+    RunResult total;
     total.accel = name();
     total.workload = workload_name;
+    for (const auto& compiled : layers)
+        total += execute(*compiled);
     return total;
 }
 

@@ -2,13 +2,28 @@
  * @file
  * Common interface of all accelerator simulators (LoAS and the
  * SparTen/GoSPA/Gamma/PTB/Stellar baselines).
+ *
+ * Simulation is a two-phase pipeline. prepare() lowers a layer's
+ * operands into the design's compressed formats (fibers, per-timestep
+ * views, cumulative address-offset tables) — expensive, and a function
+ * of the layer alone. execute() streams the compiled layer through the
+ * modeled datapath — a function of the layer *and* the hardware
+ * configuration. Because prepare() output never depends on hardware
+ * options, design variants of one format family (`loas?pes=16` vs
+ * `loas?pes=64`) share compiled artifacts; the SimEngine memoizes them
+ * in a CompiledCache across sweep cells.
+ *
+ * runLayer() remains as the one-shot convenience (prepare + execute)
+ * for harnesses and tests that simulate a layer once.
  */
 
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "accel/compiled_layer.hh"
 #include "accel/run_result.hh"
 #include "workload/generator.hh"
 
@@ -23,12 +38,39 @@ class Accelerator
     /** Short display name ("LoAS", "SparTen-SNN", ...). */
     virtual std::string name() const = 0;
 
-    /** Simulate one layer. */
-    virtual RunResult runLayer(const LayerData& layer) = 0;
+    /**
+     * Format-family key of this design's compiled artifacts. Two
+     * accelerator instances with the same family produce identical
+     * prepare() output for the same layer, whatever their hardware
+     * options — the contract that lets the CompiledCache share
+     * artifacts across design variants.
+     */
+    virtual std::string formatFamily() const = 0;
+
+    /**
+     * Phase 1: lower one layer into this design's compiled operand
+     * formats. Depends only on the layer (never on hardware options).
+     */
+    virtual CompiledLayer prepare(const LayerData& layer) const = 0;
+
+    /**
+     * Phase 2: simulate the datapath over a compiled layer. The layer
+     * must come from this design's format family (fatal otherwise).
+     */
+    virtual RunResult execute(const CompiledLayer& compiled) = 0;
+
+    /** One-shot convenience: prepare + execute. */
+    RunResult runLayer(const LayerData& layer);
 
     /** Simulate a whole network; layer results are summed. */
     RunResult runNetwork(const std::vector<LayerData>& layers,
                          const std::string& workload_name);
+
+    /** Simulate a network from pre-compiled (possibly shared) layers. */
+    RunResult
+    runNetwork(const std::vector<std::shared_ptr<const CompiledLayer>>&
+                   layers,
+               const std::string& workload_name);
 };
 
 } // namespace loas

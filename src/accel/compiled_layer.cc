@@ -1,0 +1,101 @@
+#include "accel/compiled_layer.hh"
+
+#include "common/bitutil.hh"
+#include "tensor/compress.hh"
+#include "workload/generator.hh"
+
+namespace loas {
+
+namespace {
+
+/** Offsets shared by every compiled weight operand. */
+CompiledWeightFibers
+withOffsets(std::vector<WeightFiber> fibers)
+{
+    CompiledWeightFibers compiled;
+    compiled.fibers = std::move(fibers);
+    compiled.meta_off = cumulativeOffsets(
+        compiled.fibers,
+        [](const WeightFiber& f) { return f.metadataBytes(); });
+    compiled.val_off = cumulativeOffsets(
+        compiled.fibers,
+        [](const WeightFiber& f) { return f.values.size(); });
+    return compiled;
+}
+
+} // namespace
+
+std::size_t
+CompiledWeightFibers::footprintBytes() const
+{
+    std::size_t bytes =
+        (meta_off.size() + val_off.size()) * sizeof(std::uint64_t);
+    for (const auto& fiber : fibers)
+        bytes += fiber.storageBytes();
+    return bytes;
+}
+
+CompiledWeightFibers
+compileWeightColumns(const DenseMatrix<std::int8_t>& weights)
+{
+    return withOffsets(compressWeightColumns(weights));
+}
+
+CompiledWeightFibers
+compileWeightRows(const DenseMatrix<std::int8_t>& weights)
+{
+    return withOffsets(compressWeightRows(weights));
+}
+
+CompiledWeightFibers
+compileWeightFibers(std::vector<WeightFiber> fibers)
+{
+    return withOffsets(std::move(fibers));
+}
+
+std::size_t
+CompiledSpikeFibers::footprintBytes(int timesteps) const
+{
+    std::size_t bytes =
+        (meta_off.size() + val_off.size()) * sizeof(std::uint64_t);
+    for (const auto& fiber : fibers)
+        bytes += fiber.storageBytes(timesteps);
+    return bytes;
+}
+
+CompiledSpikeFibers
+compileSpikeRows(const SpikeTensor& spikes)
+{
+    const int timesteps = spikes.timesteps();
+    CompiledSpikeFibers compiled;
+    compiled.fibers = compressSpikeRows(spikes);
+    compiled.meta_off = cumulativeOffsets(
+        compiled.fibers,
+        [](const SpikeFiber& f) { return f.metadataBytes(); });
+    compiled.val_off = cumulativeOffsets(
+        compiled.fibers, [&](const SpikeFiber& f) {
+            return ceilDiv<std::size_t>(
+                f.values.size() * static_cast<std::size_t>(timesteps),
+                8);
+        });
+    return compiled;
+}
+
+CompiledLayer
+makeCompiledLayer(const LayerData& layer, std::string family,
+                  std::shared_ptr<const CompiledArtifact> artifact,
+                  std::size_t artifact_bytes)
+{
+    CompiledLayer compiled;
+    compiled.spec = layer.spec;
+    compiled.family = std::move(family);
+    compiled.m = layer.spikes.rows();
+    compiled.k = layer.spikes.cols();
+    compiled.n = layer.weights.cols();
+    compiled.timesteps = layer.spec.t;
+    compiled.bytes = artifact_bytes;
+    compiled.artifact = std::move(artifact);
+    return compiled;
+}
+
+} // namespace loas

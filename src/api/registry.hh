@@ -40,6 +40,14 @@ class AcceleratorRegistry
         std::string description;
 
         /**
+         * Spec option names the factory accepts ("pes", "t", ...), in
+         * the backend's documented order — the machine-readable
+         * counterpart of the description, emitted by
+         * `loas_cli list --json` for tooling/CI discovery.
+         */
+        std::vector<std::string> options;
+
+        /**
          * The design expects the fine-tuned-preprocessing workload
          * variant (generateNetwork with ft=true); the SimEngine feeds
          * it the matching cached workload.

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
+#include <memory>
 #include <mutex>
+#include <set>
+#include <stdexcept>
 #include <thread>
 
 #include "api/registry.hh"
@@ -120,6 +124,16 @@ SimEngine::run(const SimRequest& request) const
         accels.push_back(std::move(job));
     }
 
+    // Network names must be unique: they key both the report's cell
+    // lookup and the compiled-workload cache, so a duplicate would
+    // silently serve one network's compiled operands to the other.
+    std::set<std::string> net_names;
+    for (const auto& net : request.networks)
+        if (!net_names.insert(net.name).second)
+            throw std::invalid_argument(
+                "duplicate network name '" + net.name +
+                "' in SimRequest");
+
     const int threads = resolveThreads(request.threads);
 
     // Phase 1: synthesize each needed (network, ft-variant) workload
@@ -138,12 +152,20 @@ SimEngine::run(const SimRequest& request) const
             ft[i] = generateNetwork(net, request.seed, /*ft=*/true);
     });
 
-    // Phase 2: the (accelerator x network) job matrix. Each job owns a
-    // private accelerator instance and writes its fixed report slot,
-    // which keeps multi-threaded runs bit-identical to serial ones.
+    // Phase 2: lower each layer through the shared compiled-workload
+    // cache and execute the (accelerator x network) job matrix. Each
+    // job owns a private accelerator instance and writes its fixed
+    // report slot, which keeps multi-threaded runs bit-identical to
+    // serial ones; compiled artifacts are shared read-only across all
+    // design variants of a format family (one compilation per key,
+    // whatever the thread count).
     SimReport report;
     report.runs.resize(accels.size() * n_nets);
     const EnergyModel energy_model(request.energy_params);
+
+    CompiledCache cache;
+    std::atomic<std::uint64_t> sim_ns{0};
+    using Clock = std::chrono::steady_clock;
 
     parallelFor(report.runs.size(), threads, [&](std::size_t i) {
         const std::size_t a = i / n_nets;
@@ -155,12 +177,31 @@ SimEngine::run(const SimRequest& request) const
         SimRun& run = report.runs[i];
         run.accel_spec = accel.spec_string;
         run.network = net.name;
-        run.result =
-            registry.make(accel.spec)->runNetwork(layers, net.name);
+
+        const auto instance = registry.make(accel.spec);
+        const std::string family = instance->formatFamily();
+        std::vector<std::shared_ptr<const CompiledLayer>> compiled;
+        compiled.reserve(layers.size());
+        for (std::size_t l = 0; l < layers.size(); ++l)
+            compiled.push_back(cache.getOrCompile(
+                compiledLayerKey(net.name, l, accel.ft_workload,
+                                 family, layers[l].spec.t),
+                [&] { return instance->prepare(layers[l]); }));
+
+        const auto t_exec = Clock::now();
+        run.result = instance->runNetwork(compiled, net.name);
+        sim_ns += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - t_exec)
+                .count());
         if (request.energy)
             run.energy = energy_model.evaluate(run.result);
     });
 
+    report.compile_cache = cache.stats();
+    report.prepare_ms = report.compile_cache.compile_ms;
+    report.sim_ms =
+        static_cast<double>(sim_ns.load()) / 1e6;
     return report;
 }
 

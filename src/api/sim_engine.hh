@@ -10,6 +10,13 @@
  * layers are shared read-only by every accelerator, so adding a design
  * to a sweep costs only its simulation time.
  *
+ * Simulation itself is two-phase (see accel/accelerator.hh): each
+ * layer is lowered by prepare() into compiled operand formats exactly
+ * once per (network, layer, ft-variant, format family, timesteps) key
+ * in a shared CompiledCache, and every design variant of that family
+ * executes the same read-only artifact — a `loas?pes=16,32,64` sweep
+ * compresses its tensors once, not once per cell.
+ *
  * Results are deterministic: each cell is simulated on a private
  * accelerator instance from seeded inputs and written to its fixed
  * slot, so a run with N worker threads is bit-identical to the serial
@@ -24,6 +31,7 @@
 
 #include "accel/run_result.hh"
 #include "energy/energy_model.hh"
+#include "workload/compiled_cache.hh"
 #include "workload/layer_spec.hh"
 
 namespace loas {
@@ -66,6 +74,19 @@ struct SimRun
 struct SimReport
 {
     std::vector<SimRun> runs;
+
+    /**
+     * Compiled-workload cache accounting of this run. Hit/miss/entry/
+     * byte counts are thread-count invariant; compile_ms is wall time
+     * and varies run to run.
+     */
+    CompiledCache::Stats compile_cache;
+
+    /** Wall time spent compiling layers (prepare phase), summed. */
+    double prepare_ms = 0.0;
+
+    /** Wall time spent executing compiled layers, summed over workers. */
+    double sim_ms = 0.0;
 
     /** Cell lookup by request spec string + network name. */
     const SimRun* find(const std::string& accel_spec,

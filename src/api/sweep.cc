@@ -201,6 +201,9 @@ SweepEngine::run(const SweepRequest& request) const
     sim.energy_params = request.energy_params;
     sim.threads = request.threads;
     const SimReport sim_report = SimEngine().run(sim);
+    report.compile_cache = sim_report.compile_cache;
+    report.prepare_ms = sim_report.prepare_ms;
+    report.sim_ms = sim_report.sim_ms;
 
     const std::size_t n_nets = sim.networks.size();
     report.cells.resize(sim_report.runs.size());

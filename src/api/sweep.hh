@@ -100,6 +100,19 @@ struct SweepReport
     /** Union of option names across designs, sorted (CSV columns). */
     std::vector<std::string> option_columns;
 
+    /**
+     * Compiled-workload cache accounting (SimReport passthrough): how
+     * many prepare-phase compilations the whole sweep actually ran vs
+     * how many were served from the shared cache. Not serialized —
+     * compile_ms is wall time, and the CSV/JSON artifacts must stay
+     * thread-count invariant.
+     */
+    CompiledCache::Stats compile_cache;
+
+    /** Wall time compiling (prepare) vs executing (sim), summed. */
+    double prepare_ms = 0.0;
+    double sim_ms = 0.0;
+
     std::vector<SweepCell> cells;
 
     const SweepCell* find(const std::string& accel_spec,

@@ -37,29 +37,71 @@ GammaSim::name() const
     return "Gamma-SNN";
 }
 
-RunResult
-GammaSim::runLayer(const LayerData& layer)
+std::string
+GammaSim::formatFamily() const
+{
+    return "gamma";
+}
+
+CompiledLayer
+GammaSim::prepare(const LayerData& layer) const
 {
     const int timesteps = layer.spec.t;
     const std::size_t m = layer.spikes.rows();
     const std::size_t k = layer.spikes.cols();
-    const std::size_t n = layer.weights.cols();
-    const double weight_density = 1.0 - layer.weights.sparsity();
 
-    const auto fibers_b = compressWeightRows(layer.weights);
+    auto art = std::make_shared<GammaCompiled>();
+    art->b = compileWeightRows(layer.weights);
+    art->weight_density = 1.0 - layer.weights.sparsity();
+    art->total_spikes = layer.spikes.countSpikes();
+
+    // Per-(timestep, row) merge tasks: the columns whose spike fires
+    // and whose B row carries values, in the scheduler's replay order.
+    art->ptr.reserve(static_cast<std::size_t>(timesteps) * m + 1);
+    art->ptr.push_back(0);
+    for (int t = 0; t < timesteps; ++t)
+        for (std::size_t r = 0; r < m; ++r) {
+            for (std::size_t c = 0; c < k; ++c) {
+                if (!layer.spikes.spike(r, c, t))
+                    continue;
+                if (art->b.fibers[c].values.empty())
+                    continue;
+                art->cols.push_back(static_cast<std::uint32_t>(c));
+            }
+            art->ptr.push_back(art->cols.size());
+        }
+
+    const std::size_t bytes =
+        art->b.footprintBytes() +
+        art->cols.size() * sizeof(std::uint32_t) +
+        art->ptr.size() * sizeof(std::uint64_t);
+    return makeCompiledLayer(layer, formatFamily(), std::move(art),
+                             bytes);
+}
+
+RunResult
+GammaSim::execute(const CompiledLayer& compiled)
+{
+    const auto& art = artifactAs<GammaCompiled>(compiled, formatFamily());
+    const int timesteps = compiled.timesteps;
+    const std::size_t m = compiled.m;
+    const std::size_t k = compiled.k;
+    const std::size_t n = compiled.n;
+    const double weight_density = art.weight_density;
+    const auto& fibers_b = art.b.fibers;
 
     MemorySystem mem(config_.cache, config_.dram);
 
     RunResult result;
     result.accel = name();
-    result.workload = layer.spec.name;
+    result.workload = compiled.spec.name;
 
     // A rows stream in once per timestep as per-spike CSR metadata.
-    std::uint64_t total_spikes = layer.spikes.countSpikes();
     mem.streamRead(
         TensorCategory::Meta,
         ceilDiv<std::uint64_t>(
-            total_spikes * static_cast<std::uint64_t>(config_.coord_bits),
+            art.total_spikes *
+                static_cast<std::uint64_t>(config_.coord_bits),
             8) +
             4 * (m + 1) * static_cast<std::uint64_t>(timesteps));
 
@@ -86,15 +128,15 @@ GammaSim::runLayer(const LayerData& layer)
     std::uint64_t pe_work_cycles = 0; // summed over all (t, row) tasks
     for (int t = 0; t < timesteps; ++t) {
         for (std::size_t r = 0; r < m; ++r) {
-            // Non-zero columns of this row at this timestep.
+            // The compiled merge task of this (timestep, row): columns
+            // with a spike set and a non-empty B row.
+            const std::size_t task = static_cast<std::size_t>(t) * m + r;
             std::uint64_t nnz_a = 0;
             std::uint64_t updates = 0;
-            for (std::size_t c = 0; c < k; ++c) {
-                if (!layer.spikes.spike(r, c, t))
-                    continue;
+            for (std::uint64_t i = art.ptr[task]; i < art.ptr[task + 1];
+                 ++i) {
+                const std::size_t c = art.cols[i];
                 const std::size_t nnz_b = fibers_b[c].values.size();
-                if (nnz_b == 0)
-                    continue;
                 ++nnz_a;
                 updates += nnz_b;
                 fetch_row(c, nnz_b);
@@ -252,7 +294,8 @@ namespace {
 
 const RegisterAccelerator register_gamma(
     "gamma",
-    {"Gamma-SNN row-wise merging baseline (pes, radix)",
+    {"Gamma-SNN row-wise merging baseline",
+     {"pes", "radix"},
      /*ft_workload=*/false, [](const AccelSpec& spec) {
          OptionReader opts(spec);
          GammaConfig config;

@@ -52,6 +52,21 @@ struct GammaConfig
     LifParams lif;
 };
 
+/**
+ * Compiled Gamma-SNN operands: B in row-fiber form plus the scheduler's
+ * per-(timestep, output-row) task lists in CSR form — the columns whose
+ * spike is set *and* whose B row is non-empty, exactly the fibers the
+ * merger consumes. Task t*M+r spans `cols[ptr[t*M+r], ptr[t*M+r+1])`.
+ */
+struct GammaCompiled : CompiledArtifact
+{
+    CompiledWeightFibers b;  // rows of B
+    double weight_density = 0.0;
+    std::uint64_t total_spikes = 0;     // all spikes (input streaming)
+    std::vector<std::uint32_t> cols;    // merge-task column lists
+    std::vector<std::uint64_t> ptr;     // T*M + 1 entries
+};
+
 /** Gamma running SNN workloads timestep-by-timestep. */
 class GammaSim : public Accelerator
 {
@@ -60,7 +75,11 @@ class GammaSim : public Accelerator
 
     std::string name() const override;
 
-    RunResult runLayer(const LayerData& layer) override;
+    std::string formatFamily() const override;
+
+    CompiledLayer prepare(const LayerData& layer) const override;
+
+    RunResult execute(const CompiledLayer& compiled) override;
 
     /** Original Gamma on an int8 ANN layer (Fig. 18). */
     RunResult runAnnLayer(const AnnLayerData& layer);

@@ -6,9 +6,7 @@
 
 #include "api/registry.hh"
 #include "common/bitutil.hh"
-#include "core/scheduler.hh"
 #include "mem/memory_system.hh"
-#include "tensor/compress.hh"
 
 namespace loas {
 
@@ -27,42 +25,63 @@ GospaSim::name() const
     return "GoSPA-SNN";
 }
 
-RunResult
-GospaSim::runLayer(const LayerData& layer)
+std::string
+GospaSim::formatFamily() const
+{
+    return "gospa";
+}
+
+CompiledLayer
+GospaSim::prepare(const LayerData& layer) const
 {
     const int timesteps = layer.spec.t;
     const std::size_t m = layer.spikes.rows();
     const std::size_t k = layer.spikes.cols();
-    const std::size_t n = layer.weights.cols();
 
-    const auto fibers_b = compressWeightRows(layer.weights);
-    std::vector<std::uint64_t> b_meta_off(k + 1, 0), b_val_off(k + 1, 0);
-    for (std::size_t r = 0; r < k; ++r) {
-        b_meta_off[r + 1] = b_meta_off[r] + fibers_b[r].metadataBytes();
-        b_val_off[r + 1] = b_val_off[r] + fibers_b[r].values.size();
-    }
+    auto art = std::make_shared<GospaCompiled>();
+    art->b = compileWeightRows(layer.weights);
 
-    MemorySystem mem(config_.cache, config_.dram);
-
-    RunResult result;
-    result.accel = name();
-    result.workload = layer.spec.name;
-
-    // --- Input streaming: A as per-timestep CSC with per-spike coords.
-    std::uint64_t total_spikes = 0;
-    // Spikes per (t, k) column.
-    std::vector<std::vector<std::uint32_t>> col_spikes(
-        static_cast<std::size_t>(timesteps),
-        std::vector<std::uint32_t>(k, 0));
+    // A as per-timestep CSC: spike counts per (t, k) column.
+    art->col_spikes.assign(static_cast<std::size_t>(timesteps) * k, 0);
     for (std::size_t r = 0; r < m; ++r)
         for (std::size_t c = 0; c < k; ++c) {
             const TimeWord w = layer.spikes.word(r, c);
             for (int t = 0; t < timesteps; ++t)
                 if ((w >> t) & 1u) {
-                    ++col_spikes[static_cast<std::size_t>(t)][c];
-                    ++total_spikes;
+                    ++art->col_spikes[static_cast<std::size_t>(t) * k +
+                                      c];
+                    ++art->total_spikes;
                 }
         }
+
+    const std::size_t bytes =
+        art->b.footprintBytes() +
+        art->col_spikes.size() * sizeof(std::uint32_t);
+    return makeCompiledLayer(layer, formatFamily(), std::move(art),
+                             bytes);
+}
+
+RunResult
+GospaSim::execute(const CompiledLayer& compiled)
+{
+    const auto& art = artifactAs<GospaCompiled>(compiled, formatFamily());
+    const int timesteps = compiled.timesteps;
+    const std::size_t m = compiled.m;
+    const std::size_t k = compiled.k;
+    const std::size_t n = compiled.n;
+
+    const auto& fibers_b = art.b.fibers;
+    const auto& b_meta_off = art.b.meta_off;
+    const auto& b_val_off = art.b.val_off;
+
+    MemorySystem mem(config_.cache, config_.dram);
+
+    RunResult result;
+    result.accel = name();
+    result.workload = compiled.spec.name;
+
+    // --- Input streaming: A as per-timestep CSC with per-spike coords.
+    const std::uint64_t total_spikes = art.total_spikes;
     const std::uint64_t coord_bytes = ceilDiv<std::uint64_t>(
         total_spikes * static_cast<std::uint64_t>(config_.coord_bits), 8);
     // Column pointers per timestep plus one coordinate per spike. OP
@@ -77,7 +96,7 @@ GospaSim::runLayer(const LayerData& layer)
     for (int t = 0; t < timesteps; ++t) {
         const auto ts = static_cast<std::size_t>(t);
         for (std::size_t c = 0; c < k; ++c) {
-            const std::uint32_t spikes = col_spikes[ts][c];
+            const std::uint32_t spikes = art.col_spikes[ts * k + c];
             if (spikes == 0)
                 continue;
             const std::size_t nnz_b = fibers_b[c].values.size();
@@ -164,7 +183,8 @@ namespace {
 
 const RegisterAccelerator register_gospa(
     "gospa",
-    {"GoSPA-SNN sequential-timestep streaming baseline (pes)",
+    {"GoSPA-SNN sequential-timestep streaming baseline",
+     {"pes"},
      /*ft_workload=*/false, [](const AccelSpec& spec) {
          OptionReader opts(spec);
          GospaConfig config;

@@ -58,6 +58,19 @@ struct GospaConfig
     LifParams lif;
 };
 
+/**
+ * Compiled GoSPA-SNN operands: B in row-fiber form plus the decoupled
+ * preprocessing unit's view of A — per-(timestep, column) spike counts
+ * of the per-timestep CSC streams (timestep-major: column c at
+ * timestep t is `col_spikes[t * K + c]`).
+ */
+struct GospaCompiled : CompiledArtifact
+{
+    CompiledWeightFibers b;                 // rows of B
+    std::vector<std::uint32_t> col_spikes;  // T x K, timestep-major
+    std::uint64_t total_spikes = 0;
+};
+
 /** GoSPA running SNN workloads timestep-by-timestep. */
 class GospaSim : public Accelerator
 {
@@ -66,7 +79,11 @@ class GospaSim : public Accelerator
 
     std::string name() const override;
 
-    RunResult runLayer(const LayerData& layer) override;
+    std::string formatFamily() const override;
+
+    CompiledLayer prepare(const LayerData& layer) const override;
+
+    RunResult execute(const CompiledLayer& compiled) override;
 
     /** Partial-sum DRAM traffic of the last layer run (Fig. 5). */
     std::uint64_t lastPsumDramBytes() const { return last_psum_dram_; }

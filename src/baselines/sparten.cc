@@ -8,7 +8,6 @@
 #include "common/logging.hh"
 #include "core/scheduler.hh"
 #include "mem/memory_system.hh"
-#include "tensor/compress.hh"
 
 namespace loas {
 
@@ -29,42 +28,63 @@ SpartenSim::name() const
     return "SparTen-SNN";
 }
 
-RunResult
-SpartenSim::runLayer(const LayerData& layer)
+std::string
+SpartenSim::formatFamily() const
+{
+    return "sparten-snn";
+}
+
+CompiledLayer
+SpartenSim::prepare(const LayerData& layer) const
 {
     const int timesteps = layer.spec.t;
     const std::size_t m = layer.spikes.rows();
     const std::size_t k = layer.spikes.cols();
-    const std::size_t n = layer.weights.cols();
-    const std::size_t chunks = ceilDiv(k, config_.chunk_bits);
-    const std::size_t row_bytes = ceilDiv<std::size_t>(k, 8);
 
-    const auto fibers_b = compressWeightColumns(layer.weights);
-    std::vector<std::uint64_t> b_meta_off(n + 1, 0);
-    std::vector<std::uint64_t> b_val_off(n + 1, 0);
-    for (std::size_t c = 0; c < n; ++c) {
-        b_meta_off[c + 1] = b_meta_off[c] + fibers_b[c].metadataBytes();
-        b_val_off[c + 1] = b_val_off[c] + fibers_b[c].values.size();
-    }
+    auto art = std::make_shared<SpartenCompiled>();
+    art->b = compileWeightColumns(layer.weights);
 
     // Per-timestep bitmask views of the spike rows.
-    std::vector<std::vector<Bitmask>> row_masks(
-        static_cast<std::size_t>(timesteps),
-        std::vector<Bitmask>(m, Bitmask(k)));
+    art->row_masks.assign(static_cast<std::size_t>(timesteps) * m,
+                          Bitmask(k));
     for (std::size_t r = 0; r < m; ++r)
         for (std::size_t c = 0; c < k; ++c) {
             const TimeWord w = layer.spikes.word(r, c);
             for (int t = 0; t < timesteps; ++t)
                 if ((w >> t) & 1u)
-                    row_masks[static_cast<std::size_t>(t)][r].set(c);
+                    art->row_masks[static_cast<std::size_t>(t) * m + r]
+                        .set(c);
         }
+
+    std::size_t bytes = art->b.footprintBytes();
+    for (const auto& mask : art->row_masks)
+        bytes += mask.storageBytes();
+    return makeCompiledLayer(layer, formatFamily(), std::move(art),
+                             bytes);
+}
+
+RunResult
+SpartenSim::execute(const CompiledLayer& compiled)
+{
+    const auto& art =
+        artifactAs<SpartenCompiled>(compiled, formatFamily());
+    const int timesteps = compiled.timesteps;
+    const std::size_t m = compiled.m;
+    const std::size_t k = compiled.k;
+    const std::size_t n = compiled.n;
+    const std::size_t chunks = ceilDiv(k, config_.chunk_bits);
+    const std::size_t row_bytes = ceilDiv<std::size_t>(k, 8);
+
+    const auto& fibers_b = art.b.fibers;
+    const auto& b_meta_off = art.b.meta_off;
+    const auto& b_val_off = art.b.val_off;
 
     MemorySystem mem(config_.cache, config_.dram);
     const Scheduler scheduler(m, n, config_.num_pes);
 
     RunResult result;
     result.accel = name();
-    result.workload = layer.spec.name;
+    result.workload = compiled.spec.name;
     last_output_ = SpikeTensor(m, n, timesteps);
 
     std::vector<std::int32_t> sums(static_cast<std::size_t>(timesteps));
@@ -97,7 +117,7 @@ SpartenSim::runLayer(const LayerData& layer)
                          kBaseA + (ts * m + item.m) * row_bytes,
                          row_bytes);
 
-                const Bitmask& ma = row_masks[ts][item.m];
+                const Bitmask& ma = art.row_masks[ts * m + item.m];
                 const Bitmask and_mask = ma & fb.mask;
                 const std::uint64_t matches = and_mask.popcount();
 
@@ -154,9 +174,10 @@ SpartenSim::runAnnLayer(const AnnLayerData& layer)
     const std::size_t n = layer.weights.cols();
     const std::size_t chunks = ceilDiv(k, config_.chunk_bits);
 
-    // Both operands compressed as bitmask + int8 values.
-    std::vector<WeightFiber> fibers_a;
-    fibers_a.reserve(m);
+    // Both operands compressed as bitmask + int8 values, through the
+    // same compiled-operand helpers the SNN prepare phase uses.
+    std::vector<WeightFiber> act_fibers;
+    act_fibers.reserve(m);
     for (std::size_t r = 0; r < m; ++r) {
         WeightFiber f;
         f.mask = Bitmask(k);
@@ -165,20 +186,17 @@ SpartenSim::runAnnLayer(const AnnLayerData& layer)
                 f.mask.set(c);
                 f.values.push_back(layer.acts(r, c));
             }
-        fibers_a.push_back(std::move(f));
+        act_fibers.push_back(std::move(f));
     }
-    const auto fibers_b = compressWeightColumns(layer.weights);
-
-    std::vector<std::uint64_t> a_meta_off(m + 1, 0), a_val_off(m + 1, 0);
-    for (std::size_t r = 0; r < m; ++r) {
-        a_meta_off[r + 1] = a_meta_off[r] + fibers_a[r].metadataBytes();
-        a_val_off[r + 1] = a_val_off[r] + fibers_a[r].values.size();
-    }
-    std::vector<std::uint64_t> b_meta_off(n + 1, 0), b_val_off(n + 1, 0);
-    for (std::size_t c = 0; c < n; ++c) {
-        b_meta_off[c + 1] = b_meta_off[c] + fibers_b[c].metadataBytes();
-        b_val_off[c + 1] = b_val_off[c] + fibers_b[c].values.size();
-    }
+    const CompiledWeightFibers a =
+        compileWeightFibers(std::move(act_fibers));
+    const CompiledWeightFibers b = compileWeightColumns(layer.weights);
+    const auto& fibers_a = a.fibers;
+    const auto& fibers_b = b.fibers;
+    const auto& a_meta_off = a.meta_off;
+    const auto& a_val_off = a.val_off;
+    const auto& b_meta_off = b.meta_off;
+    const auto& b_val_off = b.val_off;
 
     MemorySystem mem(config_.cache, config_.dram);
     const Scheduler scheduler(m, n, config_.num_pes);
@@ -248,7 +266,8 @@ namespace {
 
 const RegisterAccelerator register_sparten(
     "sparten",
-    {"SparTen-SNN sequential-timestep inner-join baseline (pes, chunk)",
+    {"SparTen-SNN sequential-timestep inner-join baseline",
+     {"pes", "chunk"},
      /*ft_workload=*/false, [](const AccelSpec& spec) {
          OptionReader opts(spec);
          SpartenConfig config;

@@ -52,6 +52,18 @@ struct SpartenConfig
     LifParams lif;
 };
 
+/**
+ * Compiled SparTen-SNN operands: B in column-fiber form plus the
+ * per-timestep bitmask views of the spike rows the sequential-timestep
+ * datapath scans (timestep-major: mask of row m at timestep t is
+ * `row_masks[t * M + m]`).
+ */
+struct SpartenCompiled : CompiledArtifact
+{
+    CompiledWeightFibers b;          // columns of B
+    std::vector<Bitmask> row_masks;  // T x M, timestep-major
+};
+
 /** SparTen running SNN workloads timestep-by-timestep. */
 class SpartenSim : public Accelerator
 {
@@ -60,7 +72,11 @@ class SpartenSim : public Accelerator
 
     std::string name() const override;
 
-    RunResult runLayer(const LayerData& layer) override;
+    std::string formatFamily() const override;
+
+    CompiledLayer prepare(const LayerData& layer) const override;
+
+    RunResult execute(const CompiledLayer& compiled) override;
 
     /** Original SparTen on an int8 ANN layer (Fig. 18). */
     RunResult runAnnLayer(const AnnLayerData& layer);

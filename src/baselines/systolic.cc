@@ -21,27 +21,20 @@ struct LayerShape
     std::uint64_t max_spikes_per_t;
 };
 
+/** Tile/shape view of a compiled layer for this array geometry. */
 LayerShape
-analyze(const LayerData& layer, int rows)
+analyze(const CompiledLayer& compiled, const SystolicCompiled& art,
+        int rows)
 {
     LayerShape s;
-    s.m = layer.spikes.rows();
-    s.k = layer.spikes.cols();
-    s.n = layer.weights.cols();
-    s.timesteps = layer.spec.t;
+    s.m = compiled.m;
+    s.k = compiled.k;
+    s.n = compiled.n;
+    s.timesteps = compiled.timesteps;
     s.n_tiles = ceilDiv<std::uint64_t>(
         s.n, static_cast<std::uint64_t>(rows));
-    s.spikes = layer.spikes.countSpikes();
-    std::uint64_t max_per_t = 0;
-    for (int t = 0; t < s.timesteps; ++t) {
-        std::uint64_t count = 0;
-        for (std::size_t r = 0; r < s.m; ++r)
-            for (std::size_t c = 0; c < s.k; ++c)
-                if (layer.spikes.spike(r, c, t))
-                    ++count;
-        max_per_t = std::max(max_per_t, count);
-    }
-    s.max_spikes_per_t = max_per_t;
+    s.spikes = art.spikes;
+    s.max_spikes_per_t = art.max_spikes_per_t;
     return s;
 }
 
@@ -85,7 +78,41 @@ constexpr double kSystolicStaticScale = 0.2;
 
 } // namespace
 
-PtbSim::PtbSim(const SystolicConfig& config) : config_(config) {}
+SystolicBase::SystolicBase(const SystolicConfig& config)
+    : config_(config)
+{
+}
+
+std::string
+SystolicBase::formatFamily() const
+{
+    return "systolic";
+}
+
+CompiledLayer
+SystolicBase::prepare(const LayerData& layer) const
+{
+    const std::size_t m = layer.spikes.rows();
+    const std::size_t k = layer.spikes.cols();
+    const int timesteps = layer.spec.t;
+
+    auto art = std::make_shared<SystolicCompiled>();
+    art->spikes = layer.spikes.countSpikes();
+    std::uint64_t max_per_t = 0;
+    for (int t = 0; t < timesteps; ++t) {
+        std::uint64_t count = 0;
+        for (std::size_t r = 0; r < m; ++r)
+            for (std::size_t c = 0; c < k; ++c)
+                if (layer.spikes.spike(r, c, t))
+                    ++count;
+        max_per_t = std::max(max_per_t, count);
+    }
+    art->max_spikes_per_t = max_per_t;
+    return makeCompiledLayer(layer, formatFamily(), std::move(art),
+                             sizeof(SystolicCompiled));
+}
+
+PtbSim::PtbSim(const SystolicConfig& config) : SystolicBase(config) {}
 
 std::string
 PtbSim::name() const
@@ -94,9 +121,11 @@ PtbSim::name() const
 }
 
 RunResult
-PtbSim::runLayer(const LayerData& layer)
+PtbSim::execute(const CompiledLayer& compiled)
 {
-    const LayerShape s = analyze(layer, config_.rows);
+    const auto& art =
+        artifactAs<SystolicCompiled>(compiled, formatFamily());
+    const LayerShape s = analyze(compiled, art, config_.rows);
     MemorySystem mem(config_.cache, config_.dram);
     // Dense dispatch: every (m, k) position, every timestep column.
     const std::uint64_t element_steps =
@@ -106,7 +135,7 @@ PtbSim::runLayer(const LayerData& layer)
 
     RunResult result;
     result.accel = name();
-    result.workload = layer.spec.name;
+    result.workload = compiled.spec.name;
     result.static_scale = kSystolicStaticScale;
 
     // Each output tile: load weights (K deep), then stream all M rows
@@ -135,7 +164,10 @@ PtbSim::runLayer(const LayerData& layer)
     return result;
 }
 
-StellarSim::StellarSim(const SystolicConfig& config) : config_(config) {}
+StellarSim::StellarSim(const SystolicConfig& config)
+    : SystolicBase(config)
+{
+}
 
 std::string
 StellarSim::name() const
@@ -144,9 +176,11 @@ StellarSim::name() const
 }
 
 RunResult
-StellarSim::runLayer(const LayerData& layer)
+StellarSim::execute(const CompiledLayer& compiled)
 {
-    const LayerShape s = analyze(layer, config_.rows);
+    const auto& art =
+        artifactAs<SystolicCompiled>(compiled, formatFamily());
+    const LayerShape s = analyze(compiled, art, config_.rows);
     MemorySystem mem(config_.cache, config_.dram);
     // Spike-gated dispatch: only actual spikes enter the array.
     const std::uint64_t element_steps = s.n_tiles * s.spikes;
@@ -154,7 +188,7 @@ StellarSim::runLayer(const LayerData& layer)
 
     RunResult result;
     result.accel = name();
-    result.workload = layer.spec.name;
+    result.workload = compiled.spec.name;
     result.static_scale = kSystolicStaticScale;
 
     // Stellar skips zero spikes: the streamed length per column is the
@@ -194,7 +228,8 @@ systolicConfigFromSpec(OptionReader& opts)
 
 const RegisterAccelerator register_ptb(
     "systolic",
-    {"PTB partially temporal-parallel systolic array (rows, cols)",
+    {"PTB partially temporal-parallel systolic array",
+     {"rows", "cols"},
      /*ft_workload=*/false, [](const AccelSpec& spec) {
          OptionReader opts(spec);
          const SystolicConfig config = systolicConfigFromSpec(opts);
@@ -204,8 +239,8 @@ const RegisterAccelerator register_ptb(
 
 const RegisterAccelerator register_stellar(
     "stellar",
-    {"Stellar fully temporal-parallel FS-neuron systolic array "
-     "(rows, cols)",
+    {"Stellar fully temporal-parallel FS-neuron systolic array",
+     {"rows", "cols"},
      /*ft_workload=*/false, [](const AccelSpec& spec) {
          OptionReader opts(spec);
          const SystolicConfig config = systolicConfigFromSpec(opts);

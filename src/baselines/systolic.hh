@@ -33,28 +33,46 @@ struct SystolicConfig
     LifParams lif;
 };
 
+/**
+ * Compiled operands of the dense systolic models: the spike-count
+ * statistics the analytical equations consume. Dense weight streaming
+ * needs no compression, so this is the whole artifact — shared by PTB
+ * and Stellar (one "systolic" family).
+ */
+struct SystolicCompiled : CompiledArtifact
+{
+    std::uint64_t spikes = 0;           // total spikes of A
+    std::uint64_t max_spikes_per_t = 0; // densest timestep's count
+};
+
+/** Shared prepare phase (and config) of both systolic models. */
+class SystolicBase : public Accelerator
+{
+  public:
+    explicit SystolicBase(const SystolicConfig& config);
+    std::string formatFamily() const override;
+    CompiledLayer prepare(const LayerData& layer) const override;
+
+  protected:
+    SystolicConfig config_;
+};
+
 /** PTB: partially temporal-parallel systolic array. */
-class PtbSim : public Accelerator
+class PtbSim : public SystolicBase
 {
   public:
     explicit PtbSim(const SystolicConfig& config = {});
     std::string name() const override;
-    RunResult runLayer(const LayerData& layer) override;
-
-  private:
-    SystolicConfig config_;
+    RunResult execute(const CompiledLayer& compiled) override;
 };
 
 /** Stellar: fully temporal-parallel FS-neuron systolic array. */
-class StellarSim : public Accelerator
+class StellarSim : public SystolicBase
 {
   public:
     explicit StellarSim(const SystolicConfig& config = {});
     std::string name() const override;
-    RunResult runLayer(const LayerData& layer) override;
-
-  private:
-    SystolicConfig config_;
+    RunResult execute(const CompiledLayer& compiled) override;
 };
 
 } // namespace loas

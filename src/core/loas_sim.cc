@@ -11,7 +11,6 @@
 #include "core/plif.hh"
 #include "core/scheduler.hh"
 #include "mem/memory_system.hh"
-#include "tensor/compress.hh"
 
 namespace loas {
 
@@ -22,17 +21,6 @@ constexpr std::uint64_t kBaseAMeta = 0x0000'0000ull;
 constexpr std::uint64_t kBaseAValues = 0x4000'0000ull;
 constexpr std::uint64_t kBaseBMeta = 0x8000'0000ull;
 constexpr std::uint64_t kBaseBValues = 0xc000'0000ull;
-
-/** Cumulative byte offsets of per-fiber storage. */
-template <typename FiberVec, typename SizeFn>
-std::vector<std::uint64_t>
-cumulativeOffsets(const FiberVec& fibers, SizeFn&& size_of)
-{
-    std::vector<std::uint64_t> offsets(fibers.size() + 1, 0);
-    for (std::size_t i = 0; i < fibers.size(); ++i)
-        offsets[i + 1] = offsets[i] + size_of(fibers[i]);
-    return offsets;
-}
 
 } // namespace
 
@@ -47,14 +35,15 @@ LoasSim::name() const
     return ft_compress_ ? "LoAS-FT" : "LoAS";
 }
 
-RunResult
-LoasSim::runLayer(const LayerData& layer)
+std::string
+LoasSim::formatFamily() const
 {
-    const int timesteps = layer.spec.t;
-    if (timesteps > config_.timesteps) {
-        fatal("LoAS configured for %d timesteps, layer '%s' needs %d",
-              config_.timesteps, layer.spec.name.c_str(), timesteps);
-    }
+    return "loas";
+}
+
+CompiledLayer
+LoasSim::prepare(const LayerData& layer) const
+{
     const std::size_t m = layer.spikes.rows();
     const std::size_t k = layer.spikes.cols();
     const std::size_t n = layer.weights.cols();
@@ -62,24 +51,36 @@ LoasSim::runLayer(const LayerData& layer)
         fatal("layer '%s': A is %zux%zu but B is %zux%zu",
               layer.spec.name.c_str(), m, k, layer.weights.rows(), n);
 
-    // Input operands in their compressed formats.
-    const auto fibers_a = compressSpikeRows(layer.spikes);
-    const auto fibers_b = compressWeightColumns(layer.weights);
+    // Input operands in their compressed formats. The spike values are
+    // packed T bits each (4-bit for T=4, Fig. 8); per-row regions are
+    // byte-aligned but values pack within a row.
+    auto art = std::make_shared<LoasCompiled>();
+    art->a = compileSpikeRows(layer.spikes);
+    art->b = compileWeightColumns(layer.weights);
+    const std::size_t bytes =
+        art->a.footprintBytes(layer.spec.t) + art->b.footprintBytes();
+    return makeCompiledLayer(layer, formatFamily(), std::move(art),
+                             bytes);
+}
 
-    const auto a_meta_off = cumulativeOffsets(
-        fibers_a, [](const SpikeFiber& f) { return f.metadataBytes(); });
-    // Packed spike values are T bits each (4-bit for T=4, Fig. 8);
-    // per-row regions are byte-aligned but values pack within a row.
-    const auto a_val_off = cumulativeOffsets(
-        fibers_a, [&](const SpikeFiber& f) {
-            return ceilDiv<std::size_t>(
-                f.values.size() * static_cast<std::size_t>(timesteps),
-                8);
-        });
-    const auto b_meta_off = cumulativeOffsets(
-        fibers_b, [](const WeightFiber& f) { return f.metadataBytes(); });
-    const auto b_val_off = cumulativeOffsets(
-        fibers_b, [](const WeightFiber& f) { return f.values.size(); });
+RunResult
+LoasSim::execute(const CompiledLayer& compiled)
+{
+    const auto& art = artifactAs<LoasCompiled>(compiled, formatFamily());
+    const int timesteps = compiled.timesteps;
+    if (timesteps > config_.timesteps) {
+        fatal("LoAS configured for %d timesteps, layer '%s' needs %d",
+              config_.timesteps, compiled.spec.name.c_str(), timesteps);
+    }
+    const std::size_t m = compiled.m;
+    const std::size_t n = compiled.n;
+
+    const auto& fibers_a = art.a.fibers;
+    const auto& fibers_b = art.b.fibers;
+    const auto& a_meta_off = art.a.meta_off;
+    const auto& a_val_off = art.a.val_off;
+    const auto& b_meta_off = art.b.meta_off;
+    const auto& b_val_off = art.b.val_off;
 
     MemorySystem mem(config_.cache, config_.dram);
     const InnerJoinUnit join_unit(config_.join, timesteps);
@@ -90,7 +91,7 @@ LoasSim::runLayer(const LayerData& layer)
 
     RunResult result;
     result.accel = name();
-    result.workload = layer.spec.name;
+    result.workload = compiled.spec.name;
 
     last_output_ = SpikeTensor(m, n, timesteps);
     std::vector<std::vector<TimeWord>> out_rows(
@@ -237,10 +238,13 @@ loasConfigFromSpec(OptionReader& opts)
     return config;
 }
 
+const std::vector<std::string> kLoasOptions = {
+    "t", "pes", "chunk", "pipelined", "cache_kb", "dram_gbps"};
+
 const RegisterAccelerator register_loas(
     "loas",
-    {"LoAS fully temporal-parallel dataflow (t, pes, chunk, pipelined, "
-     "cache_kb, dram_gbps)",
+    {"LoAS fully temporal-parallel dataflow",
+     kLoasOptions,
      /*ft_workload=*/false, [](const AccelSpec& spec) {
          OptionReader opts(spec);
          const LoasConfig config = loasConfigFromSpec(opts);
@@ -250,8 +254,8 @@ const RegisterAccelerator register_loas(
 
 const RegisterAccelerator register_loas_ft(
     "loas-ft",
-    {"LoAS with fine-tuned preprocessing (t, pes, chunk, pipelined, "
-     "cache_kb, dram_gbps)",
+    {"LoAS with fine-tuned preprocessing",
+     kLoasOptions,
      /*ft_workload=*/true, [](const AccelSpec& spec) {
          OptionReader opts(spec);
          const LoasConfig config = loasConfigFromSpec(opts);

@@ -16,6 +16,18 @@
 
 namespace loas {
 
+/**
+ * Compiled LoAS operands: both tensors in the FTP-friendly fiber
+ * format (Fig. 8) with their cumulative address-offset tables. Shared
+ * by every LoAS design variant — PE count, cache size and pipelining
+ * change the datapath, not the compiled format.
+ */
+struct LoasCompiled : CompiledArtifact
+{
+    CompiledSpikeFibers a;   // rows of A, packed temporal words
+    CompiledWeightFibers b;  // columns of B
+};
+
 /** LoAS accelerator model. */
 class LoasSim : public Accelerator
 {
@@ -30,7 +42,11 @@ class LoasSim : public Accelerator
 
     std::string name() const override;
 
-    RunResult runLayer(const LayerData& layer) override;
+    std::string formatFamily() const override;
+
+    CompiledLayer prepare(const LayerData& layer) const override;
+
+    RunResult execute(const CompiledLayer& compiled) override;
 
     /**
      * Output spike tensor of the last simulated layer, before output

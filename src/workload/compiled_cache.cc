@@ -1,0 +1,70 @@
+#include "workload/compiled_cache.hh"
+
+#include <chrono>
+
+namespace loas {
+
+std::string
+compiledLayerKey(const std::string& network, std::size_t layer_index,
+                 bool ft_workload, const std::string& family,
+                 int timesteps)
+{
+    return network + "#l" + std::to_string(layer_index) +
+           (ft_workload ? "#ft" : "#plain") + "#" + family + "#t" +
+           std::to_string(timesteps);
+}
+
+std::shared_ptr<const CompiledLayer>
+CompiledCache::getOrCompile(const std::string& key,
+                            const Compile& compile)
+{
+    std::shared_ptr<Slot> slot;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        auto& entry = slots_[key];
+        if (!entry)
+            entry = std::make_shared<Slot>();
+        slot = entry;
+    }
+
+    // The slot mutex makes the compilation once-only: the first caller
+    // compiles while any concurrent caller for the same key blocks
+    // here, wakes to a filled slot, and counts a hit.
+    const std::lock_guard<std::mutex> slot_lock(slot->mutex);
+    if (slot->value) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.hits;
+        return slot->value;
+    }
+
+    using Clock = std::chrono::steady_clock;
+    const auto start = Clock::now();
+    slot->value = std::make_shared<const CompiledLayer>(compile());
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.misses;
+    ++stats_.entries;
+    stats_.bytes += slot->value->bytes;
+    stats_.compile_ms += ms;
+    return slot->value;
+}
+
+CompiledCache::Stats
+CompiledCache::stats() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+CompiledCache::clear()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    slots_.clear();
+    stats_ = Stats{};
+}
+
+} // namespace loas

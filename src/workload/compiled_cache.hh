@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared compiled-workload cache. The SimEngine lowers each layer with
+ * a backend's prepare() exactly once per cache key and shares the
+ * resulting CompiledLayer read-only across every sweep cell of the same
+ * format family — a `loas?pes=16,32,64` grid compresses its operands
+ * once, not once per design.
+ *
+ * Keys name the workload-side identity of an artifact:
+ * (network, layer index, ft-variant, format family, timesteps).
+ * Hardware options are deliberately absent — prepare() output must not
+ * depend on them (that is what makes a family a family) — while the
+ * ft-variant component keeps `loas` and `loas-ft` apart: their layers
+ * come from different preprocessing, so their artifacts must too.
+ *
+ * Thread safety: getOrCompile() is callable from any number of worker
+ * threads. Exactly one caller compiles a given key (per-slot mutex);
+ * the rest block on that slot and then share the artifact, so hit/miss
+ * accounting is thread-count invariant.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "accel/compiled_layer.hh"
+
+namespace loas {
+
+/** Canonical cache key of one compiled layer (see file comment). */
+std::string compiledLayerKey(const std::string& network,
+                             std::size_t layer_index, bool ft_workload,
+                             const std::string& family, int timesteps);
+
+/** Memoizes CompiledLayer artifacts by key. */
+class CompiledCache
+{
+  public:
+    /** Aggregate accounting, readable while the cache is in use. */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        /** Cache misses == compilations actually performed. */
+        std::uint64_t misses = 0;
+        std::uint64_t entries = 0;
+        /** Sum of the cached artifacts' footprint estimates. */
+        std::uint64_t bytes = 0;
+        /** Wall time spent inside compile callbacks, summed. */
+        double compile_ms = 0.0;
+    };
+
+    using Compile = std::function<CompiledLayer()>;
+
+    /**
+     * The compiled layer for `key`, compiling it via `compile` on the
+     * first request. Concurrent requests for the same key block until
+     * the one compilation finishes and then share its artifact.
+     */
+    std::shared_ptr<const CompiledLayer>
+    getOrCompile(const std::string& key, const Compile& compile);
+
+    Stats stats() const;
+
+    /** Drop every entry and reset the statistics. */
+    void clear();
+
+  private:
+    /** One key's compilation slot; its mutex serializes the compile. */
+    struct Slot
+    {
+        std::mutex mutex;
+        std::shared_ptr<const CompiledLayer> value;
+    };
+
+    mutable std::mutex mutex_;  // guards slots_ and stats_
+    std::unordered_map<std::string, std::shared_ptr<Slot>> slots_;
+    Stats stats_;
+};
+
+} // namespace loas

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Tests for the two-phase prepare/execute pipeline and the shared
+ * compiled-workload cache: hit/miss accounting, once-only concurrent
+ * compilation, cross-variant (non-)sharing rules, the 9-cell sweep
+ * acceptance criterion, and thread-count-invariant sweep output with
+ * the cache in the loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "api/json.hh"
+#include "api/sim_engine.hh"
+#include "api/sweep.hh"
+#include "api/sweep_io.hh"
+#include "baselines/sparten.hh"
+#include "core/loas_sim.hh"
+#include "workload/compiled_cache.hh"
+#include "workload/generator.hh"
+#include "workload/networks.hh"
+
+namespace loas {
+namespace {
+
+/** A compiled layer stub carrying only a footprint. */
+CompiledLayer
+stubLayer(std::size_t bytes)
+{
+    CompiledLayer compiled;
+    compiled.family = "stub";
+    compiled.bytes = bytes;
+    return compiled;
+}
+
+TEST(CompiledCache, CountsHitsMissesEntriesAndBytes)
+{
+    CompiledCache cache;
+    int compiles = 0;
+    const auto compile_a = [&] {
+        ++compiles;
+        return stubLayer(100);
+    };
+    const auto compile_b = [&] {
+        ++compiles;
+        return stubLayer(40);
+    };
+
+    const auto a1 = cache.getOrCompile("a", compile_a);
+    const auto a2 = cache.getOrCompile("a", compile_a);
+    const auto b1 = cache.getOrCompile("b", compile_b);
+    EXPECT_EQ(compiles, 2);
+    EXPECT_EQ(a1.get(), a2.get()); // shared, not recompiled
+    EXPECT_NE(a1.get(), b1.get());
+
+    const CompiledCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.entries, 2u);
+    EXPECT_EQ(stats.bytes, 140u);
+    EXPECT_GE(stats.compile_ms, 0.0);
+}
+
+TEST(CompiledCache, ClearDropsEntriesAndStats)
+{
+    CompiledCache cache;
+    cache.getOrCompile("a", [] { return stubLayer(8); });
+    cache.clear();
+    EXPECT_EQ(cache.stats().entries, 0u);
+    EXPECT_EQ(cache.stats().misses, 0u);
+
+    int compiles = 0;
+    cache.getOrCompile("a", [&] {
+        ++compiles;
+        return stubLayer(8);
+    });
+    EXPECT_EQ(compiles, 1); // really gone, compiled again
+}
+
+TEST(CompiledCache, ConcurrentRequestsCompileExactlyOnce)
+{
+    CompiledCache cache;
+    std::atomic<int> compiles{0};
+    constexpr int kThreads = 8;
+
+    std::vector<std::thread> pool;
+    std::vector<std::shared_ptr<const CompiledLayer>> got(kThreads);
+    pool.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i)
+        pool.emplace_back([&, i] {
+            got[i] = cache.getOrCompile("key", [&] {
+                ++compiles;
+                return stubLayer(16);
+            });
+        });
+    for (auto& t : pool)
+        t.join();
+
+    EXPECT_EQ(compiles.load(), 1);
+    for (int i = 1; i < kThreads; ++i)
+        EXPECT_EQ(got[i].get(), got[0].get());
+    const CompiledCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kThreads - 1));
+}
+
+TEST(CompiledCache, KeySeparatesEveryComponent)
+{
+    const std::string base =
+        compiledLayerKey("net", 0, false, "loas", 4);
+    EXPECT_NE(base, compiledLayerKey("net2", 0, false, "loas", 4));
+    EXPECT_NE(base, compiledLayerKey("net", 1, false, "loas", 4));
+    EXPECT_NE(base, compiledLayerKey("net", 0, true, "loas", 4));
+    EXPECT_NE(base, compiledLayerKey("net", 0, false, "gamma", 4));
+    EXPECT_NE(base, compiledLayerKey("net", 0, false, "loas", 8));
+}
+
+TEST(PrepareExecute, RunLayerEqualsPreparePlusExecute)
+{
+    const LayerData layer = generateLayer(tables::alexnetL4(), 17);
+    LoasSim one_shot;
+    LoasSim two_phase;
+    const RunResult direct = one_shot.runLayer(layer);
+    const RunResult split = two_phase.execute(two_phase.prepare(layer));
+    EXPECT_EQ(json::toJson(direct), json::toJson(split));
+    EXPECT_EQ(one_shot.lastOutput(), two_phase.lastOutput());
+}
+
+TEST(PrepareExecute, ArtifactsAreSharedAcrossDesignVariants)
+{
+    // A layer compiled by one LoAS variant executes bit-identically on
+    // another: prepare() output is hardware-option independent.
+    const LayerData layer = generateLayer(tables::vgg16L8(), 23);
+    LoasConfig narrow;
+    narrow.num_pes = 8;
+    LoasConfig wide;
+    wide.num_pes = 64;
+    LoasSim compiler(narrow);
+    LoasSim runner(wide);
+
+    const CompiledLayer compiled = compiler.prepare(layer);
+    const RunResult shared = runner.execute(compiled);
+    const RunResult direct = LoasSim(wide).runLayer(layer);
+    EXPECT_EQ(json::toJson(shared), json::toJson(direct));
+}
+
+TEST(PrepareExecuteDeathTest, ExecuteRejectsForeignFamilies)
+{
+    const LayerData layer = generateLayer(tables::alexnetL4(), 3);
+    SpartenSim sparten;
+    const CompiledLayer foreign = sparten.prepare(layer);
+    LoasSim loas;
+    EXPECT_DEATH(loas.execute(foreign), "family");
+}
+
+TEST(SimEngineCache, SameFamilyDesignsCompileOnce)
+{
+    SimRequest request;
+    request.accels = {"loas?pes=8", "loas?pes=16", "loas?pes=32"};
+    request.networks = {NetworkSpec{"layer", {tables::alexnetL4()}}};
+    request.seed = 7;
+    const SimReport report = SimEngine().run(request);
+
+    EXPECT_EQ(report.compile_cache.misses, 1u);
+    EXPECT_EQ(report.compile_cache.hits, 2u);
+    EXPECT_GT(report.compile_cache.bytes, 0u);
+    EXPECT_GE(report.prepare_ms, 0.0);
+    EXPECT_GT(report.sim_ms, 0.0);
+}
+
+TEST(SimEngineCache, FtVariantDoesNotShareWithPlain)
+{
+    // loas and loas-ft run differently-preprocessed workloads, so the
+    // cache must keep their artifacts apart (one miss each, no hits).
+    SimRequest request;
+    request.accels = {"loas", "loas-ft"};
+    request.networks = {NetworkSpec{"layer", {tables::vgg16L8()}}};
+    request.seed = 7;
+    const SimReport report = SimEngine().run(request);
+
+    EXPECT_EQ(report.compile_cache.misses, 2u);
+    EXPECT_EQ(report.compile_cache.hits, 0u);
+}
+
+TEST(SimEngineCache, DifferentFamiliesDoNotShare)
+{
+    SimRequest request;
+    request.accels = {"loas", "sparten", "gamma"};
+    request.networks = {NetworkSpec{"layer", {tables::alexnetL4()}}};
+    request.seed = 7;
+    const SimReport report = SimEngine().run(request);
+
+    EXPECT_EQ(report.compile_cache.misses, 3u);
+    EXPECT_EQ(report.compile_cache.hits, 0u);
+}
+
+TEST(SimEngineCache, SharedArtifactsKeepResultsBitIdentical)
+{
+    // The cached path must not change any simulated number relative to
+    // direct one-shot invocation of each design.
+    SimRequest request;
+    request.accels = {"loas?pes=8", "loas?pes=64"};
+    request.networks = {NetworkSpec{"layer", {tables::alexnetL4()}}};
+    request.seed = 31;
+    const SimReport report = SimEngine().run(request);
+
+    const std::vector<LayerData> layers =
+        generateNetwork(request.networks[0], 31);
+    LoasConfig narrow;
+    narrow.num_pes = 8;
+    LoasConfig wide;
+    wide.num_pes = 64;
+    EXPECT_EQ(json::toJson(report.at("loas?pes=8", "layer").result),
+              json::toJson(
+                  LoasSim(narrow).runNetwork(layers, "layer")));
+    EXPECT_EQ(json::toJson(report.at("loas?pes=64", "layer").result),
+              json::toJson(LoasSim(wide).runNetwork(layers, "layer")));
+}
+
+/** The ISSUE acceptance sweep: 3 designs x 3 networks, one family. */
+SweepRequest
+nineCellSweep()
+{
+    SweepRequest request;
+    request.grids = {"loas?pes=16,32,64&t=4"};
+    request.networks = {"alexnet-l4", "vgg16-l8", "resnet19-l19"};
+    request.seed = 11;
+    return request;
+}
+
+TEST(SweepEngineCache, NineCellSweepCompilesOncePerLayerKey)
+{
+    const SweepReport report = SweepEngine().run(nineCellSweep());
+    ASSERT_EQ(report.cells.size(), 9u);
+
+    // One compilation per (network, layer, family, timesteps) key —
+    // three networks of one layer each — not one per cell.
+    EXPECT_EQ(report.compile_cache.misses, 3u);
+    EXPECT_EQ(report.compile_cache.hits, 6u);
+    EXPECT_EQ(report.compile_cache.entries, 3u);
+    for (const auto& cell : report.cells)
+        EXPECT_GT(cell.result.total_cycles, 0u);
+}
+
+TEST(SweepEngineCache, ThreadedSweepIsBitIdenticalToSerial)
+{
+    SweepRequest request = nineCellSweep();
+    request.threads = 1;
+    const SweepReport serial = SweepEngine().run(request);
+    request.threads = 8;
+    const SweepReport threaded = SweepEngine().run(request);
+
+    EXPECT_EQ(toCsv(serial), toCsv(threaded));
+    EXPECT_EQ(json::toJson(serial), json::toJson(threaded));
+    // Cache accounting is thread-count invariant too: the per-slot
+    // mutex makes compilation once-only under any schedule.
+    EXPECT_EQ(serial.compile_cache.misses,
+              threaded.compile_cache.misses);
+    EXPECT_EQ(serial.compile_cache.hits, threaded.compile_cache.hits);
+    EXPECT_EQ(serial.compile_cache.bytes,
+              threaded.compile_cache.bytes);
+}
+
+} // namespace
+} // namespace loas

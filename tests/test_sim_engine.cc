@@ -111,6 +111,12 @@ TEST(SimEngine, RejectsBadRequestsBeforeSimulating)
     request = smallRequest();
     request.accels.push_back("loas?bogus=1");
     EXPECT_THROW(SimEngine().run(request), std::invalid_argument);
+    // Duplicate network names would silently share compiled operands
+    // (and alias report cells), so they are rejected up front.
+    request = smallRequest();
+    request.networks.push_back(
+        NetworkSpec{"net-a", {tables::vgg16L8()}});
+    EXPECT_THROW(SimEngine().run(request), std::invalid_argument);
 }
 
 TEST(SimEngineJson, ReportSerializesEveryRun)

@@ -2,8 +2,11 @@
  * @file
  * Command-line driver over the accelerator registry and the SimEngine.
  *
- *   loas_cli list
+ *   loas_cli list [--json [PATH]]
  *       Print every registered accelerator key with its description.
+ *       --json emits a machine-readable catalog (key, description,
+ *       ft_workload, accepted spec options) for tooling/CI discovery,
+ *       to PATH or stdout when PATH is omitted or "-".
  *
  *   loas_cli run [--accel LIST] [--network LIST] [--seed N]
  *                [--threads N] [--no-energy] [--json PATH]
@@ -63,13 +66,18 @@ usage(const char* argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s list\n"
+        "usage: %s list [--json [PATH]]\n"
         "       %s run [--accel LIST] [--network LIST] [--seed N]\n"
         "           [--threads N] [--no-energy] [--json PATH]\n"
         "       %s sweep --grid GRIDS [--network GRIDS]\n"
         "           [--baseline SPEC] [--seed N] [--threads N]\n"
         "           [--no-energy] [--csv PATH] [--json PATH]\n"
         "       %s bench [--quick] [--seed N] [--threads N] [--out PATH]\n"
+        "\n"
+        "list:\n"
+        "  --json [PATH]   machine-readable catalog of registered\n"
+        "                  accelerators and their accepted spec options\n"
+        "                  (PATH omitted or \"-\": stdout)\n"
         "\n"
         "run:\n"
         "  --accel LIST    comma-separated accelerator specs\n"
@@ -100,17 +108,6 @@ usage(const char* argv0)
     return 2;
 }
 
-int
-runList()
-{
-    const auto& registry = AcceleratorRegistry::instance();
-    TextTable table({"key", "description"});
-    for (const auto& key : registry.keys())
-        table.addRow({key, registry.entry(key).description});
-    std::printf("%s", table.str().c_str());
-    return 0;
-}
-
 std::uint64_t
 parseUint(const std::string& flag, const std::string& value)
 {
@@ -133,6 +130,9 @@ class ArgCursor
     bool more() const { return i_ < argc_; }
 
     std::string next() { return argv_[i_++]; }
+
+    /** The next token without consuming it (only valid when more()). */
+    std::string peek() const { return argv_[i_]; }
 
     /** The value following `flag`; throws when the tail is exhausted. */
     std::string
@@ -190,6 +190,66 @@ writeOutput(const std::string& path, const std::string& content,
     if (!quiet)
         std::printf("wrote %s\n", path.c_str());
     return 0;
+}
+
+int
+runList(int argc, char** argv)
+{
+    bool as_json = false;
+    std::string json_path = "-";
+    ArgCursor args(argc, argv);
+    while (args.more()) {
+        const std::string arg = args.next();
+        if (arg == "--json") {
+            as_json = true;
+            // An optional PATH follows; a flag-like token ("--...") is
+            // the next flag, not a filename to silently create.
+            if (args.more() && args.peek().rfind("--", 0) != 0)
+                json_path = args.next();
+        } else {
+            throw std::invalid_argument("unknown flag '" + arg + "'");
+        }
+    }
+
+    const auto& registry = AcceleratorRegistry::instance();
+    const auto joined_options = [&](const std::string& key) {
+        std::string joined;
+        for (const auto& option : registry.entry(key).options)
+            joined += (joined.empty() ? "" : ", ") + option;
+        return joined;
+    };
+
+    if (!as_json) {
+        TextTable table({"key", "description", "options"});
+        for (const auto& key : registry.keys())
+            table.addRow({key, registry.entry(key).description,
+                          joined_options(key)});
+        std::printf("%s", table.str().c_str());
+        return 0;
+    }
+
+    // Machine-readable catalog, schema-versioned like the bench output.
+    const auto keys = registry.keys();
+    std::string out = "{\n";
+    out += "  \"schema\": \"loas-list/1\",\n";
+    out += "  \"accelerators\": [\n";
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        const auto& entry = registry.entry(keys[i]);
+        out += "    {\"key\": " + json::quote(keys[i]) +
+               ", \"description\": " + json::quote(entry.description) +
+               ", \"ft_workload\": " +
+               (entry.ft_workload ? "true" : "false") +
+               ", \"options\": [";
+        for (std::size_t o = 0; o < entry.options.size(); ++o) {
+            out += json::quote(entry.options[o]);
+            if (o + 1 < entry.options.size())
+                out += ", ";
+        }
+        out += "]}";
+        out += i + 1 < keys.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    return writeOutput(json_path, out);
 }
 
 std::vector<NetworkSpec>
@@ -453,11 +513,16 @@ runBench(int argc, char** argv)
     metrics.emplace_back("sweep_cells_per_s",
                          static_cast<double>(report.cells.size()) /
                              (sweep_ms / 1000.0));
+    // Two-phase split: time compiling operands (once per cache key)
+    // vs time executing the datapath models.
+    metrics.emplace_back("prepare_ms", report.prepare_ms);
+    metrics.emplace_back("sim_ms", report.sim_ms);
 
     // Schema-stable output: the perf-trajectory tooling and the CI
     // perf-smoke validator both key on "schema" and the metric list.
+    // /2 added the prepare_ms / sim_ms two-phase split.
     std::string out = "{\n";
-    out += "  \"schema\": \"loas-bench/1\",\n";
+    out += "  \"schema\": \"loas-bench/2\",\n";
     out += std::string("  \"mode\": ") +
            (quick ? "\"quick\"" : "\"full\"") + ",\n";
     out += "  \"threads\": " + std::to_string(threads) + ",\n";
@@ -472,6 +537,13 @@ runBench(int argc, char** argv)
 
     for (const auto& [name, value] : metrics)
         std::printf("%-24s %12.3f\n", name.c_str(), value);
+    std::printf("compile cache: %llu misses, %llu hits, %.1f KB\n",
+                static_cast<unsigned long long>(
+                    report.compile_cache.misses),
+                static_cast<unsigned long long>(
+                    report.compile_cache.hits),
+                static_cast<double>(report.compile_cache.bytes) /
+                    1024.0);
     return writeOutput(out_path, out);
 }
 
@@ -485,7 +557,7 @@ main(int argc, char** argv)
     const std::string command = argv[1];
     try {
         if (command == "list")
-            return runList();
+            return runList(argc - 2, argv + 2);
         if (command == "run")
             return runRun(argc - 2, argv + 2);
         if (command == "sweep")
