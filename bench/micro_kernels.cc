@@ -9,12 +9,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include "api/registry.hh"
+#include "common/alloc_hook.hh"
 #include "common/rng.hh"
 #include "core/compressor.hh"
 #include "core/inner_join.hh"
 #include "core/plif.hh"
 #include "mem/memory_system.hh"
 #include "snn/reference.hh"
+#include "tensor/ranked_bitmask.hh"
 #include "workload/generator.hh"
 #include "workload/networks.hh"
 
@@ -59,6 +62,28 @@ BM_InnerJoin(benchmark::State& state)
                             static_cast<std::int64_t>(k));
 }
 BENCHMARK(BM_InnerJoin)->Arg(512)->Arg(2304)->Arg(4608);
+
+// The production execute() path: compiled rank tables plus a reused
+// JoinScratch — steady state allocates nothing, so this measures the
+// pure word-parallel kernel. Compare against BM_InnerJoin (one-shot
+// convenience path) to see the scratch + rank-table amortization.
+void
+BM_InnerJoinScratch(benchmark::State& state)
+{
+    const auto k = static_cast<std::size_t>(state.range(0));
+    const auto [fa, fb] = makeFibers(k, 0.25, 0.03, 7);
+    const RankedBitmask ra(fa.mask), rb(fb.mask);
+    const InnerJoinUnit unit(InnerJoinConfig{}, 4);
+    JoinScratch scratch;
+    unit.join(fa, ra, fb, rb, scratch); // warm the scratch
+    for (auto _ : state) {
+        const JoinResult& r = unit.join(fa, ra, fb, rb, scratch);
+        benchmark::DoNotOptimize(r.matches);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(k));
+}
+BENCHMARK(BM_InnerJoinScratch)->Arg(512)->Arg(2304)->Arg(4608);
 
 void
 BM_OutputCompressor(benchmark::State& state)
@@ -107,6 +132,69 @@ BM_BitmaskRank(benchmark::State& state)
     }
 }
 BENCHMARK(BM_BitmaskRank)->Arg(2304);
+
+// O(1) compiled rank table vs the O(k/64) scan above.
+void
+BM_RankedBitmaskRank(benchmark::State& state)
+{
+    Rng rng(11);
+    Bitmask mask(static_cast<std::size_t>(state.range(0)));
+    for (std::size_t i = 0; i < mask.size(); ++i)
+        if (rng.bernoulli(0.3))
+            mask.set(i);
+    const RankedBitmask ranked(mask);
+    std::size_t pos = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ranked.rank(pos));
+        pos = (pos + 97) % mask.size();
+    }
+}
+BENCHMARK(BM_RankedBitmaskRank)->Arg(2304);
+
+void
+BM_RankedPopcountRange(benchmark::State& state)
+{
+    Rng rng(13);
+    Bitmask mask(static_cast<std::size_t>(state.range(0)));
+    for (std::size_t i = 0; i < mask.size(); ++i)
+        if (rng.bernoulli(0.3))
+            mask.set(i);
+    const RankedBitmask ranked(mask);
+    std::size_t pos = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ranked.popcountRange(pos, mask.size()));
+        pos = (pos + 97) % mask.size();
+    }
+}
+BENCHMARK(BM_RankedPopcountRange)->Arg(2304);
+
+// Steady-state execute() over a compiled layer: the figure-harness hot
+// loop. The first iterations warm the scratch buffers; afterwards the
+// run is allocation-free (reported as the allocs_per_iter counter).
+void
+BM_LoasExecuteSteady(benchmark::State& state)
+{
+    LayerSpec spec = tables::alexnetL4();
+    spec.m = 64;
+    spec.name = "kbench";
+    const LayerData layer = generateLayer(spec, 13);
+    const auto instance = AcceleratorRegistry::instance().make("loas");
+    const CompiledLayer compiled = instance->prepare(layer);
+    instance->execute(compiled); // warm the scratch
+    const std::uint64_t allocs_before = allochook::allocationCount();
+    for (auto _ : state) {
+        const RunResult r = instance->execute(compiled);
+        benchmark::DoNotOptimize(r.total_cycles);
+    }
+    state.counters["allocs_per_iter"] = benchmark::Counter(
+        static_cast<double>(allochook::allocationCount() -
+                            allocs_before),
+        benchmark::Counter::kAvgIterations);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(spec.m * spec.n));
+}
+BENCHMARK(BM_LoasExecuteSteady);
 
 void
 BM_CacheAccess(benchmark::State& state)

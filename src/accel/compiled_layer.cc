@@ -1,6 +1,7 @@
 #include "accel/compiled_layer.hh"
 
 #include "common/bitutil.hh"
+#include "common/parallel.hh"
 #include "tensor/compress.hh"
 #include "workload/generator.hh"
 
@@ -8,12 +9,24 @@ namespace loas {
 
 namespace {
 
-/** Offsets shared by every compiled weight operand. */
+/**
+ * Build `count` weight fibers with `build(i)` in one parallel pass —
+ * each worker fills a disjoint, preallocated slot and immediately
+ * derives its rank table (slot addresses are stable: the vector is
+ * presized) — then attach the cumulative offsets. One thread fork per
+ * compiled operand, bit-identical at any thread count.
+ */
+template <typename BuildFn>
 CompiledWeightFibers
-withOffsets(std::vector<WeightFiber> fibers)
+buildWeightFibers(std::size_t count, BuildFn&& build)
 {
     CompiledWeightFibers compiled;
-    compiled.fibers = std::move(fibers);
+    compiled.fibers.resize(count);
+    compiled.ranked.resize(count);
+    parallelFor(count, prepareParallelism(count), [&](std::size_t i) {
+        compiled.fibers[i] = build(i);
+        compiled.ranked[i] = RankedBitmask(compiled.fibers[i].mask);
+    });
     compiled.meta_off = cumulativeOffsets(
         compiled.fibers,
         [](const WeightFiber& f) { return f.metadataBytes(); });
@@ -38,19 +51,26 @@ CompiledWeightFibers::footprintBytes() const
 CompiledWeightFibers
 compileWeightColumns(const DenseMatrix<std::int8_t>& weights)
 {
-    return withOffsets(compressWeightColumns(weights));
+    return buildWeightFibers(weights.cols(), [&](std::size_t c) {
+        return compressWeightColumn(weights, c);
+    });
 }
 
 CompiledWeightFibers
 compileWeightRows(const DenseMatrix<std::int8_t>& weights)
 {
-    return withOffsets(compressWeightRows(weights));
+    return buildWeightFibers(weights.rows(), [&](std::size_t r) {
+        return compressWeightRow(weights, r);
+    });
 }
 
 CompiledWeightFibers
 compileWeightFibers(std::vector<WeightFiber> fibers)
 {
-    return withOffsets(std::move(fibers));
+    auto* const raw = fibers.data();
+    return buildWeightFibers(fibers.size(), [raw](std::size_t i) {
+        return std::move(raw[i]);
+    });
 }
 
 std::size_t
@@ -68,7 +88,17 @@ compileSpikeRows(const SpikeTensor& spikes)
 {
     const int timesteps = spikes.timesteps();
     CompiledSpikeFibers compiled;
-    compiled.fibers = compressSpikeRows(spikes);
+    compiled.fibers.resize(spikes.rows());
+    compiled.ranked.resize(spikes.rows());
+    // One parallel pass: compress the row, then derive its rank table
+    // in place (slot addresses are stable: the vectors are presized).
+    parallelFor(compiled.fibers.size(),
+                prepareParallelism(compiled.fibers.size()),
+                [&](std::size_t r) {
+                    compiled.fibers[r] = compressSpikeRow(spikes, r);
+                    compiled.ranked[r] =
+                        RankedBitmask(compiled.fibers[r].mask);
+                });
     compiled.meta_off = cumulativeOffsets(
         compiled.fibers,
         [](const SpikeFiber& f) { return f.metadataBytes(); });

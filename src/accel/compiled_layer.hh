@@ -25,6 +25,7 @@
 #include "common/logging.hh"
 #include "tensor/dense_matrix.hh"
 #include "tensor/fiber.hh"
+#include "tensor/ranked_bitmask.hh"
 #include "tensor/spike_tensor.hh"
 #include "workload/layer_spec.hh"
 
@@ -93,11 +94,24 @@ cumulativeOffsets(const FiberVec& fibers, SizeFn&& size_of)
 /**
  * Weight fibers plus their cumulative metadata/value address offsets —
  * the compiled form of one B operand (columns for inner-product
- * designs, rows for the Gustavson baselines).
+ * designs, rows for the Gustavson baselines). `ranked[i]` is the O(1)
+ * rank view of `fibers[i].mask`, built once here so every execute()
+ * resolves value offsets in constant time.
+ *
+ * Move-only: the rank views point into `fibers`, which stays valid
+ * under a move of the whole struct (the vector's storage transfers)
+ * but not under a copy.
  */
 struct CompiledWeightFibers
 {
+    CompiledWeightFibers() = default;
+    CompiledWeightFibers(const CompiledWeightFibers&) = delete;
+    CompiledWeightFibers& operator=(const CompiledWeightFibers&) = delete;
+    CompiledWeightFibers(CompiledWeightFibers&&) = default;
+    CompiledWeightFibers& operator=(CompiledWeightFibers&&) = default;
+
     std::vector<WeightFiber> fibers;
+    std::vector<RankedBitmask> ranked;    // fibers.size() entries
     std::vector<std::uint64_t> meta_off;  // fibers.size() + 1 entries
     std::vector<std::uint64_t> val_off;   // fibers.size() + 1 entries
 
@@ -120,11 +134,20 @@ CompiledWeightFibers compileWeightFibers(std::vector<WeightFiber> fibers);
  * Spike fibers plus their cumulative offsets — the compiled form of the
  * A operand under the FTP-friendly format. Value offsets are byte
  * addresses of the packed T-bit temporal words (per-row regions are
- * byte-aligned, values pack within a row, Fig. 8).
+ * byte-aligned, values pack within a row, Fig. 8). `ranked[i]` is the
+ * O(1) rank view of `fibers[i].mask`; move-only for the same reason as
+ * CompiledWeightFibers.
  */
 struct CompiledSpikeFibers
 {
+    CompiledSpikeFibers() = default;
+    CompiledSpikeFibers(const CompiledSpikeFibers&) = delete;
+    CompiledSpikeFibers& operator=(const CompiledSpikeFibers&) = delete;
+    CompiledSpikeFibers(CompiledSpikeFibers&&) = default;
+    CompiledSpikeFibers& operator=(CompiledSpikeFibers&&) = default;
+
     std::vector<SpikeFiber> fibers;
+    std::vector<RankedBitmask> ranked;    // fibers.size() entries
     std::vector<std::uint64_t> meta_off;  // fibers.size() + 1 entries
     std::vector<std::uint64_t> val_off;   // fibers.size() + 1 entries
 

@@ -1,82 +1,17 @@
 #include "api/sim_engine.hh"
 
-#include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <exception>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <stdexcept>
-#include <thread>
 
 #include "api/registry.hh"
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "workload/generator.hh"
 
 namespace loas {
-namespace {
-
-/**
- * Run `jobs` instances of `body(job_index)` across `threads` workers.
- * Exceptions escaping a job are rethrown in the caller (first one
- * wins); remaining jobs still drain so the workers join cleanly.
- */
-template <typename Body>
-void
-parallelFor(std::size_t jobs, int threads, Body&& body)
-{
-    if (threads <= 1 || jobs <= 1) {
-        for (std::size_t i = 0; i < jobs; ++i)
-            body(i);
-        return;
-    }
-
-    std::atomic<std::size_t> next{0};
-    std::atomic<bool> failed{false};
-    std::exception_ptr error;
-    std::mutex error_mutex;
-
-    auto worker = [&] {
-        while (true) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= jobs)
-                return;
-            if (failed.load())
-                continue; // drain without doing more work
-            try {
-                body(i);
-            } catch (...) {
-                const std::lock_guard<std::mutex> lock(error_mutex);
-                if (!error)
-                    error = std::current_exception();
-                failed.store(true);
-            }
-        }
-    };
-
-    const std::size_t n_workers =
-        std::min<std::size_t>(static_cast<std::size_t>(threads), jobs);
-    std::vector<std::thread> pool;
-    pool.reserve(n_workers);
-    for (std::size_t w = 0; w < n_workers; ++w)
-        pool.emplace_back(worker);
-    for (auto& t : pool)
-        t.join();
-    if (error)
-        std::rethrow_exception(error);
-}
-
-int
-resolveThreads(int requested)
-{
-    if (requested > 0)
-        return requested;
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : static_cast<int>(hw);
-}
-
-} // namespace
 
 const SimRun*
 SimReport::find(const std::string& accel_spec,
@@ -194,9 +129,15 @@ SimEngine::run(const SimRequest& request) const
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 Clock::now() - t_exec)
                 .count());
-        if (request.energy)
-            run.energy = energy_model.evaluate(run.result);
     });
+
+    // Energy is a pure function of each cell's RunResult, so it is
+    // derived post-hoc while assembling the report instead of inside
+    // the simulation job loop — it neither occupies worker threads nor
+    // pollutes the sim_ms timing split.
+    if (request.energy)
+        for (auto& run : report.runs)
+            run.energy = energy_model.evaluate(run.result);
 
     report.compile_cache = cache.stats();
     report.prepare_ms = report.compile_cache.compile_ms;

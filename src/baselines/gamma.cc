@@ -1,11 +1,13 @@
 #include "baselines/gamma.hh"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <memory>
 
 #include "api/registry.hh"
 #include "common/bitutil.hh"
+#include "common/parallel.hh"
 #include "mem/memory_system.hh"
 #include "tensor/compress.hh"
 
@@ -57,19 +59,45 @@ GammaSim::prepare(const LayerData& layer) const
 
     // Per-(timestep, row) merge tasks: the columns whose spike fires
     // and whose B row carries values, in the scheduler's replay order.
-    art->ptr.reserve(static_cast<std::size_t>(timesteps) * m + 1);
-    art->ptr.push_back(0);
-    for (int t = 0; t < timesteps; ++t)
-        for (std::size_t r = 0; r < m; ++r) {
-            for (std::size_t c = 0; c < k; ++c) {
-                if (!layer.spikes.spike(r, c, t))
-                    continue;
-                if (art->b.fibers[c].values.empty())
-                    continue;
-                art->cols.push_back(static_cast<std::uint32_t>(c));
+    // Built in two per-row-parallel passes (count, then fill) so the
+    // CSR comes out identical to the serial t-outer walk: task t*m+r
+    // only ever holds row r's columns in ascending order.
+    const std::size_t n_tasks = static_cast<std::size_t>(timesteps) * m;
+    std::vector<std::uint64_t> sizes(n_tasks, 0);
+    parallelFor(m, prepareParallelism(m), [&](std::size_t r) {
+        for (std::size_t c = 0; c < k; ++c) {
+            if (art->b.fibers[c].values.empty())
+                continue;
+            TimeWord w = layer.spikes.word(r, c);
+            while (w) {
+                const int t = lowestSetBit(w);
+                w &= w - 1;
+                ++sizes[static_cast<std::size_t>(t) * m + r];
             }
-            art->ptr.push_back(art->cols.size());
         }
+    });
+    art->ptr.resize(n_tasks + 1);
+    art->ptr[0] = 0;
+    for (std::size_t i = 0; i < n_tasks; ++i)
+        art->ptr[i + 1] = art->ptr[i] + sizes[i];
+    art->cols.resize(art->ptr[n_tasks]);
+    parallelFor(m, prepareParallelism(m), [&](std::size_t r) {
+        std::array<std::uint64_t, kMaxTimesteps> cursor{};
+        for (std::size_t c = 0; c < k; ++c) {
+            if (art->b.fibers[c].values.empty())
+                continue;
+            TimeWord w = layer.spikes.word(r, c);
+            while (w) {
+                const int t = lowestSetBit(w);
+                w &= w - 1;
+                const std::size_t task =
+                    static_cast<std::size_t>(t) * m + r;
+                art->cols[art->ptr[task] +
+                          cursor[static_cast<std::size_t>(t)]++] =
+                    static_cast<std::uint32_t>(c);
+            }
+        }
+    });
 
     const std::size_t bytes =
         art->b.footprintBytes() +
@@ -90,7 +118,11 @@ GammaSim::execute(const CompiledLayer& compiled)
     const double weight_density = art.weight_density;
     const auto& fibers_b = art.b.fibers;
 
-    MemorySystem mem(config_.cache, config_.dram);
+    if (!scratch_.mem)
+        scratch_.mem.emplace(config_.cache, config_.dram);
+    else
+        scratch_.mem->reset();
+    MemorySystem& mem = *scratch_.mem;
 
     RunResult result;
     result.accel = name();
@@ -108,7 +140,8 @@ GammaSim::execute(const CompiledLayer& compiled)
     // Gamma's row-window scheduler achieves near-perfect B-row reuse
     // through the FiberCache: each distinct row crosses DRAM once per
     // layer and is served on-chip afterwards.
-    std::vector<bool> fetched(k, false);
+    scratch_.fetched.assign(k, false);
+    std::vector<bool>& fetched = scratch_.fetched;
     std::uint64_t row_uses = 0;
     std::uint64_t distinct_rows = 0;
     auto fetch_row = [&](std::size_t c, std::size_t nnz_b) {

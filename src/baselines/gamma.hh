@@ -16,8 +16,12 @@
 
 #pragma once
 
+#include <optional>
+#include <vector>
+
 #include "accel/accelerator.hh"
 #include "mem/cache.hh"
+#include "mem/memory_system.hh"
 #include "mem/traffic.hh"
 #include "snn/lif.hh"
 
@@ -86,6 +90,14 @@ class GammaSim : public Accelerator
 
   private:
     GammaConfig config_;
+
+    /** Reusable execute() working state (see LoasSim::ExecuteScratch). */
+    struct ExecuteScratch
+    {
+        std::optional<MemorySystem> mem;
+        std::vector<bool> fetched;  // one flag per B row
+    };
+    ExecuteScratch scratch_;
 };
 
 } // namespace loas

@@ -6,6 +6,7 @@
 
 #include "api/registry.hh"
 #include "common/bitutil.hh"
+#include "common/parallel.hh"
 #include "mem/memory_system.hh"
 
 namespace loas {
@@ -41,18 +42,23 @@ GospaSim::prepare(const LayerData& layer) const
     auto art = std::make_shared<GospaCompiled>();
     art->b = compileWeightRows(layer.weights);
 
-    // A as per-timestep CSC: spike counts per (t, k) column.
+    // A as per-timestep CSC: spike counts per (t, k) column. Columns
+    // are independent (column c touches only the T slots t*k + c), so
+    // the count parallelizes per column; each packed word contributes
+    // one ctz per set spike bit.
     art->col_spikes.assign(static_cast<std::size_t>(timesteps) * k, 0);
-    for (std::size_t r = 0; r < m; ++r)
-        for (std::size_t c = 0; c < k; ++c) {
-            const TimeWord w = layer.spikes.word(r, c);
-            for (int t = 0; t < timesteps; ++t)
-                if ((w >> t) & 1u) {
-                    ++art->col_spikes[static_cast<std::size_t>(t) * k +
-                                      c];
-                    ++art->total_spikes;
-                }
+    parallelFor(k, prepareParallelism(k), [&](std::size_t c) {
+        for (std::size_t r = 0; r < m; ++r) {
+            TimeWord w = layer.spikes.word(r, c);
+            while (w) {
+                const int t = lowestSetBit(w);
+                w &= w - 1;
+                ++art->col_spikes[static_cast<std::size_t>(t) * k + c];
+            }
         }
+    });
+    for (const auto count : art->col_spikes)
+        art->total_spikes += count;
 
     const std::size_t bytes =
         art->b.footprintBytes() +
@@ -74,7 +80,11 @@ GospaSim::execute(const CompiledLayer& compiled)
     const auto& b_meta_off = art.b.meta_off;
     const auto& b_val_off = art.b.val_off;
 
-    MemorySystem mem(config_.cache, config_.dram);
+    if (!mem_scratch_)
+        mem_scratch_.emplace(config_.cache, config_.dram);
+    else
+        mem_scratch_->reset();
+    MemorySystem& mem = *mem_scratch_;
 
     RunResult result;
     result.accel = name();

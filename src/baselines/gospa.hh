@@ -16,8 +16,11 @@
 
 #pragma once
 
+#include <optional>
+
 #include "accel/accelerator.hh"
 #include "mem/cache.hh"
+#include "mem/memory_system.hh"
 #include "mem/traffic.hh"
 #include "snn/lif.hh"
 
@@ -91,6 +94,9 @@ class GospaSim : public Accelerator
   private:
     GospaConfig config_;
     std::uint64_t last_psum_dram_ = 0;
+
+    /** Reusable execute() working state (see LoasSim::ExecuteScratch). */
+    std::optional<MemorySystem> mem_scratch_;
 };
 
 } // namespace loas

@@ -6,6 +6,7 @@
 #include "api/registry.hh"
 #include "common/bitutil.hh"
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "core/scheduler.hh"
 #include "mem/memory_system.hh"
 
@@ -44,17 +45,26 @@ SpartenSim::prepare(const LayerData& layer) const
     auto art = std::make_shared<SpartenCompiled>();
     art->b = compileWeightColumns(layer.weights);
 
-    // Per-timestep bitmask views of the spike rows.
+    // Per-timestep bitmask views of the spike rows. Rows are
+    // independent (row r touches only the T slots t*m + r), so the
+    // construction parallelizes per row; each packed word scatters via
+    // one ctz per set spike bit.
     art->row_masks.assign(static_cast<std::size_t>(timesteps) * m,
-                          Bitmask(k));
-    for (std::size_t r = 0; r < m; ++r)
+                          Bitmask());
+    parallelFor(m, prepareParallelism(m), [&](std::size_t r) {
+        for (int t = 0; t < timesteps; ++t)
+            art->row_masks[static_cast<std::size_t>(t) * m + r] =
+                Bitmask(k);
         for (std::size_t c = 0; c < k; ++c) {
-            const TimeWord w = layer.spikes.word(r, c);
-            for (int t = 0; t < timesteps; ++t)
-                if ((w >> t) & 1u)
-                    art->row_masks[static_cast<std::size_t>(t) * m + r]
-                        .set(c);
+            TimeWord w = layer.spikes.word(r, c);
+            while (w) {
+                const int t = lowestSetBit(w);
+                w &= w - 1;
+                art->row_masks[static_cast<std::size_t>(t) * m + r]
+                    .set(c);
+            }
         }
+    });
 
     std::size_t bytes = art->b.footprintBytes();
     for (const auto& mask : art->row_masks)
@@ -76,21 +86,28 @@ SpartenSim::execute(const CompiledLayer& compiled)
     const std::size_t row_bytes = ceilDiv<std::size_t>(k, 8);
 
     const auto& fibers_b = art.b.fibers;
+    const auto& ranked_b = art.b.ranked;
     const auto& b_meta_off = art.b.meta_off;
     const auto& b_val_off = art.b.val_off;
 
-    MemorySystem mem(config_.cache, config_.dram);
+    if (!scratch_.mem)
+        scratch_.mem.emplace(config_.cache, config_.dram);
+    else
+        scratch_.mem->reset();
+    MemorySystem& mem = *scratch_.mem;
     const Scheduler scheduler(m, n, config_.num_pes);
 
     RunResult result;
     result.accel = name();
     result.workload = compiled.spec.name;
-    last_output_ = SpikeTensor(m, n, timesteps);
+    last_output_.reset(m, n, timesteps);
 
-    std::vector<std::int32_t> sums(static_cast<std::size_t>(timesteps));
+    scratch_.sums.assign(static_cast<std::size_t>(timesteps), 0);
+    std::vector<std::int32_t>& sums = scratch_.sums;
     std::uint64_t dram_bytes_seen = 0;
     for (std::size_t w = 0; w < scheduler.waveCount(); ++w) {
-        const auto items = scheduler.wave(w);
+        scheduler.wave(w, scratch_.items);
+        const auto& items = scratch_.items;
 
         // Weight fiber of each column in the wave, broadcast once.
         std::uint64_t prev_col = ~0ull;
@@ -117,17 +134,19 @@ SpartenSim::execute(const CompiledLayer& compiled)
                          kBaseA + (ts * m + item.m) * row_bytes,
                          row_bytes);
 
-                const Bitmask& ma = art.row_masks[ts * m + item.m];
-                const Bitmask and_mask = ma & fb.mask;
-                const std::uint64_t matches = and_mask.popcount();
-
                 // Accumulate matched weights, one per cycle; a single
                 // fast prefix-sum serves the weight side (the spike is
-                // its own data).
+                // its own data). Word-parallel: AND the mask words
+                // directly, with the weight offset from the compiled
+                // rank table — no materialized AND mask.
+                const Bitmask& ma = art.row_masks[ts * m + item.m];
+                std::uint64_t matches = 0;
                 std::int32_t acc = 0;
-                and_mask.forEachSet([&](std::size_t pos) {
-                    acc += fb.values[fb.mask.rank(pos)];
-                });
+                forEachMatch(ma, ranked_b[item.n],
+                             [&](std::size_t, std::size_t b_off) {
+                                 acc += fb.values[b_off];
+                                 ++matches;
+                             });
                 sums[ts] = acc;
 
                 result.ops.mask_and_ops += chunks;
@@ -206,8 +225,9 @@ SpartenSim::runAnnLayer(const AnnLayerData& layer)
     result.workload = layer.spec.name;
 
     std::uint64_t dram_bytes_seen = 0;
+    std::vector<WorkItem> items;
     for (std::size_t w = 0; w < scheduler.waveCount(); ++w) {
-        const auto items = scheduler.wave(w);
+        scheduler.wave(w, items);
         std::uint64_t prev_col = ~0ull;
         for (const auto& item : items) {
             if (item.n == prev_col)
@@ -226,8 +246,7 @@ SpartenSim::runAnnLayer(const AnnLayerData& layer)
             const WeightFiber& fb = fibers_b[item.n];
             mem.read(TensorCategory::Meta, kBaseAMeta + a_meta_off[item.m],
                      fa.metadataBytes());
-            const Bitmask and_mask = fa.mask & fb.mask;
-            const std::uint64_t matches = and_mask.popcount();
+            const std::uint64_t matches = fa.mask.andPopcount(fb.mask);
             // Matched activations fetched from the cache.
             mem.read(TensorCategory::Input, kBaseA + a_val_off[item.m],
                      matches);

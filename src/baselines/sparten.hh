@@ -20,8 +20,13 @@
 
 #pragma once
 
+#include <optional>
+#include <vector>
+
 #include "accel/accelerator.hh"
+#include "core/scheduler.hh"
 #include "mem/cache.hh"
+#include "mem/memory_system.hh"
 #include "mem/traffic.hh"
 #include "snn/lif.hh"
 #include "tensor/spike_tensor.hh"
@@ -87,6 +92,15 @@ class SpartenSim : public Accelerator
   private:
     SpartenConfig config_;
     SpikeTensor last_output_;
+
+    /** Reusable execute() working state (see LoasSim::ExecuteScratch). */
+    struct ExecuteScratch
+    {
+        std::optional<MemorySystem> mem;
+        std::vector<std::int32_t> sums;  // one slot per timestep
+        std::vector<WorkItem> items;     // current wave
+    };
+    ExecuteScratch scratch_;
 };
 
 } // namespace loas

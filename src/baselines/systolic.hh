@@ -16,8 +16,11 @@
 
 #pragma once
 
+#include <optional>
+
 #include "accel/accelerator.hh"
 #include "mem/cache.hh"
+#include "mem/memory_system.hh"
 #include "mem/traffic.hh"
 #include "snn/lif.hh"
 
@@ -54,7 +57,13 @@ class SystolicBase : public Accelerator
     CompiledLayer prepare(const LayerData& layer) const override;
 
   protected:
+    /** Reusable execute() memory model (see LoasSim::ExecuteScratch). */
+    MemorySystem& scratchMem();
+
     SystolicConfig config_;
+
+  private:
+    std::optional<MemorySystem> mem_scratch_;
 };
 
 /** PTB: partially temporal-parallel systolic array. */

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Weak fallback for the allocation-counter interface: linked into
+ * loas_core so any binary can query the hook, reporting inactive (and
+ * a zero count) unless alloc_hook.cc's strong definitions — and with
+ * them the counting operator-new replacement — are linked in. This is
+ * what makes the bench's `alloc_hook_active` metric a real signal: a
+ * mis-linked measuring binary reports 0 and fails the CI gate instead
+ * of silently reporting vacuous zero-allocation counts.
+ */
+
+#include "common/alloc_hook.hh"
+
+namespace loas::allochook {
+
+__attribute__((weak)) std::uint64_t
+allocationCount()
+{
+    return 0;
+}
+
+__attribute__((weak)) bool
+active()
+{
+    return false;
+}
+
+} // namespace loas::allochook

@@ -13,20 +13,29 @@ CompressResult
 OutputCompressor::compress(const std::vector<TimeWord>& row) const
 {
     CompressResult result;
-    result.fiber.mask = Bitmask(row.size());
-    for (std::size_t n = 0; n < row.size(); ++n) {
-        const TimeWord w = row[n];
+    compressInto(row.data(), row.size(), result);
+    return result;
+}
+
+void
+OutputCompressor::compressInto(const TimeWord* row, std::size_t n,
+                               CompressResult& out) const
+{
+    out.fiber.mask.reset(n);
+    out.fiber.values.clear();
+    out.ops = OpCounts{};
+    for (std::size_t i = 0; i < n; ++i) {
+        const TimeWord w = row[i];
         const int spikes = popcount64(w);
         const bool keep = discard_single_ ? spikes >= 2 : spikes >= 1;
         if (keep) {
-            result.fiber.mask.set(n);
-            result.fiber.values.push_back(w);
+            out.fiber.mask.set(i);
+            out.fiber.values.push_back(w);
         }
-        result.ops.encode_ops += 1;
+        out.ops.encode_ops += 1;
     }
-    result.cycles = ceilDiv<std::uint64_t>(
-        row.size(), static_cast<std::uint64_t>(adders_));
-    return result;
+    out.cycles =
+        ceilDiv<std::uint64_t>(n, static_cast<std::uint64_t>(adders_));
 }
 
 } // namespace loas

@@ -40,6 +40,14 @@ class OutputCompressor
     /** Compress one output row of packed spike words. */
     CompressResult compress(const std::vector<TimeWord>& row) const;
 
+    /**
+     * In-place variant for execute loops: compress `n` words starting
+     * at `row` into `out`, reusing its fiber buffers so steady-state
+     * rows allocate nothing.
+     */
+    void compressInto(const TimeWord* row, std::size_t n,
+                      CompressResult& out) const;
+
   private:
     int adders_;
     bool discard_single_;

@@ -1,7 +1,6 @@
 #include "core/inner_join.hh"
 
 #include <algorithm>
-#include <deque>
 
 #include "common/bitutil.hh"
 #include "common/logging.hh"
@@ -15,9 +14,12 @@ InnerJoinUnit::InnerJoinUnit(const InnerJoinConfig& config, int timesteps)
         fatal("InnerJoinUnit: timesteps %d unsupported", timesteps);
 }
 
-JoinResult
+const JoinResult&
 InnerJoinUnit::join(const SpikeFiber& fiber_a,
-                    const WeightFiber& fiber_b) const
+                    const RankedBitmask& rank_a,
+                    const WeightFiber& fiber_b,
+                    const RankedBitmask& rank_b,
+                    JoinScratch& scratch) const
 {
     if (fiber_a.mask.size() != fiber_b.mask.size())
         panic("inner join over mismatched fiber lengths %zu vs %zu",
@@ -31,20 +33,31 @@ InnerJoinUnit::join(const SpikeFiber& fiber_a,
             ? ~TimeWord{0}
             : static_cast<TimeWord>((TimeWord{1} << timesteps_) - 1);
 
-    JoinResult result;
+    JoinResult& result = scratch.result;
+    result.cycles = 0;
+    result.matches = 0;
+    result.corrections = 0;
+    result.spike_value_bytes = 0;
+    result.ops = OpCounts{};
     result.sums.assign(static_cast<std::size_t>(timesteps_), 0);
+    result.matched_offsets_a.clear();
 
     std::int64_t pseudo = 0;
-    std::vector<std::int64_t> correction(
-        static_cast<std::size_t>(timesteps_), 0);
+    scratch.correction.assign(static_cast<std::size_t>(timesteps_), 0);
+    std::int64_t* const correction = scratch.correction.data();
 
     // Pipeline timestamps (cycle numbers).
     std::uint64_t now = config_.setup_cycles; // fast path frontier
     std::uint64_t prev_check = 0;   // completion of last check
     std::uint64_t last_event = now; // overall completion frontier
 
-    // Completion cycles of in-flight FIFO entries (for the depth bound).
-    std::deque<std::uint64_t> inflight_checks;
+    // Completion cycles of in-flight FIFO entries (for the depth
+    // bound), kept in a fixed-capacity ring inside the scratch.
+    const std::size_t fifo_cap = config_.fifo_depth + 1;
+    if (scratch.fifo.size() < fifo_cap)
+        scratch.fifo.resize(fifo_cap);
+    std::uint64_t* const fifo = scratch.fifo.data();
+    std::size_t fifo_head = 0, fifo_tail = 0, fifo_count = 0;
 
     const std::size_t value_bytes =
         static_cast<std::size_t>(ceilDiv(timesteps_, 8));
@@ -58,16 +71,7 @@ InnerJoinUnit::join(const SpikeFiber& fiber_a,
         now = and_done;
         last_event = std::max(last_event, and_done);
 
-        // Matched positions in this chunk (both operands non-zero).
-        std::vector<std::uint32_t> matched;
-        {
-            const auto set_a =
-                fiber_a.mask.setBitsInRange(chunk_lo, chunk_hi);
-            for (const auto pos : set_a)
-                if (fiber_b.mask.test(pos))
-                    matched.push_back(pos);
-        }
-        if (matched.empty())
+        if (!anyMatch(fiber_a.mask, fiber_b.mask, chunk_lo, chunk_hi))
             continue;
 
         // The laggy circuit is a deeply pipelined serial prefix chain:
@@ -77,19 +81,21 @@ InnerJoinUnit::join(const SpikeFiber& fiber_a,
         const std::uint64_t laggy_ready = and_done + laggy_latency;
         result.ops.laggy_prefix_ops += laggy_latency;
 
-        for (const auto pos : matched) {
+        forEachMatch(rank_a, rank_b, chunk_lo, chunk_hi,
+                     [&](std::size_t, std::size_t a_off,
+                         std::size_t b_off) {
             // Fast path: one offset per cycle, stalling on FIFO-full.
             std::uint64_t emit = now + 1;
-            while (inflight_checks.size() >= config_.fifo_depth) {
-                emit = std::max(emit, inflight_checks.front() + 1);
-                inflight_checks.pop_front();
+            while (fifo_count >= config_.fifo_depth) {
+                emit = std::max(emit, fifo[fifo_head] + 1);
+                fifo_head = (fifo_head + 1) % fifo_cap;
+                --fifo_count;
             }
             now = emit;
             result.ops.fast_prefix_ops += 1;
             result.ops.fifo_ops += 2; // push into FIFO-mp and FIFO-B
 
             // Speculative accumulate of the matched weight.
-            const std::size_t b_off = fiber_b.mask.rank(pos);
             const std::int32_t weight = fiber_b.values[b_off];
             pseudo += weight;
             result.ops.acc_ops += 1;
@@ -98,10 +104,11 @@ InnerJoinUnit::join(const SpikeFiber& fiber_a,
             const std::uint64_t check =
                 std::max({prev_check + 1, laggy_ready, emit + 1});
             prev_check = check;
-            inflight_checks.push_back(check);
+            fifo[fifo_tail] = check;
+            fifo_tail = (fifo_tail + 1) % fifo_cap;
+            ++fifo_count;
             result.ops.fifo_ops += 2; // pop both FIFOs
 
-            const std::size_t a_off = fiber_a.mask.rank(pos);
             const TimeWord spike_word = fiber_a.values[a_off];
             result.spike_value_bytes += value_bytes;
             result.matched_offsets_a.push_back(
@@ -119,7 +126,7 @@ InnerJoinUnit::join(const SpikeFiber& fiber_a,
             }
             result.matches += 1;
             last_event = std::max(last_event, check);
-        }
+        });
     }
 
     // Final correction subtraction into each timestep's accumulator.
@@ -132,6 +139,16 @@ InnerJoinUnit::join(const SpikeFiber& fiber_a,
 
     result.cycles = last_event + config_.drain_cycles;
     return result;
+}
+
+JoinResult
+InnerJoinUnit::join(const SpikeFiber& fiber_a,
+                    const WeightFiber& fiber_b) const
+{
+    const RankedBitmask rank_a(fiber_a.mask);
+    const RankedBitmask rank_b(fiber_b.mask);
+    JoinScratch scratch;
+    return join(fiber_a, rank_a, fiber_b, rank_b, scratch);
 }
 
 } // namespace loas

@@ -21,6 +21,12 @@
  *
  * The final per-timestep full sums are pseudo - correction[t], exactly
  * Eq. (1) of the paper.
+ *
+ * The host-side kernel is allocation-free and word-parallel: matches
+ * are extracted by ANDing the operands' 64-bit mask words directly
+ * (one ctz per match), both fiber offsets come from the O(1)
+ * RankedBitmask prefix tables compiled in prepare(), and all working
+ * state lives in a caller-owned JoinScratch reused across calls.
  */
 
 #pragma once
@@ -31,6 +37,7 @@
 #include "accel/op_counts.hh"
 #include "core/loas_config.hh"
 #include "tensor/fiber.hh"
+#include "tensor/ranked_bitmask.hh"
 
 namespace loas {
 
@@ -58,13 +65,42 @@ struct JoinResult
     OpCounts ops;
 };
 
+/**
+ * Reusable working state of the join kernel. One instance per thread
+ * (or per accelerator instance — the SimEngine gives every job its
+ * own); after the first call its buffers are warm and steady-state
+ * joins perform no heap allocations. The JoinResult returned by
+ * join() aliases `result` and is overwritten by the next call.
+ */
+struct JoinScratch
+{
+    JoinResult result;
+    std::vector<std::int64_t> correction;   // one slot per timestep
+    std::vector<std::uint64_t> fifo;        // in-flight check ring
+};
+
 /** Cycle-level model of one TPPE's inner-join datapath. */
 class InnerJoinUnit
 {
   public:
     InnerJoinUnit(const InnerJoinConfig& config, int timesteps);
 
-    /** Join one fiber pair and produce the output neuron's full sums. */
+    /**
+     * Join one fiber pair and produce the output neuron's full sums.
+     * `rank_a` / `rank_b` must view the fibers' masks (compiled
+     * artifacts carry them). The returned reference points into
+     * `scratch` and is valid until the next join() on that scratch.
+     */
+    const JoinResult& join(const SpikeFiber& fiber_a,
+                           const RankedBitmask& rank_a,
+                           const WeightFiber& fiber_b,
+                           const RankedBitmask& rank_b,
+                           JoinScratch& scratch) const;
+
+    /**
+     * One-shot convenience for tests and harnesses: builds the rank
+     * tables and a private scratch, then returns the result by value.
+     */
     JoinResult join(const SpikeFiber& fiber_a,
                     const WeightFiber& fiber_b) const;
 

@@ -77,12 +77,18 @@ LoasSim::execute(const CompiledLayer& compiled)
 
     const auto& fibers_a = art.a.fibers;
     const auto& fibers_b = art.b.fibers;
+    const auto& ranked_a = art.a.ranked;
+    const auto& ranked_b = art.b.ranked;
     const auto& a_meta_off = art.a.meta_off;
     const auto& a_val_off = art.a.val_off;
     const auto& b_meta_off = art.b.meta_off;
     const auto& b_val_off = art.b.val_off;
 
-    MemorySystem mem(config_.cache, config_.dram);
+    if (!scratch_.mem)
+        scratch_.mem.emplace(config_.cache, config_.dram);
+    else
+        scratch_.mem->reset();
+    MemorySystem& mem = *scratch_.mem;
     const InnerJoinUnit join_unit(config_.join, timesteps);
     const Plif plif(config_.lif, timesteps);
     const OutputCompressor compressor(config_.join.laggy_adders,
@@ -93,9 +99,9 @@ LoasSim::execute(const CompiledLayer& compiled)
     result.accel = name();
     result.workload = compiled.spec.name;
 
-    last_output_ = SpikeTensor(m, n, timesteps);
-    std::vector<std::vector<TimeWord>> out_rows(
-        m, std::vector<TimeWord>(n, 0));
+    last_output_.reset(m, n, timesteps);
+    scratch_.out_rows.assign(m * n, 0);
+    TimeWord* const out_rows = scratch_.out_rows.data();
 
     // With wave pipelining, the correction/drain tail of one join
     // overlaps the next wave's fill; it is re-added once at the end.
@@ -106,7 +112,8 @@ LoasSim::execute(const CompiledLayer& compiled)
 
     std::uint64_t dram_bytes_seen = 0;
     for (std::size_t w = 0; w < scheduler.waveCount(); ++w) {
-        const auto items = scheduler.wave(w);
+        scheduler.wave(w, scratch_.items);
+        const auto& items = scratch_.items;
 
         // Fetch + broadcast the weight fiber of each column touched by
         // this wave (one SRAM read serves all PEs on that column).
@@ -128,8 +135,10 @@ LoasSim::execute(const CompiledLayer& compiled)
             mem.read(TensorCategory::Meta, kBaseAMeta + a_meta_off[item.m],
                      fibers_a[item.m].metadataBytes());
 
-            const JoinResult jr =
-                join_unit.join(fibers_a[item.m], fibers_b[item.n]);
+            const JoinResult& jr =
+                join_unit.join(fibers_a[item.m], ranked_a[item.m],
+                               fibers_b[item.n], ranked_b[item.n],
+                               scratch_.join);
 
             // Matched packed spike words fetched from the global cache;
             // adjacent offsets coalesce into one access. Addresses are
@@ -151,7 +160,7 @@ LoasSim::execute(const CompiledLayer& compiled)
             }
 
             const PlifResult pr = plif.fire(jr.sums);
-            out_rows[item.m][item.n] = pr.spikes;
+            out_rows[item.m * n + item.n] = pr.spikes;
             last_output_.setWord(item.m, item.n, pr.spikes);
 
             result.ops += jr.ops;
@@ -182,7 +191,9 @@ LoasSim::execute(const CompiledLayer& compiled)
     // compute except for the final row's sweep.
     std::uint64_t last_row_cycles = 0;
     for (std::size_t row = 0; row < m; ++row) {
-        const CompressResult cr = compressor.compress(out_rows[row]);
+        compressor.compressInto(out_rows + row * n, n,
+                                scratch_.compress);
+        const CompressResult& cr = scratch_.compress;
         result.ops += cr.ops;
         last_row_cycles = cr.cycles;
         // Spike words enter the compressor buffer, the compressed fiber

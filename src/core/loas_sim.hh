@@ -10,8 +10,15 @@
 
 #pragma once
 
+#include <optional>
+#include <vector>
+
 #include "accel/accelerator.hh"
+#include "core/compressor.hh"
+#include "core/inner_join.hh"
 #include "core/loas_config.hh"
+#include "core/scheduler.hh"
+#include "mem/memory_system.hh"
 #include "tensor/spike_tensor.hh"
 
 namespace loas {
@@ -60,6 +67,22 @@ class LoasSim : public Accelerator
     LoasConfig config_;
     bool ft_compress_;
     SpikeTensor last_output_;
+
+    /**
+     * Reusable working state of execute(). An accelerator instance is
+     * driven by one thread at a time (the SimEngine gives each job a
+     * private instance), so the buffers warm up on the first layer and
+     * steady-state execution performs no heap allocations.
+     */
+    struct ExecuteScratch
+    {
+        std::optional<MemorySystem> mem;
+        JoinScratch join;
+        std::vector<TimeWord> out_rows;  // m x n, row-major
+        std::vector<WorkItem> items;     // current wave
+        CompressResult compress;
+    };
+    ExecuteScratch scratch_;
 };
 
 } // namespace loas

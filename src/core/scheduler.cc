@@ -20,6 +20,14 @@ Scheduler::waveCount() const
 std::vector<WorkItem>
 Scheduler::wave(std::size_t w) const
 {
+    std::vector<WorkItem> items;
+    wave(w, items);
+    return items;
+}
+
+void
+Scheduler::wave(std::size_t w, std::vector<WorkItem>& out) const
+{
     // Row-tile-major walk: a tile of up to num_pes rows of A stays
     // resident while every output column streams past it (good input
     // reuse for the IP dataflow); within a tile, the PEs of a wave
@@ -40,15 +48,14 @@ Scheduler::wave(std::size_t w) const
         return WorkItem{full_tiles * ts + r % last_rows, r / last_rows};
     };
 
+    out.clear();
     const std::size_t begin = w * ts;
     if (begin >= m_ * n_)
-        return {};
+        return;
     const std::size_t end = std::min(begin + ts, m_ * n_);
-    std::vector<WorkItem> items;
-    items.reserve(end - begin);
+    out.reserve(end - begin);
     for (std::size_t i = begin; i < end; ++i)
-        items.push_back(item_at(i));
-    return items;
+        out.push_back(item_at(i));
 }
 
 } // namespace loas

@@ -35,6 +35,13 @@ class Scheduler
     /** The work items of wave w (at most num_pes of them). */
     std::vector<WorkItem> wave(std::size_t w) const;
 
+    /**
+     * In-place variant for execute loops: clears `out` and fills it
+     * with wave w's items, reusing its capacity so steady-state waves
+     * allocate nothing.
+     */
+    void wave(std::size_t w, std::vector<WorkItem>& out) const;
+
     /** Total output neurons. */
     std::size_t totalItems() const { return m_ * n_; }
 

@@ -58,10 +58,10 @@ Cache::accessLine(std::uint64_t addr, bool write, TensorCategory cat)
     return result;
 }
 
-std::vector<std::uint64_t>
+std::array<std::uint64_t, kNumCategories>
 Cache::flush()
 {
-    std::vector<std::uint64_t> dirty_bytes(kNumCategories, 0);
+    std::array<std::uint64_t, kNumCategories> dirty_bytes{};
     for (auto& line : lines_) {
         if (line.valid && line.dirty)
             dirty_bytes[static_cast<int>(line.cat)] += config_.line_bytes;
@@ -69,6 +69,16 @@ Cache::flush()
         line.dirty = false;
     }
     return dirty_bytes;
+}
+
+void
+Cache::reset()
+{
+    for (auto& line : lines_)
+        line = Line{};
+    tick_ = 0;
+    hits_ = 0;
+    misses_ = 0;
 }
 
 } // namespace loas

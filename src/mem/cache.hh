@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -64,7 +65,14 @@ class Cache
      * Drop all contents, returning dirty bytes per category that must
      * be written back (end-of-layer flush).
      */
-    std::vector<std::uint64_t> flush();
+    std::array<std::uint64_t, kNumCategories> flush();
+
+    /**
+     * Return to the just-constructed state (cold lines, zero counters)
+     * without touching the line storage — the reuse path that lets an
+     * accelerator's execute() scratch keep one Cache across layers.
+     */
+    void reset();
 
   private:
     struct Line

@@ -101,6 +101,13 @@ MemorySystem::flushCache()
         stats_.dram_write[c] += dirty[static_cast<std::size_t>(c)];
 }
 
+void
+MemorySystem::reset()
+{
+    cache_.reset();
+    stats_ = TrafficStats{};
+}
+
 std::uint64_t
 MemorySystem::dramCycles() const
 {

@@ -47,6 +47,13 @@ class MemorySystem
     /** Write back all dirty cache lines (end of layer). */
     void flushCache();
 
+    /**
+     * Return to the just-constructed state (cold cache, zero traffic)
+     * without reallocating: execute() scratch buffers keep one
+     * MemorySystem per accelerator instance and reset it per layer.
+     */
+    void reset();
+
     const TrafficStats& stats() const { return stats_; }
     std::uint64_t cacheHits() const { return cache_.hits(); }
     std::uint64_t cacheMisses() const { return cache_.misses(); }

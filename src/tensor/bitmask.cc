@@ -13,6 +13,13 @@ Bitmask::Bitmask(std::size_t size)
 }
 
 void
+Bitmask::reset(std::size_t size)
+{
+    size_ = size;
+    words_.assign(ceilDiv(size, kWordBits), 0ull);
+}
+
+void
 Bitmask::set(std::size_t i, bool value)
 {
     if (i >= size_)
@@ -67,6 +74,19 @@ Bitmask::operator&(const Bitmask& other) const
     for (std::size_t w = 0; w < words_.size(); ++w)
         out.words_[w] = words_[w] & other.words_[w];
     return out;
+}
+
+std::size_t
+Bitmask::andPopcount(const Bitmask& other) const
+{
+    if (size_ != other.size_)
+        panic("Bitmask AND of mismatched sizes %zu vs %zu", size_,
+              other.size_);
+    std::size_t count = 0;
+    for (std::size_t w = 0; w < words_.size(); ++w)
+        count += static_cast<std::size_t>(
+            popcount64(words_[w] & other.words_[w]));
+    return count;
 }
 
 bool

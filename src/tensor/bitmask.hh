@@ -22,6 +22,13 @@ class Bitmask
     /** Create an all-zero mask of the given bit length. */
     explicit Bitmask(std::size_t size = 0);
 
+    /**
+     * Reset to an all-zero mask of the given bit length, reusing the
+     * existing word storage when it is large enough (the scratch-buffer
+     * path of the output compressor).
+     */
+    void reset(std::size_t size);
+
     /** Number of bit positions. */
     std::size_t size() const { return size_; }
 
@@ -43,6 +50,12 @@ class Bitmask
 
     /** Bitwise AND; both masks must be the same length. */
     Bitmask operator&(const Bitmask& other) const;
+
+    /**
+     * Popcount of (*this & other) without materializing the AND mask
+     * (word-parallel, allocation-free). Lengths must match.
+     */
+    std::size_t andPopcount(const Bitmask& other) const;
 
     bool operator==(const Bitmask& other) const = default;
 

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * O(1) rank acceleration for Bitmask: a per-word prefix-popcount table,
+ * the software analogue of the precomputed offset tables the paper's
+ * prefix-sum circuits (Fig. 8) stream from memory. Built once per fiber
+ * in an accelerator's prepare() phase and stored inside the compiled
+ * artifacts, so the cost is amortized across every execute() of every
+ * design variant sharing the CompiledCache entry.
+ *
+ * A RankedBitmask is a *view*: it holds a pointer to the Bitmask it
+ * indexes plus the prefix table. The viewed Bitmask must outlive the
+ * view and must not be mutated or relocated after construction (moving
+ * the *container* that owns both — e.g. a compiled-fiber struct whose
+ * vector storage transfers wholesale — is fine; element-wise copies or
+ * vector reallocation are not).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "tensor/bitmask.hh"
+
+namespace loas {
+
+/** Prefix-popcount view over a Bitmask giving O(1) rank queries. */
+class RankedBitmask
+{
+  public:
+    RankedBitmask() = default;
+
+    /** Build the per-word rank table for `mask` (O(words) once). */
+    explicit RankedBitmask(const Bitmask& mask) : mask_(&mask)
+    {
+        const auto& words = mask.words();
+        prefix_.resize(words.size() + 1);
+        std::uint32_t running = 0;
+        for (std::size_t w = 0; w < words.size(); ++w) {
+            prefix_[w] = running;
+            running += static_cast<std::uint32_t>(popcount64(words[w]));
+        }
+        prefix_[words.size()] = running;
+    }
+
+    /** The viewed mask (must still be alive). */
+    const Bitmask&
+    mask() const
+    {
+        return *mask_;
+    }
+
+    /** Set bits strictly before the start of word w. */
+    std::uint32_t wordRank(std::size_t w) const { return prefix_[w]; }
+
+    /** Total set bits of the viewed mask. */
+    std::size_t popcount() const { return prefix_.back(); }
+
+    /** Set bits strictly before position i, in O(1). */
+    std::size_t
+    rank(std::size_t i) const
+    {
+        if (i > mask_->size())
+            panic("RankedBitmask::rank out of range: %zu > %zu", i,
+                  mask_->size());
+        const std::size_t w = i / Bitmask::kWordBits;
+        if (w >= mask_->words().size())
+            return prefix_.back();
+        const int rem = static_cast<int>(i % Bitmask::kWordBits);
+        return prefix_[w] +
+               static_cast<std::size_t>(
+                   popcount64(mask_->words()[w] & lowMask64(rem)));
+    }
+
+    /** Popcount of the sub-range [lo, hi), in O(1). */
+    std::size_t
+    popcountRange(std::size_t lo, std::size_t hi) const
+    {
+        if (hi > mask_->size())
+            hi = mask_->size();
+        if (lo >= hi)
+            return 0;
+        return rank(hi) - rank(lo);
+    }
+
+  private:
+    const Bitmask* mask_ = nullptr;
+    std::vector<std::uint32_t> prefix_; // words() + 1 entries
+};
+
+namespace detail {
+
+/** AND of word w of a and b, masked to the bit range [lo, hi). */
+inline std::uint64_t
+rangeWord(const std::vector<std::uint64_t>& a,
+          const std::vector<std::uint64_t>& b, std::size_t w,
+          std::size_t lo, std::size_t hi)
+{
+    std::uint64_t x = a[w] & b[w];
+    const std::size_t base = w * Bitmask::kWordBits;
+    if (lo > base)
+        x &= ~lowMask64(static_cast<int>(lo - base));
+    if (hi < base + Bitmask::kWordBits)
+        x &= lowMask64(static_cast<int>(hi - base));
+    return x;
+}
+
+} // namespace detail
+
+/** True when a & b has any set bit in [lo, hi); O(words in range). */
+inline bool
+anyMatch(const Bitmask& a, const Bitmask& b, std::size_t lo,
+         std::size_t hi)
+{
+    if (a.size() != b.size())
+        panic("anyMatch over mismatched mask sizes %zu vs %zu",
+              a.size(), b.size());
+    const auto& wa = a.words();
+    const auto& wb = b.words();
+    if (lo >= hi)
+        return false;
+    const std::size_t w1 = ceilDiv(hi, Bitmask::kWordBits);
+    for (std::size_t w = lo / Bitmask::kWordBits; w < w1; ++w)
+        if (detail::rangeWord(wa, wb, w, lo, hi))
+            return true;
+    return false;
+}
+
+/**
+ * Invoke fn(pos, rank_a, rank_b) for every position in [lo, hi) set in
+ * both masks, in increasing order. Word-parallel: one 64-bit AND per
+ * word plus a ctz per match, with both ranks derived from the prefix
+ * tables in O(1) — the cost is O(words in range + matches), never
+ * O(matches x words).
+ */
+template <typename Fn>
+void
+forEachMatch(const RankedBitmask& a, const RankedBitmask& b,
+             std::size_t lo, std::size_t hi, Fn&& fn)
+{
+    if (a.mask().size() != b.mask().size())
+        panic("forEachMatch over mismatched mask sizes %zu vs %zu",
+              a.mask().size(), b.mask().size());
+    const auto& wa = a.mask().words();
+    const auto& wb = b.mask().words();
+    if (lo >= hi)
+        return;
+    const std::size_t w1 = ceilDiv(hi, Bitmask::kWordBits);
+    for (std::size_t w = lo / Bitmask::kWordBits; w < w1; ++w) {
+        std::uint64_t x = detail::rangeWord(wa, wb, w, lo, hi);
+        while (x) {
+            const int bit = lowestSetBit(x);
+            x &= x - 1;
+            fn(w * Bitmask::kWordBits + static_cast<std::size_t>(bit),
+               a.wordRank(w) +
+                   static_cast<std::size_t>(
+                       popcount64(wa[w] & lowMask64(bit))),
+               b.wordRank(w) +
+                   static_cast<std::size_t>(
+                       popcount64(wb[w] & lowMask64(bit))));
+        }
+    }
+}
+
+/**
+ * Invoke fn(pos, rank_b) for every position set in both masks over the
+ * full length, with only b's rank materialized (the SparTen join: the
+ * spike row is its own data, only the weight offset is needed).
+ */
+template <typename Fn>
+void
+forEachMatch(const Bitmask& a, const RankedBitmask& b, Fn&& fn)
+{
+    if (a.size() != b.mask().size())
+        panic("forEachMatch over mismatched mask sizes %zu vs %zu",
+              a.size(), b.mask().size());
+    const auto& wa = a.words();
+    const auto& wb = b.mask().words();
+    for (std::size_t w = 0; w < wa.size(); ++w) {
+        std::uint64_t x = wa[w] & wb[w];
+        while (x) {
+            const int bit = lowestSetBit(x);
+            x &= x - 1;
+            fn(w * Bitmask::kWordBits + static_cast<std::size_t>(bit),
+               b.wordRank(w) +
+                   static_cast<std::size_t>(
+                       popcount64(wb[w] & lowMask64(bit))));
+        }
+    }
+}
+
+} // namespace loas

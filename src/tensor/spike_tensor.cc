@@ -1,5 +1,7 @@
 #include "tensor/spike_tensor.hh"
 
+#include <algorithm>
+
 #include "common/bitutil.hh"
 #include "common/logging.hh"
 
@@ -13,6 +15,17 @@ SpikeTensor::SpikeTensor(std::size_t rows, std::size_t cols, int timesteps)
         fatal("SpikeTensor timesteps %d outside [1, %d]", timesteps,
               kMaxTimesteps);
     }
+}
+
+void
+SpikeTensor::reset(std::size_t rows, std::size_t cols, int timesteps)
+{
+    if (rows == rows_ && cols == cols_ && timesteps == timesteps_) {
+        auto& data = words_.data();
+        std::fill(data.begin(), data.end(), TimeWord{0});
+        return;
+    }
+    *this = SpikeTensor(rows, cols, timesteps);
 }
 
 TimeWord

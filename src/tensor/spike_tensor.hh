@@ -30,6 +30,13 @@ class SpikeTensor
     /** Create an all-zero tensor; t must be in [1, kMaxTimesteps]. */
     SpikeTensor(std::size_t rows, std::size_t cols, int timesteps);
 
+    /**
+     * Reset to an all-zero tensor of the given shape, reusing the word
+     * storage when the shape already matches (the execute()-scratch
+     * path of the simulators' lastOutput tensors).
+     */
+    void reset(std::size_t rows, std::size_t cols, int timesteps);
+
     std::size_t rows() const { return rows_; }
     std::size_t cols() const { return cols_; }
     int timesteps() const { return timesteps_; }

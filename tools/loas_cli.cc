@@ -30,10 +30,15 @@
  *       ("vgg16-l8?ws=0.982,0.684,0.25") or named networks.
  *
  *   loas_cli bench [--quick] [--seed N] [--threads N] [--out PATH]
+ *                  [--kernels-out PATH]
  *       Self-timing harness for the simulator itself: measures
  *       workload-synthesis time, per-accelerator simulation time and
  *       sweep-engine throughput (cells/s), and writes a schema-stable
- *       BENCH_sweep.json for the perf trajectory.
+ *       BENCH_sweep.json for the perf trajectory. A second section
+ *       times the hot simulation kernels (word-parallel inner join,
+ *       O(1) rank tables) and verifies the zero-allocation steady
+ *       state of every registered design's execute(), written as
+ *       BENCH_kernels.json (schema loas-kernels/1).
  */
 
 #include <algorithm>
@@ -53,7 +58,11 @@
 #include "api/sim_engine.hh"
 #include "api/sweep.hh"
 #include "api/sweep_io.hh"
+#include "common/alloc_hook.hh"
+#include "common/rng.hh"
 #include "common/table.hh"
+#include "core/inner_join.hh"
+#include "tensor/ranked_bitmask.hh"
 #include "workload/generator.hh"
 #include "workload/networks.hh"
 
@@ -103,7 +112,9 @@ usage(const char* argv0)
         "\n"
         "bench:\n"
         "  --quick         small matrix for the CI perf-smoke job\n"
-        "  --out PATH      output JSON (default BENCH_sweep.json)\n",
+        "  --out PATH      output JSON (default BENCH_sweep.json)\n"
+        "  --kernels-out PATH\n"
+        "                  kernel-bench JSON (default BENCH_kernels.json)\n",
         argv0, argv0, argv0, argv0);
     return 2;
 }
@@ -437,6 +448,111 @@ runSweep(int argc, char** argv)
     return rc;
 }
 
+/**
+ * Time the hot simulation kernels and verify the zero-allocation
+ * steady-state contract of every registered design's execute().
+ * Appends (name, value) metric pairs for the loas-kernels/1 schema.
+ */
+void
+runKernelBench(bool quick, std::uint64_t seed,
+               std::vector<std::pair<std::string, double>>& metrics)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto seconds_since = [](Clock::time_point start) {
+        return std::chrono::duration<double>(Clock::now() - start)
+            .count();
+    };
+
+    // --- Word-parallel inner join on a representative fiber pair
+    // (VGG-class K, Table II-like densities).
+    const std::size_t k = 2304;
+    Rng rng(seed);
+    SpikeFiber fa;
+    fa.mask = Bitmask(k);
+    WeightFiber fb;
+    fb.mask = Bitmask(k);
+    for (std::size_t i = 0; i < k; ++i) {
+        if (rng.bernoulli(0.25)) {
+            fa.mask.set(i);
+            fa.values.push_back(
+                static_cast<TimeWord>(1 + rng.uniformInt(15)));
+        }
+        if (rng.bernoulli(0.03)) {
+            fb.mask.set(i);
+            fb.values.push_back(
+                static_cast<std::int32_t>(rng.uniformInt(255)) - 127);
+        }
+    }
+    const RankedBitmask rank_a(fa.mask);
+    const RankedBitmask rank_b(fb.mask);
+    const InnerJoinUnit unit(InnerJoinConfig{}, 4);
+    JoinScratch scratch;
+    unit.join(fa, rank_a, fb, rank_b, scratch); // warm the scratch
+
+    const int join_iters = quick ? 20000 : 100000;
+    const std::uint64_t allocs_before = allochook::allocationCount();
+    const auto t_join = Clock::now();
+    std::uint64_t matches = 0;
+    for (int i = 0; i < join_iters; ++i)
+        matches += unit.join(fa, rank_a, fb, rank_b, scratch).matches;
+    const double join_s = seconds_since(t_join);
+    const auto join_allocs = static_cast<double>(
+        allochook::allocationCount() - allocs_before);
+    metrics.emplace_back("join_calls_per_s", join_iters / join_s);
+    metrics.emplace_back("join_matches_per_s",
+                         static_cast<double>(matches) / join_s);
+    metrics.emplace_back("join_allocs_steady", join_allocs);
+
+    // --- O(1) rank-table queries.
+    const int rank_iters = quick ? 1000000 : 4000000;
+    std::size_t pos = 0;
+    std::uint64_t sink = 0;
+    const auto t_rank = Clock::now();
+    for (int i = 0; i < rank_iters; ++i) {
+        sink += rank_a.rank(pos);
+        pos = (pos + 97) % (k + 1);
+    }
+    metrics.emplace_back("rank_ops_per_s",
+                         rank_iters / seconds_since(t_rank));
+    const auto t_pr = Clock::now();
+    for (int i = 0; i < rank_iters; ++i) {
+        sink += rank_a.popcountRange(pos, k);
+        pos = (pos + 97) % (k + 1);
+    }
+    metrics.emplace_back("popcount_range_ops_per_s",
+                         rank_iters / seconds_since(t_pr));
+    if (sink == 0xdeadbeef) // defeat dead-code elimination
+        std::printf("\n");
+
+    // --- Steady-state execute() of every registered design must not
+    // touch the heap: two warm-up layers grow the scratch buffers,
+    // the third is counted. (The layer name stays within the small-
+    // string capacity on purpose — RunResult carries it by value.)
+    const auto& registry = AcceleratorRegistry::instance();
+    LayerSpec kspec = tables::alexnetL4();
+    if (quick)
+        kspec.m = 64;
+    kspec.name = "kbench";
+    for (const auto& key : registry.keys()) {
+        const bool ft = registry.entry(key).ft_workload;
+        const LayerData layer = generateLayer(kspec, seed, ft);
+        const auto instance = registry.make(key);
+        const CompiledLayer compiled = instance->prepare(layer);
+        instance->execute(compiled);
+        instance->execute(compiled);
+        const std::uint64_t before = allochook::allocationCount();
+        const RunResult r = instance->execute(compiled);
+        const auto allocs = static_cast<double>(
+            allochook::allocationCount() - before);
+        if (r.total_cycles == 0)
+            throw std::runtime_error(
+                "kernel bench execute produced zero cycles");
+        metrics.emplace_back("execute_allocs_steady_" + key, allocs);
+    }
+    metrics.emplace_back("alloc_hook_active",
+                         allochook::active() ? 1.0 : 0.0);
+}
+
 int
 runBench(int argc, char** argv)
 {
@@ -444,6 +560,7 @@ runBench(int argc, char** argv)
     std::uint64_t seed = 101;
     int threads = 0;
     std::string out_path = "BENCH_sweep.json";
+    std::string kernels_out_path = "BENCH_kernels.json";
 
     ArgCursor args(argc, argv);
     while (args.more()) {
@@ -454,6 +571,8 @@ runBench(int argc, char** argv)
             continue;
         else if (arg == "--out")
             out_path = args.value(arg);
+        else if (arg == "--kernels-out")
+            kernels_out_path = args.value(arg);
         else
             throw std::invalid_argument("unknown flag '" + arg + "'");
     }
@@ -518,22 +637,31 @@ runBench(int argc, char** argv)
     metrics.emplace_back("prepare_ms", report.prepare_ms);
     metrics.emplace_back("sim_ms", report.sim_ms);
 
+    // 4. Kernel microbenches + the zero-allocation steady-state check,
+    //    reported in their own schema-stable file.
+    std::vector<std::pair<std::string, double>> kernel_metrics;
+    runKernelBench(quick, seed, kernel_metrics);
+
     // Schema-stable output: the perf-trajectory tooling and the CI
     // perf-smoke validator both key on "schema" and the metric list.
-    // /2 added the prepare_ms / sim_ms two-phase split.
-    std::string out = "{\n";
-    out += "  \"schema\": \"loas-bench/2\",\n";
-    out += std::string("  \"mode\": ") +
-           (quick ? "\"quick\"" : "\"full\"") + ",\n";
-    out += "  \"threads\": " + std::to_string(threads) + ",\n";
-    out += "  \"seed\": " + std::to_string(seed) + ",\n";
-    out += "  \"metrics\": [\n";
-    for (std::size_t i = 0; i < metrics.size(); ++i) {
-        out += "    {\"name\": " + json::quote(metrics[i].first) +
-               ", \"value\": " + json::num(metrics[i].second) + "}";
-        out += i + 1 < metrics.size() ? ",\n" : "\n";
-    }
-    out += "  ]\n}\n";
+    // loas-bench/2 added the prepare_ms / sim_ms two-phase split;
+    // loas-kernels/1 is the kernel-bench companion.
+    const auto render = [&](const char* schema, const auto& list) {
+        std::string out = "{\n";
+        out += std::string("  \"schema\": \"") + schema + "\",\n";
+        out += std::string("  \"mode\": ") +
+               (quick ? "\"quick\"" : "\"full\"") + ",\n";
+        out += "  \"threads\": " + std::to_string(threads) + ",\n";
+        out += "  \"seed\": " + std::to_string(seed) + ",\n";
+        out += "  \"metrics\": [\n";
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            out += "    {\"name\": " + json::quote(list[i].first) +
+                   ", \"value\": " + json::num(list[i].second) + "}";
+            out += i + 1 < list.size() ? ",\n" : "\n";
+        }
+        out += "  ]\n}\n";
+        return out;
+    };
 
     for (const auto& [name, value] : metrics)
         std::printf("%-24s %12.3f\n", name.c_str(), value);
@@ -544,7 +672,13 @@ runBench(int argc, char** argv)
                     report.compile_cache.hits),
                 static_cast<double>(report.compile_cache.bytes) /
                     1024.0);
-    return writeOutput(out_path, out);
+    for (const auto& [name, value] : kernel_metrics)
+        std::printf("%-32s %16.3f\n", name.c_str(), value);
+
+    int rc = writeOutput(out_path, render("loas-bench/2", metrics));
+    rc |= writeOutput(kernels_out_path,
+                      render("loas-kernels/1", kernel_metrics));
+    return rc;
 }
 
 } // namespace
