@@ -126,6 +126,22 @@ quote(const std::string& s)
 }
 
 std::string
+toJson(const CompiledCache::Stats& stats)
+{
+    return Obj()
+        .field("hits", stats.hits)
+        .field("misses", stats.misses)
+        .field("disk_hits", stats.disk_hits)
+        .field("disk_writes", stats.disk_writes)
+        .field("disk_rejects", stats.disk_rejects)
+        .field("evictions", stats.evictions)
+        .field("entries", stats.entries)
+        .field("bytes", stats.bytes)
+        .field("compile_ms", stats.compile_ms)
+        .render();
+}
+
+std::string
 toJson(const OpCounts& ops)
 {
     return Obj()
@@ -206,7 +222,11 @@ toJson(const SimReport& report)
         runs += i + 1 < report.runs.size() ? ",\n" : "\n";
     }
     runs += "]";
-    return Obj().field("runs", runs).render() + "\n";
+    return Obj()
+               .field("runs", runs)
+               .field("compile_cache", toJson(report.compile_cache))
+               .render() +
+           "\n";
 }
 
 } // namespace json

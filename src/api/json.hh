@@ -32,6 +32,7 @@ std::string num(double v);
 /** Shift an already-rendered multi-line value two spaces deeper. */
 std::string shift(const std::string& rendered);
 
+std::string toJson(const CompiledCache::Stats& stats);
 std::string toJson(const OpCounts& ops);
 std::string toJson(const TrafficStats& traffic);
 std::string toJson(const EnergyBreakdown& energy);

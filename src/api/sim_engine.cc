@@ -98,7 +98,17 @@ SimEngine::run(const SimRequest& request) const
     report.runs.resize(accels.size() * n_nets);
     const EnergyModel energy_model(request.energy_params);
 
-    CompiledCache cache;
+    // A request-supplied cache outlives (and is shared across) engine
+    // runs; otherwise the run gets a private cache configured from the
+    // request. Either way the report carries this run's stat deltas.
+    CompiledCache local_cache;
+    CompiledCache* cache = request.compiled_cache;
+    if (cache == nullptr) {
+        cache = &local_cache;
+        local_cache.setByteBudget(request.cache_budget_bytes);
+        local_cache.setDiskDir(request.cache_dir);
+    }
+    const CompiledCache::Stats cache_before = cache->stats();
     std::atomic<std::uint64_t> sim_ns{0};
     using Clock = std::chrono::steady_clock;
 
@@ -118,9 +128,10 @@ SimEngine::run(const SimRequest& request) const
         std::vector<std::shared_ptr<const CompiledLayer>> compiled;
         compiled.reserve(layers.size());
         for (std::size_t l = 0; l < layers.size(); ++l)
-            compiled.push_back(cache.getOrCompile(
+            compiled.push_back(cache->getOrCompile(
                 compiledLayerKey(net.name, l, accel.ft_workload,
-                                 family, layers[l].spec.t),
+                                 family, layers[l].spec.t,
+                                 request.seed),
                 [&] { return instance->prepare(layers[l]); }));
 
         const auto t_exec = Clock::now();
@@ -139,7 +150,14 @@ SimEngine::run(const SimRequest& request) const
         for (auto& run : report.runs)
             run.energy = energy_model.evaluate(run.result);
 
-    report.compile_cache = cache.stats();
+    // The run is over: its networks' artifacts move to the evict-first
+    // pool of a persistent cache, so the next run's compilations push
+    // them out before anything still live.
+    for (const auto& net : request.networks)
+        cache->finishNetwork(net.name);
+
+    report.compile_cache =
+        CompiledCache::Stats::delta(cache->stats(), cache_before);
     report.prepare_ms = report.compile_cache.compile_ms;
     report.sim_ms =
         static_cast<double>(sim_ns.load()) / 1e6;

@@ -59,6 +59,21 @@ struct SimRequest
      * hardware thread (capped by the job count).
      */
     int threads = 0;
+
+    /**
+     * External compiled-workload cache, typically
+     * &CompiledCache::process() so artifacts persist across engine
+     * runs. Null (the default) gives the run a private cache, scoped
+     * and configured by the two fields below. The caller owns an
+     * external cache's configuration; the engine only uses it.
+     */
+    CompiledCache* compiled_cache = nullptr;
+
+    /** Private cache's in-memory byte budget (0 = unlimited). */
+    std::uint64_t cache_budget_bytes = 0;
+
+    /** Private cache's on-disk level directory ("" = none). */
+    std::string cache_dir;
 };
 
 /** One (accelerator, network) cell of a finished job matrix. */
@@ -76,9 +91,14 @@ struct SimReport
     std::vector<SimRun> runs;
 
     /**
-     * Compiled-workload cache accounting of this run. Hit/miss/entry/
-     * byte counts are thread-count invariant; compile_ms is wall time
-     * and varies run to run.
+     * Compiled-workload cache accounting of this run: counters are
+     * deltas over the run (thread-count invariant for a private
+     * cache), entries/bytes the cache's occupancy after it.
+     * compile_ms is wall time and varies run to run. When several
+     * engine runs share one cache *concurrently*, the deltas span
+     * whatever the cache did during this run's window — overlapping
+     * runs' compilations included — so per-run attribution is only
+     * exact for private caches or serialized runs.
      */
     CompiledCache::Stats compile_cache;
 

@@ -63,6 +63,11 @@ struct SweepRequest
 
     /** Worker threads (SimRequest passthrough; 0 = one per core). */
     int threads = 0;
+
+    /** Compiled-cache wiring (SimRequest passthrough, see there). */
+    CompiledCache* compiled_cache = nullptr;
+    std::uint64_t cache_budget_bytes = 0;
+    std::string cache_dir;
 };
 
 /** One (design, network) cell of a finished sweep, plus derived columns. */

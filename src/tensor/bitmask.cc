@@ -12,6 +12,17 @@ Bitmask::Bitmask(std::size_t size)
 {
 }
 
+Bitmask::Bitmask(std::size_t size, std::vector<std::uint64_t> words)
+    : size_(size), words_(std::move(words))
+{
+    if (words_.size() != ceilDiv(size_, kWordBits))
+        panic("Bitmask of %zu bits needs %zu words, got %zu", size_,
+              ceilDiv(size_, kWordBits), words_.size());
+    const int tail = static_cast<int>(size_ % kWordBits);
+    if (tail != 0 && (words_.back() & ~lowMask64(tail)) != 0)
+        panic("Bitmask word storage has bits set past size %zu", size_);
+}
+
 void
 Bitmask::reset(std::size_t size)
 {

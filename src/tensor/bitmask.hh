@@ -23,6 +23,14 @@ class Bitmask
     explicit Bitmask(std::size_t size = 0);
 
     /**
+     * Reconstruct a mask from its raw word storage (deserialization).
+     * `words` must be exactly ceil(size / 64) entries with no set bit
+     * past `size` (panic otherwise — a corrupt word vector would break
+     * every popcount-derived invariant downstream).
+     */
+    Bitmask(std::size_t size, std::vector<std::uint64_t> words);
+
+    /**
      * Reset to an all-zero mask of the given bit length, reusing the
      * existing word storage when it is large enough (the scratch-buffer
      * path of the output compressor).

@@ -46,6 +46,31 @@ class RankedBitmask
         prefix_[words.size()] = running;
     }
 
+    /**
+     * Reattach a stored prefix table to `mask` (deserialization of the
+     * on-disk compiled-artifact format). The table must be the one
+     * RankedBitmask(mask) would build: words()+1 entries ending in the
+     * mask's popcount (panic otherwise — offset arithmetic downstream
+     * has no other guard).
+     */
+    RankedBitmask(const Bitmask& mask, std::vector<std::uint32_t> prefix)
+        : mask_(&mask), prefix_(std::move(prefix))
+    {
+        if (prefix_.size() != mask.words().size() + 1 ||
+            prefix_.back() != mask.popcount())
+            panic("RankedBitmask prefix table does not match its mask "
+                  "(%zu entries, total %u, mask %zu words / %zu set)",
+                  prefix_.size(),
+                  prefix_.empty() ? 0u : prefix_.back(),
+                  mask.words().size(), mask.popcount());
+    }
+
+    /** The raw prefix-popcount table (serialization). */
+    const std::vector<std::uint32_t>& prefixTable() const
+    {
+        return prefix_;
+    }
+
     /** The viewed mask (must still be alive). */
     const Bitmask&
     mask() const

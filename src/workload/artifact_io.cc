@@ -1,0 +1,324 @@
+#include "workload/artifact_io.hh"
+
+#include <memory>
+#include <utility>
+
+#include "baselines/gamma.hh"
+#include "baselines/gospa.hh"
+#include "baselines/sparten.hh"
+#include "baselines/systolic.hh"
+#include "core/loas_sim.hh"
+
+namespace loas {
+namespace artio {
+
+namespace {
+
+void
+putBitmask(Writer& out, const Bitmask& mask)
+{
+    out.u64(mask.size());
+    out.vec(mask.words());
+}
+
+bool
+getBitmask(Reader& in, Bitmask& mask)
+{
+    std::uint64_t size = 0;
+    std::vector<std::uint64_t> words;
+    if (!in.u64(size) || !in.vec(words))
+        return false;
+    // Validate what Bitmask's reconstruction panics on: a corrupt file
+    // must read as a cache miss, never abort the process.
+    const std::size_t bits = static_cast<std::size_t>(size);
+    if (words.size() != (bits + Bitmask::kWordBits - 1) /
+                            Bitmask::kWordBits)
+        return false;
+    const std::size_t tail = bits % Bitmask::kWordBits;
+    if (tail != 0 && (words.back() >> tail) != 0)
+        return false;
+    mask = Bitmask(bits, std::move(words));
+    return true;
+}
+
+/** A stored rank table valid for `mask`, rejected like any corruption. */
+bool
+getRanked(Reader& in, const Bitmask& mask, RankedBitmask& ranked)
+{
+    std::vector<std::uint32_t> prefix;
+    if (!in.vec(prefix))
+        return false;
+    if (prefix.size() != mask.words().size() + 1 ||
+        prefix.empty() || prefix.back() != mask.popcount())
+        return false;
+    ranked = RankedBitmask(mask, std::move(prefix));
+    return true;
+}
+
+void
+putWeightFibers(Writer& out, const CompiledWeightFibers& fibers)
+{
+    out.u64(fibers.fibers.size());
+    for (std::size_t i = 0; i < fibers.fibers.size(); ++i) {
+        putBitmask(out, fibers.fibers[i].mask);
+        out.vec(fibers.fibers[i].values);
+        out.vec(fibers.ranked[i].prefixTable());
+    }
+    out.vec(fibers.meta_off);
+    out.vec(fibers.val_off);
+}
+
+bool
+getWeightFibers(Reader& in, CompiledWeightFibers& fibers)
+{
+    std::uint64_t count = 0;
+    if (!in.u64(count))
+        return false;
+    fibers.fibers.resize(static_cast<std::size_t>(count));
+    fibers.ranked.resize(fibers.fibers.size());
+    for (std::size_t i = 0; i < fibers.fibers.size(); ++i) {
+        if (!getBitmask(in, fibers.fibers[i].mask) ||
+            !in.vec(fibers.fibers[i].values) ||
+            !getRanked(in, fibers.fibers[i].mask, fibers.ranked[i]))
+            return false;
+    }
+    if (!in.vec(fibers.meta_off) || !in.vec(fibers.val_off))
+        return false;
+    return fibers.meta_off.size() == fibers.fibers.size() + 1 &&
+           fibers.val_off.size() == fibers.fibers.size() + 1;
+}
+
+void
+putSpikeFibers(Writer& out, const CompiledSpikeFibers& fibers)
+{
+    out.u64(fibers.fibers.size());
+    for (std::size_t i = 0; i < fibers.fibers.size(); ++i) {
+        putBitmask(out, fibers.fibers[i].mask);
+        out.vec(fibers.fibers[i].values);
+        out.vec(fibers.ranked[i].prefixTable());
+    }
+    out.vec(fibers.meta_off);
+    out.vec(fibers.val_off);
+}
+
+bool
+getSpikeFibers(Reader& in, CompiledSpikeFibers& fibers)
+{
+    std::uint64_t count = 0;
+    if (!in.u64(count))
+        return false;
+    fibers.fibers.resize(static_cast<std::size_t>(count));
+    fibers.ranked.resize(fibers.fibers.size());
+    for (std::size_t i = 0; i < fibers.fibers.size(); ++i) {
+        if (!getBitmask(in, fibers.fibers[i].mask) ||
+            !in.vec(fibers.fibers[i].values) ||
+            !getRanked(in, fibers.fibers[i].mask, fibers.ranked[i]))
+            return false;
+    }
+    if (!in.vec(fibers.meta_off) || !in.vec(fibers.val_off))
+        return false;
+    return fibers.meta_off.size() == fibers.fibers.size() + 1 &&
+           fibers.val_off.size() == fibers.fibers.size() + 1;
+}
+
+// --- Per-family artifact payloads -----------------------------------
+
+void
+putLoas(Writer& out, const LoasCompiled& art)
+{
+    putSpikeFibers(out, art.a);
+    putWeightFibers(out, art.b);
+}
+
+std::shared_ptr<const CompiledArtifact>
+getLoas(Reader& in)
+{
+    auto art = std::make_shared<LoasCompiled>();
+    if (!getSpikeFibers(in, art->a) || !getWeightFibers(in, art->b))
+        return nullptr;
+    return art;
+}
+
+void
+putSparten(Writer& out, const SpartenCompiled& art)
+{
+    putWeightFibers(out, art.b);
+    out.u64(art.row_masks.size());
+    for (const auto& mask : art.row_masks)
+        putBitmask(out, mask);
+}
+
+std::shared_ptr<const CompiledArtifact>
+getSparten(Reader& in)
+{
+    auto art = std::make_shared<SpartenCompiled>();
+    std::uint64_t count = 0;
+    if (!getWeightFibers(in, art->b) || !in.u64(count))
+        return nullptr;
+    art->row_masks.resize(static_cast<std::size_t>(count));
+    for (auto& mask : art->row_masks)
+        if (!getBitmask(in, mask))
+            return nullptr;
+    return art;
+}
+
+void
+putGospa(Writer& out, const GospaCompiled& art)
+{
+    putWeightFibers(out, art.b);
+    out.vec(art.col_spikes);
+    out.u64(art.total_spikes);
+}
+
+std::shared_ptr<const CompiledArtifact>
+getGospa(Reader& in)
+{
+    auto art = std::make_shared<GospaCompiled>();
+    if (!getWeightFibers(in, art->b) || !in.vec(art->col_spikes) ||
+        !in.u64(art->total_spikes))
+        return nullptr;
+    return art;
+}
+
+void
+putGamma(Writer& out, const GammaCompiled& art)
+{
+    putWeightFibers(out, art.b);
+    out.f64(art.weight_density);
+    out.u64(art.total_spikes);
+    out.vec(art.cols);
+    out.vec(art.ptr);
+}
+
+std::shared_ptr<const CompiledArtifact>
+getGamma(Reader& in)
+{
+    auto art = std::make_shared<GammaCompiled>();
+    if (!getWeightFibers(in, art->b) || !in.f64(art->weight_density) ||
+        !in.u64(art->total_spikes) || !in.vec(art->cols) ||
+        !in.vec(art->ptr))
+        return nullptr;
+    return art;
+}
+
+void
+putSystolic(Writer& out, const SystolicCompiled& art)
+{
+    out.u64(art.spikes);
+    out.u64(art.max_spikes_per_t);
+}
+
+std::shared_ptr<const CompiledArtifact>
+getSystolic(Reader& in)
+{
+    auto art = std::make_shared<SystolicCompiled>();
+    if (!in.u64(art->spikes) || !in.u64(art->max_spikes_per_t))
+        return nullptr;
+    return art;
+}
+
+void
+putSpec(Writer& out, const LayerSpec& spec)
+{
+    out.str(spec.name);
+    out.i32(spec.t);
+    out.u64(spec.m);
+    out.u64(spec.n);
+    out.u64(spec.k);
+    out.f64(spec.spike_sparsity);
+    out.f64(spec.silent_ratio);
+    out.f64(spec.silent_ratio_ft);
+    out.f64(spec.weight_sparsity);
+}
+
+bool
+getSpec(Reader& in, LayerSpec& spec)
+{
+    std::uint64_t m = 0, n = 0, k = 0;
+    const bool ok = in.str(spec.name) && in.i32(spec.t) && in.u64(m) &&
+                    in.u64(n) && in.u64(k) &&
+                    in.f64(spec.spike_sparsity) &&
+                    in.f64(spec.silent_ratio) &&
+                    in.f64(spec.silent_ratio_ft) &&
+                    in.f64(spec.weight_sparsity);
+    spec.m = static_cast<std::size_t>(m);
+    spec.n = static_cast<std::size_t>(n);
+    spec.k = static_cast<std::size_t>(k);
+    return ok;
+}
+
+} // namespace
+
+bool
+serializeCompiledLayer(const CompiledLayer& layer, Writer& out)
+{
+    out.str(layer.family);
+    putSpec(out, layer.spec);
+    out.u64(layer.m);
+    out.u64(layer.k);
+    out.u64(layer.n);
+    out.i32(layer.timesteps);
+    out.u64(layer.bytes);
+
+    if (!layer.artifact)
+        return false;
+    if (layer.family == "loas")
+        putLoas(out, static_cast<const LoasCompiled&>(*layer.artifact));
+    else if (layer.family == "sparten-snn")
+        putSparten(out,
+                   static_cast<const SpartenCompiled&>(*layer.artifact));
+    else if (layer.family == "gospa")
+        putGospa(out,
+                 static_cast<const GospaCompiled&>(*layer.artifact));
+    else if (layer.family == "gamma")
+        putGamma(out,
+                 static_cast<const GammaCompiled&>(*layer.artifact));
+    else if (layer.family == "systolic")
+        putSystolic(
+            out, static_cast<const SystolicCompiled&>(*layer.artifact));
+    else
+        return false;
+    return true;
+}
+
+bool
+deserializeCompiledLayer(Reader& in, CompiledLayer& out)
+{
+    std::uint64_t m = 0, k = 0, n = 0, bytes = 0;
+    if (!in.str(out.family) || !getSpec(in, out.spec) || !in.u64(m) ||
+        !in.u64(k) || !in.u64(n) || !in.i32(out.timesteps) ||
+        !in.u64(bytes))
+        return false;
+    out.m = static_cast<std::size_t>(m);
+    out.k = static_cast<std::size_t>(k);
+    out.n = static_cast<std::size_t>(n);
+    out.bytes = static_cast<std::size_t>(bytes);
+
+    if (out.family == "loas")
+        out.artifact = getLoas(in);
+    else if (out.family == "sparten-snn")
+        out.artifact = getSparten(in);
+    else if (out.family == "gospa")
+        out.artifact = getGospa(in);
+    else if (out.family == "gamma")
+        out.artifact = getGamma(in);
+    else if (out.family == "systolic")
+        out.artifact = getSystolic(in);
+    else
+        return false;
+    return out.artifact != nullptr && in.ok() && in.remaining() == 0;
+}
+
+std::uint64_t
+fnv1a(const char* data, std::size_t size, std::uint64_t seed)
+{
+    std::uint64_t hash = seed;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= static_cast<unsigned char>(data[i]);
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+} // namespace artio
+} // namespace loas

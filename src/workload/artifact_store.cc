@@ -1,0 +1,187 @@
+#include "workload/artifact_store.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <utility>
+
+#include <unistd.h>
+
+#include "workload/artifact_io.hh"
+
+namespace loas {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'O', 'A', 'S', 'A', 'R', 'T', '\0'};
+constexpr std::size_t kHeaderBytes =
+    sizeof(kMagic) + sizeof(std::uint32_t) + 2 * sizeof(std::uint64_t);
+
+} // namespace
+
+ArtifactStore::ArtifactStore(std::string dir) : dir_(std::move(dir)) {}
+
+std::string
+ArtifactStore::path(const std::string& key) const
+{
+    // Keys contain '#', '?', '&' and other shell-hostile characters;
+    // the filename is a hash, the key itself is validated from the
+    // payload on load (collisions read as rejections, not wrong data).
+    char name[32];
+    std::snprintf(name, sizeof(name), "%016llx",
+                  static_cast<unsigned long long>(
+                      artio::fnv1a(key.data(), key.size())));
+    return (fs::path(dir_) / (std::string(name) + kFileSuffix))
+        .string();
+}
+
+ArtifactStore::LoadResult
+ArtifactStore::load(const std::string& key) const
+{
+    LoadResult result;
+    std::ifstream file(path(key), std::ios::binary);
+    if (!file)
+        return result; // plain miss: nothing stored yet
+
+    std::string blob((std::istreambuf_iterator<char>(file)),
+                     std::istreambuf_iterator<char>());
+    const auto reject = [&result] {
+        result.rejected = true;
+        return result;
+    };
+    if (!file.good() && !file.eof())
+        return reject();
+    if (blob.size() < kHeaderBytes)
+        return reject();
+    if (std::memcmp(blob.data(), kMagic, sizeof(kMagic)) != 0)
+        return reject();
+
+    std::uint32_t version = 0;
+    std::uint64_t checksum = 0, payload_size = 0;
+    std::size_t pos = sizeof(kMagic);
+    std::memcpy(&version, blob.data() + pos, sizeof(version));
+    pos += sizeof(version);
+    std::memcpy(&checksum, blob.data() + pos, sizeof(checksum));
+    pos += sizeof(checksum);
+    std::memcpy(&payload_size, blob.data() + pos, sizeof(payload_size));
+    pos += sizeof(payload_size);
+
+    if (version != kFormatVersion)
+        return reject();
+    if (payload_size != blob.size() - kHeaderBytes)
+        return reject();
+    if (artio::fnv1a(blob.data() + pos, payload_size) != checksum)
+        return reject();
+
+    artio::Reader reader(blob.data() + pos,
+                         static_cast<std::size_t>(payload_size));
+    std::string stored_key;
+    if (!reader.str(stored_key) || stored_key != key)
+        return reject();
+    auto layer = std::make_shared<CompiledLayer>();
+    if (!artio::deserializeCompiledLayer(reader, *layer))
+        return reject();
+    result.layer = std::move(layer);
+    return result;
+}
+
+bool
+ArtifactStore::store(const std::string& key,
+                     const CompiledLayer& layer) const
+{
+    artio::Writer payload;
+    payload.str(key);
+    if (!artio::serializeCompiledLayer(layer, payload))
+        return false;
+
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        return false;
+
+    const std::string body = payload.take();
+    std::string blob(kMagic, sizeof(kMagic));
+    const std::uint32_t version = kFormatVersion;
+    const std::uint64_t checksum =
+        artio::fnv1a(body.data(), body.size());
+    const std::uint64_t payload_size = body.size();
+    blob.append(reinterpret_cast<const char*>(&version),
+                sizeof(version));
+    blob.append(reinterpret_cast<const char*>(&checksum),
+                sizeof(checksum));
+    blob.append(reinterpret_cast<const char*>(&payload_size),
+                sizeof(payload_size));
+    blob += body;
+
+    // Unique temporary + atomic rename: readers and concurrent writers
+    // only ever see complete files, and the last writer wins.
+    static std::atomic<std::uint64_t> write_counter{0};
+    const std::string final_path = path(key);
+    const std::string tmp_path =
+        final_path + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(write_counter.fetch_add(1));
+    {
+        std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out.write(blob.data(),
+                  static_cast<std::streamsize>(blob.size()));
+        out.close();
+        if (!out) {
+            fs::remove(tmp_path, ec);
+            return false;
+        }
+    }
+    fs::rename(tmp_path, final_path, ec);
+    if (ec) {
+        fs::remove(tmp_path, ec);
+        return false;
+    }
+    return true;
+}
+
+ArtifactStore::DiskStats
+ArtifactStore::stats() const
+{
+    DiskStats stats;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+        if (!entry.is_regular_file(ec))
+            continue;
+        if (entry.path().extension() != kFileSuffix)
+            continue;
+        // A file may vanish between iteration and stat (concurrent
+        // clear/rename); skip it rather than summing the error value.
+        const std::uintmax_t size = entry.file_size(ec);
+        if (ec) {
+            ec.clear();
+            continue;
+        }
+        ++stats.files;
+        stats.bytes += size;
+    }
+    return stats;
+}
+
+std::size_t
+ArtifactStore::clear() const
+{
+    std::size_t removed = 0;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+        if (!entry.is_regular_file(ec))
+            continue;
+        if (entry.path().extension() != kFileSuffix)
+            continue;
+        if (fs::remove(entry.path(), ec))
+            ++removed;
+    }
+    return removed;
+}
+
+} // namespace loas

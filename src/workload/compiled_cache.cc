@@ -1,17 +1,108 @@
 #include "workload/compiled_cache.hh"
 
+#include <cassert>
 #include <chrono>
+#include <iterator>
+
+#include "workload/artifact_store.hh"
 
 namespace loas {
 
 std::string
 compiledLayerKey(const std::string& network, std::size_t layer_index,
                  bool ft_workload, const std::string& family,
-                 int timesteps)
+                 int timesteps, std::uint64_t seed)
 {
     return network + "#l" + std::to_string(layer_index) +
            (ft_workload ? "#ft" : "#plain") + "#" + family + "#t" +
-           std::to_string(timesteps);
+           std::to_string(timesteps) + "#s" + std::to_string(seed);
+}
+
+CompiledCache::Stats
+CompiledCache::Stats::delta(const Stats& now, const Stats& before)
+{
+    Stats out = now;
+    out.hits -= before.hits;
+    out.misses -= before.misses;
+    out.disk_hits -= before.disk_hits;
+    out.disk_writes -= before.disk_writes;
+    out.disk_rejects -= before.disk_rejects;
+    out.evictions -= before.evictions;
+    out.compile_ms -= before.compile_ms;
+    // entries / bytes are gauges: the current occupancy stands.
+    return out;
+}
+
+CompiledCache::~CompiledCache() = default;
+
+CompiledCache&
+CompiledCache::process()
+{
+    static CompiledCache instance;
+    return instance;
+}
+
+void
+CompiledCache::insertAccountedLocked(const std::string& key, Slot& slot)
+{
+    assert(!slot.accounted);
+    ++stats_.entries;
+    stats_.bytes += slot.value->bytes;
+    live_lru_.push_front(key);
+    slot.lru_it = live_lru_.begin();
+    slot.accounted = true;
+    slot.finished = false;
+}
+
+void
+CompiledCache::eraseAccountedLocked(Slot& slot)
+{
+    assert(slot.accounted);
+    assert(stats_.entries > 0);
+    assert(stats_.bytes >= slot.value->bytes);
+    --stats_.entries;
+    stats_.bytes -= slot.value->bytes;
+    (slot.finished ? finished_lru_ : live_lru_).erase(slot.lru_it);
+    slot.accounted = false;
+}
+
+void
+CompiledCache::touchLocked(const std::string& key, Slot& slot)
+{
+    if (!slot.accounted)
+        return;
+    // A hit on a finished-network entry promotes it back to the live
+    // pool: something is using that network again.
+    (slot.finished ? finished_lru_ : live_lru_).erase(slot.lru_it);
+    live_lru_.push_front(key);
+    slot.lru_it = live_lru_.begin();
+    slot.finished = false;
+}
+
+void
+CompiledCache::enforceBudgetLocked(const std::string& protect)
+{
+    while (budget_ != 0 && stats_.bytes > budget_) {
+        // Finished-network entries go first, oldest first; then plain
+        // LRU over the live pool, always sparing the entry whose
+        // insert triggered the enforcement.
+        std::string victim;
+        if (!finished_lru_.empty() && finished_lru_.back() != protect)
+            victim = finished_lru_.back();
+        else if (finished_lru_.size() > 1)
+            victim = *std::next(finished_lru_.rbegin());
+        else if (!live_lru_.empty() && live_lru_.back() != protect)
+            victim = live_lru_.back();
+        else if (live_lru_.size() > 1)
+            victim = *std::next(live_lru_.rbegin());
+        else
+            return; // only the protected entry remains
+        const auto it = slots_.find(victim);
+        assert(it != slots_.end());
+        eraseAccountedLocked(*it->second);
+        slots_.erase(it);
+        ++stats_.evictions;
+    }
 }
 
 std::shared_ptr<const CompiledLayer>
@@ -19,22 +110,48 @@ CompiledCache::getOrCompile(const std::string& key,
                             const Compile& compile)
 {
     std::shared_ptr<Slot> slot;
+    std::shared_ptr<const ArtifactStore> disk;
     {
         const std::lock_guard<std::mutex> lock(mutex_);
         auto& entry = slots_[key];
         if (!entry)
             entry = std::make_shared<Slot>();
         slot = entry;
+        disk = disk_;
     }
 
-    // The slot mutex makes the compilation once-only: the first caller
-    // compiles while any concurrent caller for the same key blocks
+    // The slot mutex makes the fill once-only: the first caller loads
+    // or compiles while any concurrent caller for the same key blocks
     // here, wakes to a filled slot, and counts a hit.
     const std::lock_guard<std::mutex> slot_lock(slot->mutex);
     if (slot->value) {
         const std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.hits;
+        touchLocked(key, *slot);
         return slot->value;
+    }
+
+    // Disk level: a validated file is as good as a compile and far
+    // cheaper; a rejected one (corrupt, stale version, collision)
+    // falls through to recompile-and-overwrite.
+    bool disk_rejected = false;
+    if (disk) {
+        ArtifactStore::LoadResult loaded = disk->load(key);
+        disk_rejected = loaded.rejected;
+        if (loaded.layer) {
+            slot->value = std::move(loaded.layer);
+            const std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.disk_hits;
+            // The slot may have been dropped by clear() while the
+            // file was read; only a slot still in the table joins
+            // the accounting and the LRU.
+            const auto it = slots_.find(key);
+            if (it != slots_.end() && it->second == slot) {
+                insertAccountedLocked(key, *slot);
+                enforceBudgetLocked(key);
+            }
+            return slot->value;
+        }
     }
 
     using Clock = std::chrono::steady_clock;
@@ -44,12 +161,60 @@ CompiledCache::getOrCompile(const std::string& key,
         std::chrono::duration<double, std::milli>(Clock::now() - start)
             .count();
 
+    bool persisted = false;
+    if (disk)
+        persisted = disk->store(key, *slot->value);
+
     const std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.misses;
-    ++stats_.entries;
-    stats_.bytes += slot->value->bytes;
     stats_.compile_ms += ms;
+    if (disk_rejected)
+        ++stats_.disk_rejects;
+    if (persisted)
+        ++stats_.disk_writes;
+    const auto it = slots_.find(key);
+    if (it != slots_.end() && it->second == slot) {
+        insertAccountedLocked(key, *slot);
+        enforceBudgetLocked(key);
+    }
     return slot->value;
+}
+
+void
+CompiledCache::setByteBudget(std::uint64_t budget)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    budget_ = budget;
+    enforceBudgetLocked("");
+}
+
+void
+CompiledCache::setDiskDir(const std::string& dir)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    disk_ = dir.empty() ? nullptr
+                        : std::make_shared<const ArtifactStore>(dir);
+}
+
+void
+CompiledCache::finishNetwork(const std::string& network)
+{
+    const std::string prefix = network + "#";
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // Walk MRU to LRU, moving matches so the finished list keeps the
+    // same relative recency order (its back is the oldest, evicted
+    // first).
+    for (auto it = live_lru_.begin(); it != live_lru_.end();) {
+        if (it->compare(0, prefix.size(), prefix) != 0) {
+            ++it;
+            continue;
+        }
+        Slot& slot = *slots_.at(*it);
+        finished_lru_.push_back(*it);
+        slot.lru_it = std::prev(finished_lru_.end());
+        slot.finished = true;
+        it = live_lru_.erase(it);
+    }
 }
 
 CompiledCache::Stats
@@ -64,6 +229,12 @@ CompiledCache::clear()
 {
     const std::lock_guard<std::mutex> lock(mutex_);
     slots_.clear();
+    live_lru_.clear();
+    finished_lru_.clear();
+    // One reset for counters *and* gauges: entries/bytes go to zero
+    // with the table, and any compile finishing after this point sees
+    // its slot gone and skips the accounting entirely, so `bytes`
+    // can never drift from the sum of resident artifacts.
     stats_ = Stats{};
 }
 

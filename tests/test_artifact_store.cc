@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Tests for the on-disk compiled-artifact level: round-trip equality of
+ * every format family (including rank tables over k % 64 != 0 masks),
+ * header validation (magic / version / checksum / key), corruption
+ * fallback, and golden-identity of engine runs with the cache cold,
+ * warm in memory, and warm on disk.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "api/json.hh"
+#include "api/registry.hh"
+#include "api/sweep.hh"
+#include "api/sweep_io.hh"
+#include "workload/artifact_io.hh"
+#include "workload/artifact_store.hh"
+#include "workload/compiled_cache.hh"
+#include "workload/generator.hh"
+#include "workload/networks.hh"
+
+namespace loas {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Fresh, empty cache directory unique to the calling test. */
+std::string
+tempCacheDir(const std::string& name)
+{
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / ("loas-cache-" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+/**
+ * A small layer whose reduction dimension is deliberately not a
+ * multiple of 64, so serialized bitmask tails and rank tables cover
+ * the partial-word path.
+ */
+LayerSpec
+oddLayer()
+{
+    LayerSpec spec = tables::alexnetL4();
+    spec.name = "odd-layer";
+    spec.m = 48;
+    spec.n = 40;
+    spec.k = 130; // k % 64 != 0
+    return spec;
+}
+
+TEST(ArtifactStore, RoundTripsEveryFamilyBitIdentically)
+{
+    const std::string dir = tempCacheDir("roundtrip");
+    const ArtifactStore store(dir);
+    const auto& registry = AcceleratorRegistry::instance();
+
+    // One design per format family; loas-ft exercises the ft-workload
+    // variant of the loas family on its own key.
+    const std::vector<std::string> designs = {
+        "loas", "loas-ft", "sparten", "gospa", "gamma", "systolic"};
+    for (const auto& design : designs) {
+        SCOPED_TRACE(design);
+        const bool ft = registry.entry(design).ft_workload;
+        const LayerData layer = generateLayer(oddLayer(), 19, ft);
+        const auto compiler = registry.make(design);
+        const CompiledLayer compiled = compiler->prepare(layer);
+        const std::string key = compiledLayerKey(
+            "net", 0, ft, compiler->formatFamily(), layer.spec.t, 19);
+
+        ASSERT_TRUE(store.store(key, compiled));
+        const ArtifactStore::LoadResult loaded = store.load(key);
+        EXPECT_FALSE(loaded.rejected);
+        ASSERT_NE(loaded.layer, nullptr);
+
+        EXPECT_EQ(loaded.layer->family, compiled.family);
+        EXPECT_EQ(loaded.layer->spec.name, compiled.spec.name);
+        EXPECT_EQ(loaded.layer->m, compiled.m);
+        EXPECT_EQ(loaded.layer->k, compiled.k);
+        EXPECT_EQ(loaded.layer->n, compiled.n);
+        EXPECT_EQ(loaded.layer->timesteps, compiled.timesteps);
+        EXPECT_EQ(loaded.layer->bytes, compiled.bytes);
+
+        // The decisive check: the simulated datapath cannot tell the
+        // reconstructed artifact from the freshly compiled one.
+        const RunResult from_fresh =
+            registry.make(design)->execute(compiled);
+        const RunResult from_disk =
+            registry.make(design)->execute(*loaded.layer);
+        EXPECT_EQ(json::toJson(from_fresh), json::toJson(from_disk));
+    }
+
+    EXPECT_EQ(store.stats().files, designs.size());
+    EXPECT_GT(store.stats().bytes, 0u);
+    EXPECT_EQ(store.clear(), designs.size());
+    EXPECT_EQ(store.stats().files, 0u);
+}
+
+TEST(ArtifactStore, MissingFileIsAMissNotARejection)
+{
+    const ArtifactStore store(tempCacheDir("missing"));
+    const ArtifactStore::LoadResult result = store.load("no-such-key");
+    EXPECT_EQ(result.layer, nullptr);
+    EXPECT_FALSE(result.rejected);
+}
+
+TEST(ArtifactStore, ChecksumRejectsCorruptedFiles)
+{
+    const std::string dir = tempCacheDir("corrupt");
+    const ArtifactStore store(dir);
+    const LayerData layer = generateLayer(oddLayer(), 23);
+    const auto compiler = AcceleratorRegistry::instance().make("loas");
+    const std::string key =
+        compiledLayerKey("net", 0, false, "loas", layer.spec.t, 23);
+    ASSERT_TRUE(store.store(key, compiler->prepare(layer)));
+
+    // Flip one payload byte in place: the checksum must catch it.
+    const std::string path = store.path(key);
+    {
+        std::fstream file(path, std::ios::in | std::ios::out |
+                                    std::ios::binary);
+        ASSERT_TRUE(file.good());
+        file.seekg(100);
+        const char flipped = static_cast<char>(file.get() ^ 0xff);
+        file.seekp(100);
+        file.put(flipped);
+    }
+    const ArtifactStore::LoadResult result = store.load(key);
+    EXPECT_EQ(result.layer, nullptr);
+    EXPECT_TRUE(result.rejected);
+}
+
+TEST(ArtifactStore, FormatVersionMismatchRejects)
+{
+    const std::string dir = tempCacheDir("version");
+    const ArtifactStore store(dir);
+    const LayerData layer = generateLayer(oddLayer(), 29);
+    const auto compiler = AcceleratorRegistry::instance().make("gamma");
+    const std::string key =
+        compiledLayerKey("net", 0, false, "gamma", layer.spec.t, 29);
+    ASSERT_TRUE(store.store(key, compiler->prepare(layer)));
+
+    // Patch the version stamp (bytes 8..11, after the 8-byte magic).
+    const std::string path = store.path(key);
+    {
+        std::fstream file(path, std::ios::in | std::ios::out |
+                                    std::ios::binary);
+        ASSERT_TRUE(file.good());
+        file.seekp(8);
+        const std::uint32_t bumped = ArtifactStore::kFormatVersion + 1;
+        file.write(reinterpret_cast<const char*>(&bumped),
+                   sizeof(bumped));
+    }
+    const ArtifactStore::LoadResult result = store.load(key);
+    EXPECT_EQ(result.layer, nullptr);
+    EXPECT_TRUE(result.rejected);
+}
+
+TEST(ArtifactStore, TruncatedFileRejects)
+{
+    const std::string dir = tempCacheDir("truncate");
+    const ArtifactStore store(dir);
+    const LayerData layer = generateLayer(oddLayer(), 31);
+    const auto compiler = AcceleratorRegistry::instance().make("gospa");
+    const std::string key =
+        compiledLayerKey("net", 0, false, "gospa", layer.spec.t, 31);
+    ASSERT_TRUE(store.store(key, compiler->prepare(layer)));
+
+    const std::string path = store.path(key);
+    fs::resize_file(path, fs::file_size(path) / 2);
+    const ArtifactStore::LoadResult result = store.load(key);
+    EXPECT_EQ(result.layer, nullptr);
+    EXPECT_TRUE(result.rejected);
+}
+
+TEST(DiskCache, ColdWarmMemoryAndWarmDiskRunsAreByteIdentical)
+{
+    const std::string dir = tempCacheDir("golden");
+    SweepRequest request;
+    request.grids = {"loas?pes=8,16", "sparten"};
+    request.networks = {"alexnet-l4"};
+    request.seed = 37;
+    request.threads = 2;
+
+    // Cold: no cache directory, private in-memory cache only.
+    const SweepReport cold = SweepEngine().run(request);
+
+    // Cold-disk: same request, now writing through to disk.
+    request.cache_dir = dir;
+    const SweepReport cold_disk = SweepEngine().run(request);
+    EXPECT_EQ(toCsv(cold), toCsv(cold_disk));
+    EXPECT_EQ(json::toJson(cold), json::toJson(cold_disk));
+    EXPECT_EQ(cold_disk.compile_cache.disk_hits, 0u);
+    EXPECT_GT(cold_disk.compile_cache.disk_writes, 0u);
+
+    // Warm-disk: a fresh private cache (a "new process") loads every
+    // artifact from disk and compiles nothing.
+    const SweepReport warm_disk = SweepEngine().run(request);
+    EXPECT_EQ(toCsv(cold), toCsv(warm_disk));
+    EXPECT_EQ(json::toJson(cold), json::toJson(warm_disk));
+    EXPECT_EQ(warm_disk.compile_cache.misses, 0u);
+    EXPECT_EQ(warm_disk.compile_cache.compile_ms, 0.0);
+    EXPECT_EQ(warm_disk.compile_cache.disk_hits,
+              cold_disk.compile_cache.disk_writes);
+
+    // Warm-memory: a shared cache across two runs serves pure hits.
+    CompiledCache shared;
+    request.cache_dir.clear();
+    request.compiled_cache = &shared;
+    SweepEngine().run(request);
+    const SweepReport warm_mem = SweepEngine().run(request);
+    EXPECT_EQ(toCsv(cold), toCsv(warm_mem));
+    EXPECT_EQ(warm_mem.compile_cache.misses, 0u);
+    EXPECT_EQ(warm_mem.compile_cache.hits,
+              cold.compile_cache.hits + cold.compile_cache.misses);
+}
+
+TEST(DiskCache, CorruptedEntryFallsBackToRecompile)
+{
+    const std::string dir = tempCacheDir("fallback");
+    SimRequest request;
+    request.accels = {"loas"};
+    request.networks = {NetworkSpec{"layer", {oddLayer()}}};
+    request.seed = 41;
+    request.cache_dir = dir;
+
+    const SimReport cold = SimEngine().run(request);
+    EXPECT_EQ(cold.compile_cache.disk_writes, 1u);
+
+    // Corrupt the single stored artifact (bit-flip, never a no-op).
+    for (const auto& entry : fs::directory_iterator(dir)) {
+        std::fstream file(entry.path(), std::ios::in | std::ios::out |
+                                            std::ios::binary);
+        file.seekg(64);
+        const char flipped = static_cast<char>(file.get() ^ 0xff);
+        file.seekp(64);
+        file.put(flipped);
+    }
+
+    const SimReport warm = SimEngine().run(request);
+    EXPECT_EQ(warm.compile_cache.disk_hits, 0u);
+    EXPECT_EQ(warm.compile_cache.disk_rejects, 1u);
+    EXPECT_EQ(warm.compile_cache.misses, 1u);
+    // The rejected file was overwritten with a good copy...
+    EXPECT_EQ(warm.compile_cache.disk_writes, 1u);
+    EXPECT_EQ(json::toJson(cold.runs[0].result),
+              json::toJson(warm.runs[0].result));
+
+    // ...so a third run is a clean disk hit again.
+    const SimReport healed = SimEngine().run(request);
+    EXPECT_EQ(healed.compile_cache.disk_hits, 1u);
+    EXPECT_EQ(healed.compile_cache.misses, 0u);
+}
+
+} // namespace
+} // namespace loas

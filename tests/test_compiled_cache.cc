@@ -110,12 +110,134 @@ TEST(CompiledCache, ConcurrentRequestsCompileExactlyOnce)
 TEST(CompiledCache, KeySeparatesEveryComponent)
 {
     const std::string base =
-        compiledLayerKey("net", 0, false, "loas", 4);
-    EXPECT_NE(base, compiledLayerKey("net2", 0, false, "loas", 4));
-    EXPECT_NE(base, compiledLayerKey("net", 1, false, "loas", 4));
-    EXPECT_NE(base, compiledLayerKey("net", 0, true, "loas", 4));
-    EXPECT_NE(base, compiledLayerKey("net", 0, false, "gamma", 4));
-    EXPECT_NE(base, compiledLayerKey("net", 0, false, "loas", 8));
+        compiledLayerKey("net", 0, false, "loas", 4, 101);
+    EXPECT_NE(base, compiledLayerKey("net2", 0, false, "loas", 4, 101));
+    EXPECT_NE(base, compiledLayerKey("net", 1, false, "loas", 4, 101));
+    EXPECT_NE(base, compiledLayerKey("net", 0, true, "loas", 4, 101));
+    EXPECT_NE(base, compiledLayerKey("net", 0, false, "gamma", 4, 101));
+    EXPECT_NE(base, compiledLayerKey("net", 0, false, "loas", 8, 101));
+    EXPECT_NE(base, compiledLayerKey("net", 0, false, "loas", 4, 102));
+}
+
+TEST(CompiledCacheEviction, ByteBudgetEvictsLeastRecentlyUsed)
+{
+    CompiledCache cache;
+    cache.setByteBudget(150);
+    cache.getOrCompile("netA#l0", [] { return stubLayer(60); });
+    cache.getOrCompile("netB#l0", [] { return stubLayer(60); });
+    // Touch A: B becomes the least recently used entry.
+    cache.getOrCompile("netA#l0", [] { return stubLayer(60); });
+    cache.getOrCompile("netC#l0", [] { return stubLayer(60); });
+
+    CompiledCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.entries, 2u);
+    EXPECT_EQ(stats.bytes, 120u);
+
+    // A and C survived; B was evicted and recompiles.
+    int compiles = 0;
+    const auto count = [&] {
+        ++compiles;
+        return stubLayer(60);
+    };
+    cache.getOrCompile("netA#l0", count);
+    EXPECT_EQ(compiles, 0);
+    cache.setByteBudget(0); // lift the budget: no further eviction
+    cache.getOrCompile("netB#l0", count);
+    EXPECT_EQ(compiles, 1);
+    cache.getOrCompile("netC#l0", count);
+    EXPECT_EQ(compiles, 1);
+}
+
+TEST(CompiledCacheEviction, FinishedNetworkEntriesGoFirst)
+{
+    CompiledCache cache;
+    cache.setByteBudget(150);
+    cache.getOrCompile("netA#l0", [] { return stubLayer(60); });
+    cache.getOrCompile("netB#l0", [] { return stubLayer(60); });
+    // Plain LRU would evict A (the older entry); finishing B demotes
+    // it below everything still live.
+    cache.finishNetwork("netB");
+    cache.getOrCompile("netC#l0", [] { return stubLayer(60); });
+
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    int compiles = 0;
+    const auto count = [&] {
+        ++compiles;
+        return stubLayer(60);
+    };
+    cache.setByteBudget(0);
+    cache.getOrCompile("netA#l0", count);
+    cache.getOrCompile("netC#l0", count);
+    EXPECT_EQ(compiles, 0); // both survivors still resident
+    cache.getOrCompile("netB#l0", count);
+    EXPECT_EQ(compiles, 1); // the finished network was the victim
+}
+
+TEST(CompiledCacheEviction, HitPromotesFinishedEntryBackToLive)
+{
+    CompiledCache cache;
+    cache.setByteBudget(150);
+    cache.getOrCompile("netA#l0", [] { return stubLayer(60); });
+    cache.getOrCompile("netB#l0", [] { return stubLayer(60); });
+    cache.finishNetwork("netA");
+    // A is hit again: it rejoins the live pool, so the budget squeeze
+    // falls back to plain LRU and evicts B.
+    cache.getOrCompile("netA#l0", [] { return stubLayer(60); });
+    cache.getOrCompile("netC#l0", [] { return stubLayer(60); });
+
+    int compiles = 0;
+    const auto count = [&] {
+        ++compiles;
+        return stubLayer(60);
+    };
+    cache.setByteBudget(0);
+    cache.getOrCompile("netA#l0", count);
+    EXPECT_EQ(compiles, 0);
+    cache.getOrCompile("netB#l0", count);
+    EXPECT_EQ(compiles, 1);
+}
+
+TEST(CompiledCacheEviction, OversizedEntryStaysResident)
+{
+    // A single artifact larger than the whole budget must still cache
+    // (evicting it would thrash); everything else is pushed out.
+    CompiledCache cache;
+    cache.setByteBudget(50);
+    cache.getOrCompile("small#l0", [] { return stubLayer(10); });
+    cache.getOrCompile("huge#l0", [] { return stubLayer(400); });
+
+    const CompiledCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_EQ(stats.bytes, 400u);
+    EXPECT_EQ(stats.evictions, 1u);
+
+    int compiles = 0;
+    cache.getOrCompile("huge#l0", [&] {
+        ++compiles;
+        return stubLayer(400);
+    });
+    EXPECT_EQ(compiles, 0);
+}
+
+TEST(CompiledCacheEviction, ClearThenReuseKeepsByteAccountingExact)
+{
+    // clear() resets gauges and counters through the same accounting
+    // path as eviction, so `bytes` always equals the resident sum.
+    CompiledCache cache;
+    cache.setByteBudget(1000);
+    cache.getOrCompile("a", [] { return stubLayer(100); });
+    cache.getOrCompile("b", [] { return stubLayer(200); });
+    EXPECT_EQ(cache.stats().bytes, 300u);
+    cache.clear();
+    EXPECT_EQ(cache.stats().bytes, 0u);
+    EXPECT_EQ(cache.stats().entries, 0u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+
+    cache.getOrCompile("c", [] { return stubLayer(40); });
+    EXPECT_EQ(cache.stats().bytes, 40u);
+    cache.clear();
+    EXPECT_EQ(cache.stats().bytes, 0u);
 }
 
 TEST(PrepareExecute, RunLayerEqualsPreparePlusExecute)
@@ -262,6 +384,65 @@ TEST(SweepEngineCache, ThreadedSweepIsBitIdenticalToSerial)
     EXPECT_EQ(serial.compile_cache.hits, threaded.compile_cache.hits);
     EXPECT_EQ(serial.compile_cache.bytes,
               threaded.compile_cache.bytes);
+}
+
+TEST(ProcessCache, PersistsArtifactsAcrossEngineRuns)
+{
+    // The request-supplied cache outlives SimEngine::run: the second
+    // run recompiles nothing and reports pure hits, with per-run
+    // counters delta'd against the shared cache's history.
+    CompiledCache shared;
+    SimRequest request;
+    request.accels = {"loas?pes=8", "loas?pes=16"};
+    request.networks = {NetworkSpec{"layer", {tables::alexnetL4()}}};
+    request.seed = 7;
+    request.compiled_cache = &shared;
+
+    const SimReport first = SimEngine().run(request);
+    EXPECT_EQ(first.compile_cache.misses, 1u);
+    EXPECT_EQ(first.compile_cache.hits, 1u);
+
+    const SimReport second = SimEngine().run(request);
+    EXPECT_EQ(second.compile_cache.misses, 0u);
+    EXPECT_EQ(second.compile_cache.hits, 2u);
+    EXPECT_EQ(second.compile_cache.compile_ms, 0.0);
+    EXPECT_EQ(json::toJson(first.runs[0].result),
+              json::toJson(second.runs[0].result));
+
+    // A different seed is a different workload: no false sharing.
+    request.seed = 8;
+    const SimReport reseeded = SimEngine().run(request);
+    EXPECT_EQ(reseeded.compile_cache.misses, 1u);
+}
+
+TEST(ProcessCache, ConcurrentEnginesShareOneCache)
+{
+    // Two engine runs race on one process-lifetime cache: compilation
+    // stays once-only per key across both, and each run's results are
+    // bit-identical to a private-cache run.
+    SimRequest request;
+    request.accels = {"loas?pes=8", "loas?pes=16"};
+    request.networks = {NetworkSpec{"layer", {tables::vgg16L8()}}};
+    request.seed = 13;
+    request.threads = 2;
+    const SimReport reference = SimEngine().run(request);
+
+    CompiledCache shared;
+    request.compiled_cache = &shared;
+    SimReport a, b;
+    std::thread ta([&] { a = SimEngine().run(request); });
+    std::thread tb([&] { b = SimEngine().run(request); });
+    ta.join();
+    tb.join();
+
+    const CompiledCache::Stats stats = shared.stats();
+    EXPECT_EQ(stats.misses, 1u); // one key, compiled exactly once
+    EXPECT_EQ(stats.hits, 3u);   // the other three requests shared it
+    EXPECT_EQ(stats.entries, 1u);
+    for (const SimReport* report : {&a, &b})
+        for (std::size_t i = 0; i < reference.runs.size(); ++i)
+            EXPECT_EQ(json::toJson(report->runs[i].result),
+                      json::toJson(reference.runs[i].result));
 }
 
 } // namespace

@@ -39,6 +39,23 @@
  *       O(1) rank tables) and verifies the zero-allocation steady
  *       state of every registered design's execute(), written as
  *       BENCH_kernels.json (schema loas-kernels/1).
+ *
+ *   loas_cli cache stats|clear|warm --cache-dir PATH ...
+ *       Manage the on-disk compiled-artifact cache: report occupancy,
+ *       delete stored artifacts, or precompile (warm) the artifacts a
+ *       later run/sweep would need.
+ *
+ * run, sweep and bench accept the shared cache flags:
+ *   --cache-dir PATH  persist compiled artifacts on disk; a later
+ *                     invocation with the same flag skips operand
+ *                     recompression entirely
+ *   --cache-mb N      in-memory compiled-cache byte budget in MiB
+ *                     (0 = unlimited); LRU eviction, finished
+ *                     networks first
+ *   --cache-stats PATH
+ *                     write the run's cache counters as JSON ("-":
+ *                     stdout) — hits, misses, disk hits/writes/
+ *                     rejects, evictions, compile_ms
  */
 
 #include <algorithm>
@@ -47,6 +64,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -59,10 +78,13 @@
 #include "api/sweep.hh"
 #include "api/sweep_io.hh"
 #include "common/alloc_hook.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
 #include "core/inner_join.hh"
 #include "tensor/ranked_bitmask.hh"
+#include "workload/artifact_store.hh"
+#include "workload/compiled_cache.hh"
 #include "workload/generator.hh"
 #include "workload/networks.hh"
 
@@ -78,10 +100,24 @@ usage(const char* argv0)
         "usage: %s list [--json [PATH]]\n"
         "       %s run [--accel LIST] [--network LIST] [--seed N]\n"
         "           [--threads N] [--no-energy] [--json PATH]\n"
+        "           [cache flags]\n"
         "       %s sweep --grid GRIDS [--network GRIDS]\n"
         "           [--baseline SPEC] [--seed N] [--threads N]\n"
         "           [--no-energy] [--csv PATH] [--json PATH]\n"
+        "           [cache flags]\n"
         "       %s bench [--quick] [--seed N] [--threads N] [--out PATH]\n"
+        "           [cache flags]\n"
+        "       loas_cli cache stats|clear --cache-dir PATH\n"
+        "       loas_cli cache warm --cache-dir PATH [--accel LIST]\n"
+        "           [--network GRIDS] [--seed N]\n"
+        "\n"
+        "cache flags (run/sweep/bench):\n"
+        "  --cache-dir PATH  persist compiled artifacts on disk and\n"
+        "                    reuse them across invocations\n"
+        "  --cache-mb N      in-memory compiled-cache budget in MiB\n"
+        "                    (default 0 = unlimited)\n"
+        "  --cache-stats PATH\n"
+        "                    write cache counters as JSON (\"-\": stdout)\n"
         "\n"
         "list:\n"
         "  --json [PATH]   machine-readable catalog of registered\n"
@@ -177,6 +213,67 @@ handleCommonFlag(const std::string& arg, ArgCursor& args,
     return false;
 }
 
+/** Shared --cache-* flag state of the run/sweep/bench subcommands. */
+struct CacheFlags
+{
+    std::string dir;
+    std::uint64_t budget_mb = 0;
+    std::string stats_path;
+};
+
+/** True when `arg` was one of the shared cache flags (and consumed). */
+bool
+handleCacheFlag(const std::string& arg, ArgCursor& args,
+                CacheFlags& flags)
+{
+    if (arg == "--cache-dir") {
+        flags.dir = args.value(arg);
+        return true;
+    }
+    if (arg == "--cache-mb") {
+        flags.budget_mb = parseUint(arg, args.value(arg));
+        return true;
+    }
+    if (arg == "--cache-stats") {
+        flags.stats_path = args.value(arg);
+        return true;
+    }
+    return false;
+}
+
+/**
+ * The process-lifetime compiled cache, configured from the flags.
+ * Every engine run of one CLI invocation shares it, so e.g. the bench
+ * harness compiles each operand format once across all its stages.
+ */
+CompiledCache*
+processCache(const CacheFlags& flags)
+{
+    CompiledCache& cache = CompiledCache::process();
+    cache.setByteBudget(flags.budget_mb * 1024 * 1024);
+    cache.setDiskDir(flags.dir);
+    return &cache;
+}
+
+/** One-line cache accounting summary (stderr, grep-friendly). */
+void
+printCacheSummary(const CompiledCache::Stats& stats)
+{
+    std::fprintf(
+        stderr,
+        "compile cache: %llu misses, %llu hits, %llu disk hits, "
+        "%llu disk writes, %llu disk rejects, %llu evictions, "
+        "%.3f compile ms, %.1f KB resident\n",
+        static_cast<unsigned long long>(stats.misses),
+        static_cast<unsigned long long>(stats.hits),
+        static_cast<unsigned long long>(stats.disk_hits),
+        static_cast<unsigned long long>(stats.disk_writes),
+        static_cast<unsigned long long>(stats.disk_rejects),
+        static_cast<unsigned long long>(stats.evictions),
+        stats.compile_ms,
+        static_cast<double>(stats.bytes) / 1024.0);
+}
+
 /** Write `content` to PATH, or stdout when PATH is "-". */
 int
 writeOutput(const std::string& path, const std::string& content,
@@ -201,6 +298,17 @@ writeOutput(const std::string& path, const std::string& content,
     if (!quiet)
         std::printf("wrote %s\n", path.c_str());
     return 0;
+}
+
+/** Honor --cache-stats: write the run's counters as JSON. */
+int
+writeCacheStats(const CacheFlags& flags,
+                const CompiledCache::Stats& stats)
+{
+    if (flags.stats_path.empty())
+        return 0;
+    return writeOutput(flags.stats_path, json::toJson(stats) + "\n",
+                       flags.stats_path == "-");
 }
 
 int
@@ -293,6 +401,7 @@ runRun(int argc, char** argv)
     std::string network_list = "all";
     std::string json_path;
     SimRequest request;
+    CacheFlags cache_flags;
 
     ArgCursor args(argc, argv);
     while (args.more()) {
@@ -303,6 +412,8 @@ runRun(int argc, char** argv)
             network_list = args.value(arg);
         else if (handleCommonFlag(arg, args, request.seed,
                                   request.threads))
+            continue;
+        else if (handleCacheFlag(arg, args, cache_flags))
             continue;
         else if (arg == "--no-energy")
             request.energy = false;
@@ -318,8 +429,14 @@ runRun(int argc, char** argv)
     request.networks = resolveNetworks(network_list);
     if (request.networks.empty())
         throw std::invalid_argument("--network list is empty");
+    if (json_path == "-" && cache_flags.stats_path == "-")
+        throw std::invalid_argument(
+            "--json - and --cache-stats - would interleave two "
+            "documents on stdout; write at most one of them to '-'");
+    request.compiled_cache = processCache(cache_flags);
 
     const SimReport report = SimEngine().run(request);
+    printCacheSummary(report.compile_cache);
 
     // Summary table, normalized to the first requested accelerator.
     std::vector<std::string> headers = {"network", "accel", "cycles",
@@ -357,9 +474,10 @@ runRun(int argc, char** argv)
     }
     std::printf("%s", table.str().c_str());
 
+    int rc = writeCacheStats(cache_flags, report.compile_cache);
     if (!json_path.empty())
-        return writeOutput(json_path, json::toJson(report));
-    return 0;
+        rc |= writeOutput(json_path, json::toJson(report));
+    return rc;
 }
 
 int
@@ -367,6 +485,7 @@ runSweep(int argc, char** argv)
 {
     SweepRequest request;
     std::string csv_path, json_path;
+    CacheFlags cache_flags;
 
     ArgCursor args(argc, argv);
     while (args.more()) {
@@ -382,6 +501,8 @@ runSweep(int argc, char** argv)
         else if (handleCommonFlag(arg, args, request.seed,
                                   request.threads))
             continue;
+        else if (handleCacheFlag(arg, args, cache_flags))
+            continue;
         else if (arg == "--no-energy")
             request.energy = false;
         else if (arg == "--csv")
@@ -393,14 +514,21 @@ runSweep(int argc, char** argv)
     }
     if (request.grids.empty())
         throw std::invalid_argument("sweep needs at least one --grid");
-    if (csv_path == "-" && json_path == "-")
+    const int stdout_sinks = (csv_path == "-") + (json_path == "-") +
+                             (cache_flags.stats_path == "-");
+    if (stdout_sinks > 1)
         throw std::invalid_argument(
-            "--csv - and --json - would interleave two formats on "
-            "stdout; write at most one of them to '-'");
+            "--csv, --json and --cache-stats would interleave "
+            "multiple documents on stdout; write at most one of them "
+            "to '-'");
     if (request.networks.empty())
         request.networks.push_back("all");
+    request.compiled_cache = processCache(cache_flags);
 
     const SweepReport report = SweepEngine().run(request);
+    // The CSV/JSON artifacts stay cache-agnostic (byte-identical cold
+    // or warm); the accounting goes to stderr and --cache-stats.
+    printCacheSummary(report.compile_cache);
 
     // Summary table; full per-cell detail goes to --csv/--json.
     const bool to_stdout = csv_path == "-" || json_path == "-";
@@ -440,7 +568,7 @@ runSweep(int argc, char** argv)
                                    : report.cells.size() / n_designs);
     }
 
-    int rc = 0;
+    int rc = writeCacheStats(cache_flags, report.compile_cache);
     if (!csv_path.empty())
         rc |= writeOutput(csv_path, toCsv(report), to_stdout);
     if (!json_path.empty())
@@ -561,6 +689,7 @@ runBench(int argc, char** argv)
     int threads = 0;
     std::string out_path = "BENCH_sweep.json";
     std::string kernels_out_path = "BENCH_kernels.json";
+    CacheFlags cache_flags;
 
     ArgCursor args(argc, argv);
     while (args.more()) {
@@ -568,6 +697,8 @@ runBench(int argc, char** argv)
         if (arg == "--quick")
             quick = true;
         else if (handleCommonFlag(arg, args, seed, threads))
+            continue;
+        else if (handleCacheFlag(arg, args, cache_flags))
             continue;
         else if (arg == "--out")
             out_path = args.value(arg);
@@ -623,6 +754,7 @@ runBench(int argc, char** argv)
         sweep.networks = {"vgg16-l8", "alexnet-l4"};
     sweep.seed = seed;
     sweep.threads = threads;
+    sweep.compiled_cache = processCache(cache_flags);
     const auto t_sweep = Clock::now();
     const SweepReport report = SweepEngine().run(sweep);
     const double sweep_ms = ms_since(t_sweep);
@@ -636,6 +768,18 @@ runBench(int argc, char** argv)
     // vs time executing the datapath models.
     metrics.emplace_back("prepare_ms", report.prepare_ms);
     metrics.emplace_back("sim_ms", report.sim_ms);
+    // Compiled-cache counters: informational for trend tooling (they
+    // are zero on a cold, disk-less run by design).
+    const CompiledCache::Stats& cc = report.compile_cache;
+    metrics.emplace_back("cache_hits", static_cast<double>(cc.hits));
+    metrics.emplace_back("cache_misses",
+                         static_cast<double>(cc.misses));
+    metrics.emplace_back("cache_disk_hits",
+                         static_cast<double>(cc.disk_hits));
+    metrics.emplace_back("cache_evictions",
+                         static_cast<double>(cc.evictions));
+    metrics.emplace_back("cache_bytes",
+                         static_cast<double>(cc.bytes));
 
     // 4. Kernel microbenches + the zero-allocation steady-state check,
     //    reported in their own schema-stable file.
@@ -643,8 +787,9 @@ runBench(int argc, char** argv)
     runKernelBench(quick, seed, kernel_metrics);
 
     // Schema-stable output: the perf-trajectory tooling and the CI
-    // perf-smoke validator both key on "schema" and the metric list.
-    // loas-bench/2 added the prepare_ms / sim_ms two-phase split;
+    // trend gate (tools/bench_compare.py) both key on "schema" and
+    // the metric list. loas-bench/2 added the prepare_ms / sim_ms
+    // two-phase split, loas-bench/3 the compile-cache counters;
     // loas-kernels/1 is the kernel-bench companion.
     const auto render = [&](const char* schema, const auto& list) {
         std::string out = "{\n";
@@ -665,20 +810,153 @@ runBench(int argc, char** argv)
 
     for (const auto& [name, value] : metrics)
         std::printf("%-24s %12.3f\n", name.c_str(), value);
-    std::printf("compile cache: %llu misses, %llu hits, %.1f KB\n",
-                static_cast<unsigned long long>(
-                    report.compile_cache.misses),
-                static_cast<unsigned long long>(
-                    report.compile_cache.hits),
-                static_cast<double>(report.compile_cache.bytes) /
-                    1024.0);
+    printCacheSummary(report.compile_cache);
     for (const auto& [name, value] : kernel_metrics)
         std::printf("%-32s %16.3f\n", name.c_str(), value);
 
-    int rc = writeOutput(out_path, render("loas-bench/2", metrics));
+    int rc = writeCacheStats(cache_flags, report.compile_cache);
+    rc |= writeOutput(out_path, render("loas-bench/3", metrics));
     rc |= writeOutput(kernels_out_path,
                       render("loas-kernels/1", kernel_metrics));
     return rc;
+}
+
+/**
+ * Manage the on-disk artifact cache.
+ *
+ *   cache stats --cache-dir PATH   occupancy + format version
+ *   cache clear --cache-dir PATH   delete every stored artifact
+ *   cache warm  --cache-dir PATH [--accel LIST] [--network GRIDS]
+ *               [--seed N]
+ *       Precompile the artifacts the given accelerators would need on
+ *       the given networks and persist them, so the *first* real run
+ *       already skips recompression. Only one compilation happens per
+ *       (family, ft-variant) x layer, exactly like an engine run.
+ */
+int
+runCache(int argc, char** argv)
+{
+    if (argc < 1)
+        throw std::invalid_argument(
+            "cache needs an action: stats, clear or warm");
+    const std::string action = argv[0];
+    if (action != "stats" && action != "clear" && action != "warm")
+        throw std::invalid_argument(
+            "unknown cache action '" + action +
+            "' (known: stats, clear, warm)");
+
+    std::string accel_list = "sparten,gospa,gamma,loas,loas-ft";
+    std::string network_list = "all";
+    std::uint64_t seed = 101;
+    int threads = 0;
+    CacheFlags cache_flags;
+
+    ArgCursor args(argc - 1, argv + 1);
+    while (args.more()) {
+        const std::string arg = args.next();
+        if (arg == "--accel")
+            accel_list = args.value(arg);
+        else if (arg == "--network")
+            network_list = args.value(arg);
+        else if (handleCommonFlag(arg, args, seed, threads))
+            continue;
+        else if (handleCacheFlag(arg, args, cache_flags))
+            continue;
+        else
+            throw std::invalid_argument("unknown flag '" + arg + "'");
+    }
+    if (cache_flags.dir.empty())
+        throw std::invalid_argument("cache " + action +
+                                    " needs --cache-dir PATH");
+
+    const ArtifactStore store(cache_flags.dir);
+    if (action == "stats") {
+        const ArtifactStore::DiskStats stats = store.stats();
+        std::printf("cache dir:      %s\n", store.dir().c_str());
+        std::printf("format version: %u\n",
+                    ArtifactStore::kFormatVersion);
+        std::printf("artifacts:      %llu\n",
+                    static_cast<unsigned long long>(stats.files));
+        std::printf("bytes:          %llu (%.1f KB)\n",
+                    static_cast<unsigned long long>(stats.bytes),
+                    static_cast<double>(stats.bytes) / 1024.0);
+        return 0;
+    }
+    if (action == "clear") {
+        const std::size_t removed = store.clear();
+        std::printf("removed %zu artifacts from %s\n", removed,
+                    store.dir().c_str());
+        return 0;
+    }
+
+    // warm: compile once per (network, layer, family, ft, t, seed)
+    // key through a disk-backed cache — misses write the files a
+    // later run/sweep/bench with the same --cache-dir will load.
+    const auto& registry = AcceleratorRegistry::instance();
+    struct Variant
+    {
+        std::unique_ptr<Accelerator> instance;
+        bool ft;
+    };
+    std::vector<Variant> variants;
+    std::set<std::string> seen_families;
+    for (const auto& spec_string : splitSpecList(accel_list)) {
+        const AccelSpec spec = parseAccelSpec(spec_string);
+        const bool ft = registry.entry(spec.key).ft_workload;
+        auto instance = registry.make(spec);
+        if (seen_families
+                .insert(instance->formatFamily() +
+                        (ft ? "#ft" : "#plain"))
+                .second)
+            variants.push_back(Variant{std::move(instance), ft});
+    }
+
+    CompiledCache cache;
+    cache.setByteBudget(cache_flags.budget_mb * 1024 * 1024);
+    cache.setDiskDir(cache_flags.dir);
+    const std::vector<NetworkSpec> networks =
+        expandNetworkGrids(splitSpecList(network_list, ';'));
+    bool want_plain = false, want_ft = false;
+    for (const auto& variant : variants)
+        (variant.ft ? want_ft : want_plain) = true;
+    for (const auto& net : networks) {
+        std::vector<LayerData> plain, ft;
+        if (want_plain)
+            plain = generateNetwork(net, seed);
+        if (want_ft)
+            ft = generateNetwork(net, seed, /*ft=*/true);
+        // Warm layers in parallel (--threads): prepare() is const and
+        // builds only locals, so concurrent calls on one instance are
+        // safe, and the cache's per-slot locking keeps each distinct
+        // key once-only.
+        for (const auto& variant : variants) {
+            const auto& layers = variant.ft ? ft : plain;
+            parallelFor(
+                layers.size(), resolveThreads(threads),
+                [&](std::size_t l) {
+                    cache.getOrCompile(
+                        compiledLayerKey(
+                            net.name, l, variant.ft,
+                            variant.instance->formatFamily(),
+                            layers[l].spec.t, seed),
+                        [&] {
+                            return variant.instance->prepare(
+                                layers[l]);
+                        });
+                });
+        }
+    }
+
+    const CompiledCache::Stats stats = cache.stats();
+    const ArtifactStore::DiskStats disk = store.stats();
+    std::printf("warmed %s: %llu compiled, %llu already on disk, "
+                "%llu files (%.1f KB) total\n",
+                store.dir().c_str(),
+                static_cast<unsigned long long>(stats.misses),
+                static_cast<unsigned long long>(stats.disk_hits),
+                static_cast<unsigned long long>(disk.files),
+                static_cast<double>(disk.bytes) / 1024.0);
+    return writeCacheStats(cache_flags, stats);
 }
 
 } // namespace
@@ -698,6 +976,8 @@ main(int argc, char** argv)
             return runSweep(argc - 2, argv + 2);
         if (command == "bench")
             return runBench(argc - 2, argv + 2);
+        if (command == "cache")
+            return runCache(argc - 2, argv + 2);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
