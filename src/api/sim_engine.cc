@@ -71,6 +71,16 @@ SimEngine::run(const SimRequest& request) const
 
     const int threads = resolveThreads(request.threads);
 
+    // Cancellation is cooperative and cell-granular: the token is
+    // polled before each unit of work, so a cancelled run stops
+    // within one workload synthesis / one cell simulation.
+    const auto check_cancelled = [&] {
+        if (request.cancel &&
+            request.cancel->load(std::memory_order_relaxed))
+            throw SimCancelled();
+    };
+    check_cancelled();
+
     // Phase 1: synthesize each needed (network, ft-variant) workload
     // once; the cached layers are shared read-only by every backend.
     const std::size_t n_nets = request.networks.size();
@@ -80,6 +90,7 @@ SimEngine::run(const SimRequest& request) const
 
     std::vector<std::vector<LayerData>> plain(n_nets), ft(n_nets);
     parallelFor(n_nets, threads, [&](std::size_t i) {
+        check_cancelled();
         const NetworkSpec& net = request.networks[i];
         if (want_plain)
             plain[i] = generateNetwork(net, request.seed);
@@ -108,11 +119,15 @@ SimEngine::run(const SimRequest& request) const
         local_cache.setByteBudget(request.cache_budget_bytes);
         local_cache.setDiskDir(request.cache_dir);
     }
-    const CompiledCache::Stats cache_before = cache->stats();
+    // This run's own cache counters, attributed exactly under the
+    // cache mutex — not a before/after snapshot subtraction, so the
+    // tally stays correct when concurrent runs share the cache.
+    CompiledCache::Stats attributed;
     std::atomic<std::uint64_t> sim_ns{0};
     using Clock = std::chrono::steady_clock;
 
     parallelFor(report.runs.size(), threads, [&](std::size_t i) {
+        check_cancelled();
         const std::size_t a = i / n_nets;
         const std::size_t n = i % n_nets;
         const AccelJob& accel = accels[a];
@@ -132,7 +147,8 @@ SimEngine::run(const SimRequest& request) const
                 compiledLayerKey(net.name, l, accel.ft_workload,
                                  family, layers[l].spec.t,
                                  request.seed),
-                [&] { return instance->prepare(layers[l]); }));
+                [&] { return instance->prepare(layers[l]); },
+                &attributed));
 
         const auto t_exec = Clock::now();
         run.result = instance->runNetwork(compiled, net.name);
@@ -156,8 +172,10 @@ SimEngine::run(const SimRequest& request) const
     for (const auto& net : request.networks)
         cache->finishNetwork(net.name);
 
-    report.compile_cache =
-        CompiledCache::Stats::delta(cache->stats(), cache_before);
+    report.compile_cache = attributed;
+    const CompiledCache::Stats occupancy = cache->stats();
+    report.compile_cache.entries = occupancy.entries;
+    report.compile_cache.bytes = occupancy.bytes;
     report.prepare_ms = report.compile_cache.compile_ms;
     report.sim_ms =
         static_cast<double>(sim_ns.load()) / 1e6;

@@ -25,7 +25,9 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -74,6 +76,22 @@ struct SimRequest
 
     /** Private cache's on-disk level directory ("" = none). */
     std::string cache_dir;
+
+    /**
+     * Cooperative cancellation token, owned by the caller and shared
+     * with whoever may cancel the run (the serve job queue sets it on
+     * cancel/timeout). The engine checks it between workload
+     * syntheses and between job-matrix cells — never mid-cell — and
+     * aborts by throwing SimCancelled. Null = not cancellable.
+     */
+    const std::atomic<bool>* cancel = nullptr;
+};
+
+/** Thrown by SimEngine::run when the request's cancel token is set. */
+class SimCancelled : public std::runtime_error
+{
+  public:
+    SimCancelled() : std::runtime_error("simulation run cancelled") {}
 };
 
 /** One (accelerator, network) cell of a finished job matrix. */
@@ -92,13 +110,12 @@ struct SimReport
 
     /**
      * Compiled-workload cache accounting of this run: counters are
-     * deltas over the run (thread-count invariant for a private
-     * cache), entries/bytes the cache's occupancy after it.
-     * compile_ms is wall time and varies run to run. When several
-     * engine runs share one cache *concurrently*, the deltas span
-     * whatever the cache did during this run's window — overlapping
-     * runs' compilations included — so per-run attribution is only
-     * exact for private caches or serialized runs.
+     * this run's own lookups, attributed exactly at the cache mutex
+     * (thread-count invariant, and exact even when several engine
+     * runs share one cache concurrently — each run tallies only the
+     * hits/misses/disk traffic its own getOrCompile calls caused);
+     * entries/bytes are the shared cache's occupancy after the run.
+     * compile_ms is wall time and varies run to run.
      */
     CompiledCache::Stats compile_cache;
 

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Single source for every externally visible format/schema version:
+ * the CLI's own version, the schema tags stamped into the bench/list
+ * JSON artifacts, and the serve protocol revision. `loas_cli version`
+ * emits them all in one object so clients (and the serve protocol's
+ * `version` command) can check compatibility before submitting work;
+ * the on-disk artifact format version lives with its serializer
+ * (ArtifactStore::kFormatVersion) and is re-exported by that command.
+ *
+ * Bump rules: a schema tag changes whenever the corresponding
+ * document's field set changes (bench_compare.py refuses mismatched
+ * schemas); the serve schema changes whenever a request or response
+ * field changes meaning; the CLI version tracks the PR sequence.
+ */
+
+#pragma once
+
+namespace loas {
+
+inline constexpr char kCliVersion[] = "0.6.0";
+
+/** loas_cli bench BENCH_sweep.json ("metrics" list; /4 added the
+ *  served-throughput metric). */
+inline constexpr char kBenchSchema[] = "loas-bench/4";
+
+/** loas_cli bench BENCH_kernels.json kernel microbench companion. */
+inline constexpr char kKernelsSchema[] = "loas-kernels/1";
+
+/** loas_cli list --json accelerator catalog. */
+inline constexpr char kListSchema[] = "loas-list/1";
+
+/** loas_cli serve newline-delimited JSON protocol (src/serve/). */
+inline constexpr char kServeSchema[] = "loas-serve/1";
+
+/** loas_cli version self-description object. */
+inline constexpr char kVersionSchema[] = "loas-version/1";
+
+} // namespace loas

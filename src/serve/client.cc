@@ -1,0 +1,91 @@
+#include "serve/client.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace loas {
+namespace serve {
+
+ServeClient::ServeClient(const std::string& socket_path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path))
+        throw std::runtime_error("socket path too long: " +
+                                 socket_path);
+    std::memcpy(addr.sun_path, socket_path.c_str(),
+                socket_path.size() + 1);
+
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        throw std::runtime_error(std::string("socket(): ") +
+                                 std::strerror(errno));
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+        const std::string what = std::strerror(errno);
+        ::close(fd_);
+        fd_ = -1;
+        throw std::runtime_error("connect(" + socket_path +
+                                 "): " + what + " — is the daemon "
+                                 "running? (loas_cli serve)");
+    }
+}
+
+ServeClient::~ServeClient()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+std::string
+ServeClient::call(const std::string& request_line)
+{
+    std::string out = request_line;
+    out += '\n';
+    std::size_t off = 0;
+    while (off < out.size()) {
+        const ssize_t n =
+            ::write(fd_, out.data() + off, out.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw std::runtime_error(std::string("write(): ") +
+                                     std::strerror(errno));
+        }
+        off += static_cast<std::size_t>(n);
+    }
+
+    char chunk[4096];
+    while (true) {
+        const std::size_t newline_at = buffer_.find('\n');
+        if (newline_at != std::string::npos) {
+            std::string line = buffer_.substr(0, newline_at);
+            buffer_.erase(0, newline_at + 1);
+            return line;
+        }
+        const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0)
+            throw std::runtime_error(std::string("read(): ") +
+                                     std::strerror(errno));
+        if (n == 0)
+            throw std::runtime_error(
+                "server closed the connection before replying");
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+JsonValue
+ServeClient::callJson(const std::string& request_line)
+{
+    return parseJson(call(request_line));
+}
+
+} // namespace serve
+} // namespace loas

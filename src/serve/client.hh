@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Minimal client for the serve protocol: connect to the daemon's
+ * socket, send one-line JSON requests, read one-line JSON replies.
+ * Backs the `loas_cli request` subcommand and the serve tests; it is
+ * transport only — callers build request lines (or use the helpers
+ * here) and parse replies with serve/json_parse.hh.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "serve/json_parse.hh"
+
+namespace loas {
+namespace serve {
+
+/** One connection to a serve daemon. */
+class ServeClient
+{
+  public:
+    /** Connect; throws std::runtime_error if the daemon is not
+     *  listening on `socket_path`. */
+    explicit ServeClient(const std::string& socket_path);
+
+    ~ServeClient();
+
+    ServeClient(const ServeClient&) = delete;
+    ServeClient& operator=(const ServeClient&) = delete;
+
+    /**
+     * Send one request line (newline appended here) and block for the
+     * reply line. Throws std::runtime_error if the connection drops
+     * mid-exchange (e.g. non-drain server shutdown).
+     */
+    std::string call(const std::string& request_line);
+
+    /** call() + parse; also throws on a malformed reply. */
+    JsonValue callJson(const std::string& request_line);
+
+  private:
+    int fd_ = -1;
+    std::string buffer_;
+};
+
+} // namespace serve
+} // namespace loas

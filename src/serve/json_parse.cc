@@ -1,0 +1,363 @@
+#include "serve/json_parse.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace loas {
+namespace serve {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+/** Cursor over the input with offset-carrying error reporting. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    JsonValue
+    document()
+    {
+        JsonValue value = parseValue(0);
+        skipSpace();
+        if (pos_ != text_.size())
+            fail("trailing characters after JSON document");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string& what) const
+    {
+        throw std::invalid_argument("JSON parse error at byte " +
+                                    std::to_string(pos_) + ": " + what);
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(const char* literal)
+    {
+        const std::size_t n = std::char_traits<char>::length(literal);
+        if (text_.compare(pos_, n, literal) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    JsonValue
+    parseValue(int depth)
+    {
+        if (depth > kMaxDepth)
+            fail("nesting deeper than " + std::to_string(kMaxDepth));
+        skipSpace();
+        const char c = peek();
+        JsonValue value;
+        switch (c) {
+          case '{':
+            return parseObject(depth);
+          case '[':
+            return parseArray(depth);
+          case '"':
+            value.type = JsonValue::Type::String;
+            value.string = parseString();
+            return value;
+          case 't':
+            if (!consumeLiteral("true"))
+                fail("invalid literal");
+            value.type = JsonValue::Type::Bool;
+            value.boolean = true;
+            return value;
+          case 'f':
+            if (!consumeLiteral("false"))
+                fail("invalid literal");
+            value.type = JsonValue::Type::Bool;
+            value.boolean = false;
+            return value;
+          case 'n':
+            if (!consumeLiteral("null"))
+                fail("invalid literal");
+            return value;
+          default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject(int depth)
+    {
+        JsonValue value;
+        value.type = JsonValue::Type::Object;
+        expect('{');
+        skipSpace();
+        if (peek() == '}') {
+            ++pos_;
+            return value;
+        }
+        while (true) {
+            skipSpace();
+            if (peek() != '"')
+                fail("object key must be a string");
+            std::string key = parseString();
+            skipSpace();
+            expect(':');
+            JsonValue member = parseValue(depth + 1);
+            // Last occurrence wins; erase an earlier duplicate so
+            // get() (first match) honors that rule.
+            for (auto it = value.object.begin();
+                 it != value.object.end(); ++it) {
+                if (it->first == key) {
+                    value.object.erase(it);
+                    break;
+                }
+            }
+            value.object.emplace_back(std::move(key),
+                                      std::move(member));
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return value;
+        }
+    }
+
+    JsonValue
+    parseArray(int depth)
+    {
+        JsonValue value;
+        value.type = JsonValue::Type::Array;
+        expect('[');
+        skipSpace();
+        if (peek() == ']') {
+            ++pos_;
+            return value;
+        }
+        while (true) {
+            value.array.push_back(parseValue(depth + 1));
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return value;
+        }
+    }
+
+    unsigned
+    parseHex4()
+    {
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = peek();
+            ++pos_;
+            code <<= 4;
+            if (c >= '0' && c <= '9')
+                code |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                code |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                code |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("invalid \\u escape digit");
+        }
+        return code;
+    }
+
+    void
+    appendUtf8(std::string& out, unsigned code)
+    {
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        } else if (code < 0x10000) {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            const char esc = peek();
+            ++pos_;
+            switch (esc) {
+              case '"':
+              case '\\':
+              case '/':
+                out += esc;
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                unsigned code = parseHex4();
+                if (code >= 0xd800 && code <= 0xdbff) {
+                    // High surrogate: a \uDC00-\uDFFF must follow.
+                    if (!consumeLiteral("\\u"))
+                        fail("high surrogate without low surrogate");
+                    const unsigned low = parseHex4();
+                    if (low < 0xdc00 || low > 0xdfff)
+                        fail("invalid low surrogate");
+                    code = 0x10000 + ((code - 0xd800) << 10) +
+                           (low - 0xdc00);
+                } else if (code >= 0xdc00 && code <= 0xdfff) {
+                    fail("lone low surrogate");
+                }
+                appendUtf8(out, code);
+                break;
+              }
+              default:
+                fail("invalid escape character");
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        const std::string token = text_.substr(start, pos_ - start);
+        errno = 0;
+        char* end = nullptr;
+        const double parsed = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size() || token.empty() ||
+            errno == ERANGE)
+            fail("invalid number '" + token + "'");
+        JsonValue value;
+        value.type = JsonValue::Type::Number;
+        value.number = parsed;
+        return value;
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+const JsonValue*
+JsonValue::get(const std::string& key) const
+{
+    if (type != Type::Object)
+        return nullptr;
+    for (const auto& [name, value] : object)
+        if (name == key)
+            return &value;
+    return nullptr;
+}
+
+std::string
+JsonValue::getString(const std::string& key,
+                     const std::string& fallback) const
+{
+    const JsonValue* member = get(key);
+    if (member == nullptr || member->isNull())
+        return fallback;
+    if (!member->isString())
+        throw std::invalid_argument("field '" + key +
+                                    "' must be a string");
+    return member->string;
+}
+
+double
+JsonValue::getNumber(const std::string& key, double fallback) const
+{
+    const JsonValue* member = get(key);
+    if (member == nullptr || member->isNull())
+        return fallback;
+    if (!member->isNumber())
+        throw std::invalid_argument("field '" + key +
+                                    "' must be a number");
+    return member->number;
+}
+
+bool
+JsonValue::getBool(const std::string& key, bool fallback) const
+{
+    const JsonValue* member = get(key);
+    if (member == nullptr || member->isNull())
+        return fallback;
+    if (!member->isBool())
+        throw std::invalid_argument("field '" + key +
+                                    "' must be a boolean");
+    return member->boolean;
+}
+
+JsonValue
+parseJson(const std::string& text)
+{
+    return Parser(text).document();
+}
+
+} // namespace serve
+} // namespace loas

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Minimal JSON reader for the serve protocol. The tree's json.hh is a
+ * writer only; the daemon additionally has to *parse* the one-line
+ * request objects clients send. This is a small recursive-descent
+ * parser into a DOM value — no external dependency, full escape
+ * handling (including \uXXXX with surrogate pairs), a recursion-depth
+ * cap so a hostile request cannot overflow the stack, and strict
+ * trailing-garbage rejection so framing bugs surface as errors
+ * instead of silently truncated requests.
+ *
+ * Numbers are held as double (JSON's own model); protocol fields that
+ * carry 64-bit ids stay exact up to 2^53, far beyond any realistic
+ * job count.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace loas {
+namespace serve {
+
+/** One parsed JSON value; a tagged tree. */
+class JsonValue
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    /** Insertion-ordered; duplicate keys keep the last occurrence. */
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isNull() const { return type == Type::Null; }
+    bool isBool() const { return type == Type::Bool; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+    bool isArray() const { return type == Type::Array; }
+    bool isObject() const { return type == Type::Object; }
+
+    /** Object member by key, or nullptr (also for non-objects). */
+    const JsonValue* get(const std::string& key) const;
+
+    /** Typed member accessors with defaults; wrong types throw
+     *  std::invalid_argument naming the key, so protocol errors read
+     *  like validation messages, not crashes. */
+    std::string getString(const std::string& key,
+                          const std::string& fallback) const;
+    double getNumber(const std::string& key, double fallback) const;
+    bool getBool(const std::string& key, bool fallback) const;
+};
+
+/**
+ * Parse one complete JSON document. Throws std::invalid_argument with
+ * a byte offset on malformed input, unterminated values, nesting
+ * deeper than an internal cap, or trailing non-whitespace.
+ */
+JsonValue parseJson(const std::string& text);
+
+} // namespace serve
+} // namespace loas

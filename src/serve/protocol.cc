@@ -1,0 +1,133 @@
+#include "serve/protocol.hh"
+
+#include <stdexcept>
+
+#include "api/accel_spec.hh"
+#include "api/json.hh"
+#include "api/sweep.hh"
+#include "api/versions.hh"
+#include "serve/json_parse.hh"
+#include "workload/artifact_store.hh"
+
+namespace loas {
+namespace serve {
+
+namespace {
+
+/** Join with a separator no spec string can contain. */
+std::string
+joinList(const std::vector<std::string>& items)
+{
+    std::string out;
+    for (const auto& item : items) {
+        out += item;
+        out += '\x1f';
+    }
+    return out;
+}
+
+std::uint64_t
+getUint(const JsonValue& request, const std::string& key,
+        std::uint64_t fallback)
+{
+    const double value =
+        request.getNumber(key, static_cast<double>(fallback));
+    if (value < 0 || value != static_cast<double>(
+                                  static_cast<std::uint64_t>(value)))
+        throw std::invalid_argument("field '" + key +
+                                    "' must be a non-negative integer");
+    return static_cast<std::uint64_t>(value);
+}
+
+} // namespace
+
+RunSpec
+parseRunSpec(const JsonValue& request)
+{
+    RunSpec spec;
+    spec.accels =
+        splitSpecList(request.getString("accel", kDefaultAccels));
+    // Semicolons, like sweep grids: network grid strings use commas
+    // for value lists ("vgg16-l8?ws=0.982,0.25").
+    spec.networks =
+        splitSpecList(request.getString("network", "all"), ';');
+    if (spec.accels.empty())
+        throw std::invalid_argument("accel list is empty");
+    if (spec.networks.empty())
+        throw std::invalid_argument("network list is empty");
+    spec.seed = getUint(request, "seed", spec.seed);
+    spec.energy = request.getBool("energy", spec.energy);
+    spec.timeout_ms = request.getNumber("timeout_ms", 0.0);
+    if (spec.timeout_ms < 0)
+        throw std::invalid_argument("timeout_ms must be >= 0");
+    return spec;
+}
+
+std::string
+dedupKey(const RunSpec& spec)
+{
+    return joinList(spec.accels) + "|" + coalesceKey(spec);
+}
+
+std::string
+coalesceKey(const RunSpec& spec)
+{
+    return joinList(spec.networks) + "|s" +
+           std::to_string(spec.seed) +
+           (spec.energy ? "|e1" : "|e0");
+}
+
+SimRequest
+toSimRequest(const RunSpec& spec)
+{
+    SimRequest request;
+    request.accels = spec.accels;
+    request.networks = expandNetworkGrids(spec.networks);
+    request.seed = spec.seed;
+    request.energy = spec.energy;
+    return request;
+}
+
+std::string
+versionJson()
+{
+    std::string out = "{";
+    out += "\"schema\": " + json::quote(kVersionSchema);
+    out += ", \"cli\": " + json::quote(kCliVersion);
+    out += ", \"bench_schema\": " + json::quote(kBenchSchema);
+    out += ", \"kernels_schema\": " + json::quote(kKernelsSchema);
+    out += ", \"list_schema\": " + json::quote(kListSchema);
+    out += ", \"serve_schema\": " + json::quote(kServeSchema);
+    out += ", \"artifact_format\": " +
+           std::to_string(ArtifactStore::kFormatVersion);
+    out += "}";
+    return out;
+}
+
+std::string
+errorResponse(const std::string& code, const std::string& message)
+{
+    return std::string("{\"schema\": ") + json::quote(kServeSchema) +
+           ", \"ok\": false, \"error\": " + json::quote(code) +
+           ", \"message\": " + json::quote(message) + "}";
+}
+
+std::string
+cacheStatsJson(const CompiledCache::Stats& stats)
+{
+    std::string out = "{";
+    out += "\"hits\": " + json::num(stats.hits);
+    out += ", \"misses\": " + json::num(stats.misses);
+    out += ", \"disk_hits\": " + json::num(stats.disk_hits);
+    out += ", \"disk_writes\": " + json::num(stats.disk_writes);
+    out += ", \"disk_rejects\": " + json::num(stats.disk_rejects);
+    out += ", \"evictions\": " + json::num(stats.evictions);
+    out += ", \"entries\": " + json::num(stats.entries);
+    out += ", \"bytes\": " + json::num(stats.bytes);
+    out += ", \"compile_ms\": " + json::num(stats.compile_ms);
+    out += "}";
+    return out;
+}
+
+} // namespace serve
+} // namespace loas

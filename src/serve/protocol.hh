@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Wire protocol of the `loas_cli serve` daemon: newline-delimited JSON
+ * over a local stream socket, schema `loas-serve/1`. Every request is
+ * one JSON object on one line, every reply one JSON object on one
+ * line; a connection may issue any number of requests sequentially.
+ *
+ * Requests ("cmd" selects one):
+ *
+ *   {"cmd":"submit", "accel":"sparten,loas", "network":"alexnet",
+ *    "seed":101, "energy":true, "timeout_ms":0, "wait":true}
+ *       Enqueue one simulation job — the same (accelerator x network)
+ *       matrix `loas_cli run` executes, so a served report is
+ *       byte-identical to the one-shot run of the same parameters.
+ *       "accel" is a comma-separated spec list, "network" a
+ *       semicolon-separated list of network names or single-layer
+ *       grids (see expandNetworkGrids). With "wait" (the default) the
+ *       reply arrives when the job reaches a terminal state; with
+ *       "wait":false the reply acknowledges the queued job and the
+ *       client polls.
+ *
+ *   {"cmd":"poll",   "id":N}     Job state (+ result when terminal).
+ *   {"cmd":"cancel", "id":N}     Cancel a queued or running job.
+ *   {"cmd":"stats"}              Queue counters + shared cache stats.
+ *   {"cmd":"version"}            The loas_cli version object.
+ *   {"cmd":"shutdown", "drain":true}
+ *       Stop the daemon; drain=true finishes queued jobs first.
+ *
+ * Replies always carry "schema" and "ok". Transport/admission errors
+ * are {"ok":false, "error":CODE, "message":...} with CODE one of
+ * bad_request, queue_full, shutting_down, unknown_id. Job *outcomes*
+ * are ok:true with "state" in queued|running|done|cancelled|timeout|
+ * failed; a done reply embeds the full report document as the JSON
+ * string field "report" — exactly the bytes `loas_cli run --json`
+ * would have written — plus per-request "stats" (queue_ms, run_ms,
+ * compile_ms, sim_ms and the exact attributed cache counters).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/sim_engine.hh"
+
+namespace loas {
+namespace serve {
+
+class JsonValue;
+
+/** Default accelerator list, shared with `loas_cli run`. */
+inline constexpr char kDefaultAccels[] =
+    "sparten,gospa,gamma,loas,loas-ft";
+
+/** One submit request, as named on the wire. */
+struct RunSpec
+{
+    /** Accelerator spec strings, in request order. */
+    std::vector<std::string> accels;
+
+    /** Network names / single-layer grid strings, in request order. */
+    std::vector<std::string> networks;
+
+    std::uint64_t seed = 101;
+    bool energy = true;
+
+    /** Per-request deadline; 0 = the server's default (may be none). */
+    double timeout_ms = 0.0;
+};
+
+/**
+ * Parse the wire fields of a submit object ("accel", "network",
+ * "seed", "energy", "timeout_ms") into a RunSpec. Missing fields take
+ * the `loas_cli run` defaults so a bare {"cmd":"submit"} serves the
+ * default matrix. Throws std::invalid_argument on bad types/values.
+ */
+RunSpec parseRunSpec(const JsonValue& request);
+
+/**
+ * Exact-identity key of a request: two submits dedup onto one
+ * in-flight job iff their keys are equal (same accel strings in the
+ * same order, same networks, seed, energy).
+ */
+std::string dedupKey(const RunSpec& spec);
+
+/**
+ * Compatibility key for job coalescing: requests with equal coalesce
+ * keys (same networks, seed, energy — accelerators free) can merge
+ * into one engine run over the union of their accelerator lists,
+ * sharing one workload synthesis and one compile pass.
+ */
+std::string coalesceKey(const RunSpec& spec);
+
+/**
+ * Lower a RunSpec to an engine request: resolve the network list
+ * (throws std::invalid_argument for unknown names/grids) and copy the
+ * scalar knobs. Cache wiring, threads and the cancel token stay with
+ * the caller — the job queue owns those.
+ */
+SimRequest toSimRequest(const RunSpec& spec);
+
+/** `{"schema":"loas-version/1", ...}` one-line version object: CLI
+ *  version, every artifact schema tag, on-disk artifact format. */
+std::string versionJson();
+
+/** One-line error reply. */
+std::string errorResponse(const std::string& code,
+                          const std::string& message);
+
+/** Compact single-line rendering of cache counters + gauges. */
+std::string cacheStatsJson(const CompiledCache::Stats& stats);
+
+} // namespace serve
+} // namespace loas

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The `loas_cli serve` daemon: a local stream-socket (AF_UNIX) server
+ * speaking the NDJSON protocol of protocol.hh, one thread per
+ * connection, all simulation work delegated to the shared JobQueue.
+ *
+ * Lifecycle: construct (binds and listens — throws std::runtime_error
+ * if the path is taken), then run() blocks accepting connections until
+ * requestStop() is called — from another thread, from a connection's
+ * `shutdown` command, or from a signal handler (requestStop is
+ * async-signal-safe: it only write()s to an internal wake pipe).
+ *
+ * Shutdown order matters for the "drain" guarantee: stop accepting,
+ * let the queue finish (or cancel) its jobs, then force-close the
+ * connections still blocked in read and join their threads. A client
+ * waiting on a job therefore gets its reply before its connection
+ * drops; a client merely idle gets EOF.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/job_queue.hh"
+
+namespace loas {
+namespace serve {
+
+/** NDJSON simulation server over a unix socket. */
+class Server
+{
+  public:
+    struct Config
+    {
+        /** Filesystem path of the listening socket (unlinked on
+         *  close; a stale file from a dead server is replaced). */
+        std::string socket_path;
+
+        JobQueue::Config queue;
+    };
+
+    /**
+     * Bind + listen and start the job queue; `cache` is the shared
+     * compiled-artifact cache (see JobQueue). Throws
+     * std::runtime_error on socket errors (path too long for
+     * sun_path, address in use by a live server, permissions).
+     */
+    Server(Config config, CompiledCache* cache = nullptr,
+           JobQueue::Runner runner = {});
+
+    /** Stops (non-drain) if still running. */
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /**
+     * Accept/serve until requestStop(); returns after every
+     * connection thread is joined and the socket path is unlinked.
+     */
+    void run();
+
+    /**
+     * Ask run() to return. Async-signal-safe. With `drain`, queued
+     * jobs finish and waiting clients get replies first; without,
+     * everything in flight is cancelled.
+     */
+    void requestStop(bool drain = true);
+
+    /** The bound socket path (echo of config). */
+    const std::string& socketPath() const { return socket_path_; }
+
+    JobQueue& queue() { return *queue_; }
+
+  private:
+    void connectionLoop(int fd);
+    /** One reply per request line; a `shutdown` command reports
+     *  itself via the out-params so the caller can write the reply
+     *  BEFORE stopping the server (otherwise the force-close of the
+     *  connection races the reply write). */
+    std::string handleLine(const std::string& line,
+                           bool* shutdown_requested,
+                           bool* shutdown_drain);
+    std::string handleSubmit(const JsonValue& request);
+    std::string handlePoll(const JsonValue& request);
+    std::string handleCancel(const JsonValue& request);
+    std::string handleStats();
+    std::string jobReply(const JobQueue::Result& result) const;
+
+    const std::string socket_path_;
+    std::unique_ptr<JobQueue> queue_;
+    CompiledCache* const cache_;
+
+    int listen_fd_ = -1;
+    int wake_read_fd_ = -1;
+    int wake_write_fd_ = -1;
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> drain_{true};
+
+    std::mutex connections_mutex_;
+    struct Connection
+    {
+        int fd = -1;
+        std::thread thread;
+    };
+    std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+} // namespace serve
+} // namespace loas

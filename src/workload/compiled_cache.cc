@@ -107,7 +107,7 @@ CompiledCache::enforceBudgetLocked(const std::string& protect)
 
 std::shared_ptr<const CompiledLayer>
 CompiledCache::getOrCompile(const std::string& key,
-                            const Compile& compile)
+                            const Compile& compile, Stats* attributed)
 {
     std::shared_ptr<Slot> slot;
     std::shared_ptr<const ArtifactStore> disk;
@@ -127,6 +127,8 @@ CompiledCache::getOrCompile(const std::string& key,
     if (slot->value) {
         const std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.hits;
+        if (attributed)
+            ++attributed->hits;
         touchLocked(key, *slot);
         return slot->value;
     }
@@ -142,13 +144,19 @@ CompiledCache::getOrCompile(const std::string& key,
             slot->value = std::move(loaded.layer);
             const std::lock_guard<std::mutex> lock(mutex_);
             ++stats_.disk_hits;
+            if (attributed)
+                ++attributed->disk_hits;
             // The slot may have been dropped by clear() while the
             // file was read; only a slot still in the table joins
             // the accounting and the LRU.
             const auto it = slots_.find(key);
             if (it != slots_.end() && it->second == slot) {
+                const std::uint64_t evicted_before = stats_.evictions;
                 insertAccountedLocked(key, *slot);
                 enforceBudgetLocked(key);
+                if (attributed)
+                    attributed->evictions +=
+                        stats_.evictions - evicted_before;
             }
             return slot->value;
         }
@@ -172,10 +180,21 @@ CompiledCache::getOrCompile(const std::string& key,
         ++stats_.disk_rejects;
     if (persisted)
         ++stats_.disk_writes;
+    if (attributed) {
+        ++attributed->misses;
+        attributed->compile_ms += ms;
+        if (disk_rejected)
+            ++attributed->disk_rejects;
+        if (persisted)
+            ++attributed->disk_writes;
+    }
     const auto it = slots_.find(key);
     if (it != slots_.end() && it->second == slot) {
+        const std::uint64_t evicted_before = stats_.evictions;
         insertAccountedLocked(key, *slot);
         enforceBudgetLocked(key);
+        if (attributed)
+            attributed->evictions += stats_.evictions - evicted_before;
     }
     return slot->value;
 }

@@ -33,6 +33,15 @@
  * through one insert/erase pair, so `bytes` always equals the sum of
  * the currently-resident artifacts' footprints, across hits, misses,
  * disk loads, evictions and clear().
+ *
+ * Accounting comes in two views. stats() is the cache-wide total,
+ * snapshotted consistently under the cache mutex. For per-request
+ * accounting, getOrCompile() additionally takes an `attributed` Stats
+ * the caller owns: every counter the call bumps globally is bumped
+ * there too, under the same mutex, so a request's counters are exact
+ * even while other engines hammer the same cache concurrently — the
+ * serve daemon's per-request cache deltas come from this, not from
+ * subtracting racy before/after snapshots.
  */
 
 #pragma once
@@ -112,9 +121,16 @@ class CompiledCache
      * level, else compiled via `compile` (and persisted when a disk
      * level is attached). Concurrent requests for the same key block
      * until the one compilation finishes and then share its artifact.
+     *
+     * When `attributed` is given, every counter this call adds to the
+     * global stats (hits/misses/disk traffic/evictions/compile_ms) is
+     * also added there, under the cache mutex — callers sharing one
+     * `attributed` across their worker threads get an exact per-run
+     * tally with no extra synchronization. Its gauges are left alone.
      */
     std::shared_ptr<const CompiledLayer>
-    getOrCompile(const std::string& key, const Compile& compile);
+    getOrCompile(const std::string& key, const Compile& compile,
+                 Stats* attributed = nullptr);
 
     /**
      * In-memory byte budget; 0 = unlimited. When an insert pushes

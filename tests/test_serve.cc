@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Socket-level tests of the serve daemon: the NDJSON protocol, the
+ * golden-identity guarantee (a served report is byte-identical to the
+ * one-shot `loas_cli run --json` document for the same parameters, on
+ * every registered design), backpressure, cancellation over the wire,
+ * and drain shutdown.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "api/accel_spec.hh"
+#include "api/json.hh"
+#include "api/registry.hh"
+#include "api/versions.hh"
+#include "serve/client.hh"
+#include "serve/json_parse.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+
+namespace loas {
+namespace serve {
+namespace {
+
+/** Unique short socket path (sun_path caps at ~108 bytes). */
+std::string
+socketPath()
+{
+    static std::atomic<int> counter{0};
+    return "/tmp/loas-serve-test-" + std::to_string(::getpid()) +
+           "-" + std::to_string(counter++) + ".sock";
+}
+
+/** A server on its own thread + cache, torn down on destruction. */
+class TestServer
+{
+  public:
+    explicit TestServer(JobQueue::Config queue_config = {},
+                        JobQueue::Runner runner = {})
+    {
+        Server::Config config;
+        config.socket_path = socketPath();
+        config.queue = queue_config;
+        server = std::make_unique<Server>(config, &cache,
+                                          std::move(runner));
+        thread = std::thread([this] { server->run(); });
+    }
+
+    ~TestServer()
+    {
+        server->requestStop(true);
+        thread.join();
+    }
+
+    const std::string& path() const { return server->socketPath(); }
+
+    CompiledCache cache;
+    std::unique_ptr<Server> server;
+    std::thread thread;
+};
+
+TEST(Serve, ServedReportIsByteIdenticalToOneShotOnAllDesigns)
+{
+    // Every registered design in one request; alexnet-l4 keeps each
+    // cell small while still exercising all seven simulators.
+    std::string accels;
+    for (const auto& key : AcceleratorRegistry::instance().keys())
+        accels += (accels.empty() ? "" : ",") + key;
+
+    TestServer server;
+    ServeClient client(server.path());
+    const JsonValue reply = client.callJson(
+        "{\"cmd\": \"submit\", \"accel\": " + json::quote(accels) +
+        ", \"network\": \"alexnet-l4\", \"seed\": 11}");
+    ASSERT_TRUE(reply.getBool("ok", false));
+    ASSERT_EQ(reply.getString("state", ""), "done");
+
+    RunSpec one_shot;
+    one_shot.accels = splitSpecList(accels);
+    one_shot.networks = {"alexnet-l4"};
+    one_shot.seed = 11;
+    const SimReport report = SimEngine().run(toSimRequest(one_shot));
+
+    const JsonValue* served = reply.get("report");
+    ASSERT_NE(served, nullptr);
+    ASSERT_TRUE(served->isString());
+    EXPECT_EQ(served->string, json::toJson(report));
+
+    // The per-request stats carry the exact cache attribution.
+    const JsonValue* stats = reply.get("stats");
+    ASSERT_NE(stats, nullptr);
+    const JsonValue* cache = stats->get("cache");
+    ASSERT_NE(cache, nullptr);
+    EXPECT_GT(cache->getNumber("misses", 0), 0.0);
+    EXPECT_GE(stats->getNumber("run_ms", -1), 0.0);
+}
+
+TEST(Serve, WarmRepeatRequestCompilesNothing)
+{
+    TestServer server;
+    ServeClient client(server.path());
+    const std::string submit =
+        "{\"cmd\": \"submit\", \"accel\": \"loas\", "
+        "\"network\": \"alexnet-l4\"}";
+
+    const JsonValue cold = client.callJson(submit);
+    ASSERT_EQ(cold.getString("state", ""), "done");
+    EXPECT_GT(cold.get("stats")->get("cache")->getNumber("misses", 0),
+              0.0);
+
+    const JsonValue warm = client.callJson(submit);
+    ASSERT_EQ(warm.getString("state", ""), "done");
+    const JsonValue* cache = warm.get("stats")->get("cache");
+    EXPECT_EQ(cache->getNumber("misses", -1), 0.0);
+    EXPECT_GT(cache->getNumber("hits", 0), 0.0);
+
+    // Identical inputs, identical bytes — cold or warm.
+    EXPECT_EQ(cold.get("report")->string, warm.get("report")->string);
+}
+
+TEST(Serve, VersionAndStatsCommands)
+{
+    TestServer server;
+    ServeClient client(server.path());
+
+    const JsonValue version = client.callJson("{\"cmd\": \"version\"}");
+    EXPECT_TRUE(version.getBool("ok", false));
+    const JsonValue* inner = version.get("version");
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(inner->getString("serve_schema", ""), kServeSchema);
+    EXPECT_EQ(inner->getString("cli", ""), kCliVersion);
+    EXPECT_EQ(inner->getString("bench_schema", ""), kBenchSchema);
+    EXPECT_GT(inner->getNumber("artifact_format", 0), 0.0);
+
+    const JsonValue stats = client.callJson("{\"cmd\": \"stats\"}");
+    EXPECT_TRUE(stats.getBool("ok", false));
+    ASSERT_NE(stats.get("queue"), nullptr);
+    ASSERT_NE(stats.get("cache"), nullptr);
+    EXPECT_EQ(stats.get("queue")->getNumber("submitted", -1), 0.0);
+}
+
+TEST(Serve, MalformedAndUnknownRequestsGetStructuredErrors)
+{
+    TestServer server;
+    ServeClient client(server.path());
+
+    const JsonValue garbage = client.callJson("this is not json");
+    EXPECT_FALSE(garbage.getBool("ok", true));
+    EXPECT_EQ(garbage.getString("error", ""), "bad_request");
+
+    const JsonValue unknown_cmd =
+        client.callJson("{\"cmd\": \"frobnicate\"}");
+    EXPECT_EQ(unknown_cmd.getString("error", ""), "bad_request");
+
+    const JsonValue bad_network = client.callJson(
+        "{\"cmd\": \"submit\", \"network\": \"no-such-net\"}");
+    EXPECT_EQ(bad_network.getString("error", ""), "bad_request");
+
+    const JsonValue unknown_id =
+        client.callJson("{\"cmd\": \"poll\", \"id\": 424242}");
+    EXPECT_EQ(unknown_id.getString("error", ""), "unknown_id");
+}
+
+TEST(Serve, FullQueueRepliesWithBackpressureNotAHang)
+{
+    JobQueue::Config config;
+    config.max_depth = 0; // every submit beyond the workers bounces
+    TestServer server(config, [](const SimRequest&) {
+        // Never reached: nothing is ever admitted.
+        return SimReport{};
+    });
+    ServeClient client(server.path());
+
+    const JsonValue reply = client.callJson(
+        "{\"cmd\": \"submit\", \"accel\": \"loas\", "
+        "\"network\": \"alexnet-l4\"}");
+    EXPECT_FALSE(reply.getBool("ok", true));
+    EXPECT_EQ(reply.getString("error", ""), "queue_full");
+    EXPECT_FALSE(reply.getString("message", "").empty());
+}
+
+TEST(Serve, CancelOverTheWire)
+{
+    // Runner parks until its cancel token trips, like the engine's
+    // cooperative checkpoints.
+    TestServer server({}, [](const SimRequest& request) -> SimReport {
+        while (request.cancel == nullptr ||
+               !request.cancel->load(std::memory_order_relaxed))
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        throw SimCancelled();
+    });
+    ServeClient client(server.path());
+
+    const JsonValue submitted = client.callJson(
+        "{\"cmd\": \"submit\", \"accel\": \"loas\", "
+        "\"network\": \"alexnet-l4\", \"wait\": false}");
+    ASSERT_TRUE(submitted.getBool("ok", false));
+    const auto id = static_cast<std::uint64_t>(
+        submitted.getNumber("id", 0));
+
+    const JsonValue cancelled = client.callJson(
+        "{\"cmd\": \"cancel\", \"id\": " + std::to_string(id) + "}");
+    EXPECT_TRUE(cancelled.getBool("ok", false));
+    EXPECT_TRUE(cancelled.getBool("cancelled", false));
+
+    const JsonValue polled = client.callJson(
+        "{\"cmd\": \"poll\", \"id\": " + std::to_string(id) + "}");
+    EXPECT_EQ(polled.getString("state", ""), "cancelled");
+
+    // Cancelling a terminal job is a no-op, reported as such.
+    const JsonValue again = client.callJson(
+        "{\"cmd\": \"cancel\", \"id\": " + std::to_string(id) + "}");
+    EXPECT_TRUE(again.getBool("ok", false));
+    EXPECT_FALSE(again.getBool("cancelled", true));
+}
+
+TEST(Serve, ShutdownCommandDrainsInFlightJobs)
+{
+    Server::Config config;
+    config.socket_path = socketPath();
+    CompiledCache cache;
+    Server server(config, &cache);
+    std::thread thread([&server] { server.run(); });
+
+    {
+        ServeClient client(server.socketPath());
+        const JsonValue submitted = client.callJson(
+            "{\"cmd\": \"submit\", \"accel\": \"loas\", "
+            "\"network\": \"alexnet-l4\", \"wait\": false}");
+        ASSERT_TRUE(submitted.getBool("ok", false));
+        const JsonValue stopping =
+            client.callJson("{\"cmd\": \"shutdown\", \"drain\": true}");
+        EXPECT_TRUE(stopping.getBool("ok", false));
+        EXPECT_TRUE(stopping.getBool("stopping", false));
+    }
+    thread.join(); // run() returns only after the queue drained
+
+    const JobQueue::Counters counters = server.queue().counters();
+    EXPECT_EQ(counters.done, 1u);
+    EXPECT_EQ(counters.cancelled, 0u);
+    EXPECT_EQ(counters.failed, 0u);
+}
+
+TEST(Serve, ConcurrentIdenticalClientsShareOneCompile)
+{
+    TestServer server;
+    const std::string submit =
+        "{\"cmd\": \"submit\", \"accel\": \"loas\", "
+        "\"network\": \"alexnet-l4\", \"seed\": 3}";
+
+    std::string reports[3];
+    std::thread clients[3];
+    for (int i = 0; i < 3; ++i) {
+        clients[i] = std::thread([&, i] {
+            ServeClient client(server.path());
+            const JsonValue reply = client.callJson(submit);
+            if (reply.getString("state", "") == "done" &&
+                reply.get("report") != nullptr)
+                reports[i] = reply.get("report")->string;
+        });
+    }
+    for (auto& client : clients)
+        client.join();
+
+    ASSERT_FALSE(reports[0].empty());
+    EXPECT_EQ(reports[0], reports[1]);
+    EXPECT_EQ(reports[0], reports[2]);
+    // One compiled-artifact key; however the three submits raced
+    // (dedup, coalesce, or sequential warm runs), it compiled once.
+    EXPECT_EQ(server.cache.stats().misses, 1u);
+}
+
+} // namespace
+} // namespace serve
+} // namespace loas

@@ -36,6 +36,11 @@ import sys
 LOWER_IS_BETTER_PREFIXES = ("sim_ms",)
 HIGHER_IS_BETTER_SUFFIX = "_per_s"
 
+# Throughputs measured across a socket round trip jitter with runner
+# load far beyond the compute-bound metrics, so they trend in the
+# table without gating the job (loas-bench/4).
+INFORMATIONAL_METRICS = {"serve_requests_per_s"}
+
 
 def load_bench(path):
     with open(path) as f:
@@ -60,6 +65,8 @@ def load_bench(path):
 
 def classify(name):
     """One of 'lower', 'higher', 'hard', 'info' for a metric name."""
+    if name in INFORMATIONAL_METRICS:
+        return "info"
     # join_allocs_steady and execute_allocs_steady_<design> alike.
     if "_allocs_steady" in name or name == "alloc_hook_active":
         return "hard"

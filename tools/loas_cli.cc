@@ -45,6 +45,24 @@
  *       delete stored artifacts, or precompile (warm) the artifacts a
  *       later run/sweep would need.
  *
+ *   loas_cli serve --socket PATH [--workers N] [--max-depth N] ...
+ *       Long-running simulation daemon: accepts concurrent requests
+ *       as newline-delimited JSON over a unix socket (schema
+ *       loas-serve/1, see src/serve/protocol.hh), runs them through
+ *       an async job queue with dedup, coalescing, cancellation and
+ *       backpressure, and shares one process-lifetime compiled cache
+ *       across every request — a warm daemon serves repeat requests
+ *       with zero compiles. SIGTERM/SIGINT drain and exit cleanly.
+ *
+ *   loas_cli request --socket PATH [run flags] [--json PATH]
+ *       Client for the daemon: submit one run (the report written by
+ *       --json is byte-identical to `loas_cli run --json` of the same
+ *       parameters), or --cmd stats|version|shutdown, or --raw LINE.
+ *
+ *   loas_cli version
+ *       One JSON object with the CLI version and every artifact
+ *       schema/format version this binary reads or writes.
+ *
  * run, sweep and bench accept the shared cache flags:
  *   --cache-dir PATH  persist compiled artifacts on disk; a later
  *                     invocation with the same flag skips operand
@@ -58,9 +76,12 @@
  *                     rejects, evictions, compile_ms
  */
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -68,6 +89,7 @@
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -77,11 +99,16 @@
 #include "api/sim_engine.hh"
 #include "api/sweep.hh"
 #include "api/sweep_io.hh"
+#include "api/versions.hh"
 #include "common/alloc_hook.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
 #include "core/inner_join.hh"
+#include "serve/client.hh"
+#include "serve/json_parse.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
 #include "tensor/ranked_bitmask.hh"
 #include "workload/artifact_store.hh"
 #include "workload/compiled_cache.hh"
@@ -110,6 +137,15 @@ usage(const char* argv0)
         "       loas_cli cache stats|clear --cache-dir PATH\n"
         "       loas_cli cache warm --cache-dir PATH [--accel LIST]\n"
         "           [--network GRIDS] [--seed N]\n"
+        "       loas_cli serve --socket PATH [--workers N]\n"
+        "           [--engine-threads N] [--max-depth N]\n"
+        "           [--timeout-ms MS] [--no-coalesce] [cache flags]\n"
+        "       loas_cli request --socket PATH [--accel LIST]\n"
+        "           [--network LIST] [--seed N] [--no-energy]\n"
+        "           [--timeout-ms MS] [--no-wait] [--json PATH]\n"
+        "           [--cmd submit|stats|version|shutdown]\n"
+        "           [--no-drain] [--raw LINE]\n"
+        "       loas_cli version\n"
         "\n"
         "cache flags (run/sweep/bench):\n"
         "  --cache-dir PATH  persist compiled artifacts on disk and\n"
@@ -127,7 +163,9 @@ usage(const char* argv0)
         "run:\n"
         "  --accel LIST    comma-separated accelerator specs\n"
         "                  (default: sparten,gospa,gamma,loas,loas-ft)\n"
-        "  --network LIST  alexnet, vgg16, resnet19 or all (default)\n"
+        "  --network LIST  alexnet, vgg16, resnet19, all (default), or\n"
+        "                  single-layer grids like alexnet-l4?t=8\n"
+        "                  (';'-separated when grids carry value lists)\n"
         "  --seed N        workload-synthesis seed (default 101)\n"
         "  --threads N     worker threads (default: all cores)\n"
         "  --no-energy     skip the energy model\n"
@@ -150,7 +188,27 @@ usage(const char* argv0)
         "  --quick         small matrix for the CI perf-smoke job\n"
         "  --out PATH      output JSON (default BENCH_sweep.json)\n"
         "  --kernels-out PATH\n"
-        "                  kernel-bench JSON (default BENCH_kernels.json)\n",
+        "                  kernel-bench JSON (default BENCH_kernels.json)\n"
+        "\n"
+        "serve:\n"
+        "  --socket PATH   unix-socket path to listen on (required)\n"
+        "  --workers N     concurrent engine runs (default 1)\n"
+        "  --engine-threads N\n"
+        "                  threads inside each run (default: all cores)\n"
+        "  --max-depth N   queued jobs before submits get queue_full\n"
+        "                  (default 64)\n"
+        "  --timeout-ms MS default per-job deadline (default 0 = none)\n"
+        "  --no-coalesce   never merge compatible jobs into one run\n"
+        "\n"
+        "request:\n"
+        "  --socket PATH   daemon socket to connect to (required)\n"
+        "  --cmd CMD       submit (default), stats, version, shutdown\n"
+        "  --json PATH     write the served report (\"-\": stdout);\n"
+        "                  byte-identical to `run --json` of the same\n"
+        "                  --accel/--network/--seed/--no-energy\n"
+        "  --no-wait       submit asynchronously and print the job id\n"
+        "  --no-drain      with --cmd shutdown: cancel in-flight jobs\n"
+        "  --raw LINE      send LINE verbatim, print the reply line\n",
         argv0, argv0, argv0, argv0);
     return 2;
 }
@@ -350,7 +408,7 @@ runList(int argc, char** argv)
     // Machine-readable catalog, schema-versioned like the bench output.
     const auto keys = registry.keys();
     std::string out = "{\n";
-    out += "  \"schema\": \"loas-list/1\",\n";
+    out += std::string("  \"schema\": \"") + kListSchema + "\",\n";
     out += "  \"accelerators\": [\n";
     for (std::size_t i = 0; i < keys.size(); ++i) {
         const auto& entry = registry.entry(keys[i]);
@@ -371,33 +429,26 @@ runList(int argc, char** argv)
     return writeOutput(json_path, out);
 }
 
-std::vector<NetworkSpec>
-resolveNetworks(const std::string& list)
+/**
+ * Split a --network value into grid strings. Grid option values are
+ * comma-separated ("alexnet-l4?t=4,8"), so lists holding grids use
+ * ';'; plain name lists keep the historical comma form. The entries
+ * feed expandNetworkGrids — the same resolution the sweep engine and
+ * the serve daemon use, which is what makes a served report
+ * byte-identical to the one-shot run of the same parameters.
+ */
+std::vector<std::string>
+splitNetworkList(const std::string& list)
 {
-    std::vector<NetworkSpec> networks;
-    for (const auto& name : splitSpecList(list)) {
-        if (name == "all") {
-            for (const auto& net : tables::allNetworks())
-                networks.push_back(net);
-        } else if (name == "alexnet") {
-            networks.push_back(tables::alexnet());
-        } else if (name == "vgg16") {
-            networks.push_back(tables::vgg16());
-        } else if (name == "resnet19") {
-            networks.push_back(tables::resnet19());
-        } else {
-            throw std::invalid_argument(
-                "unknown network '" + name +
-                "' (known: alexnet, vgg16, resnet19, all)");
-        }
-    }
-    return networks;
+    const bool grid_form = list.find(';') != std::string::npos ||
+                           list.find('?') != std::string::npos;
+    return splitSpecList(list, grid_form ? ';' : ',');
 }
 
 int
 runRun(int argc, char** argv)
 {
-    std::string accel_list = "sparten,gospa,gamma,loas,loas-ft";
+    std::string accel_list = serve::kDefaultAccels;
     std::string network_list = "all";
     std::string json_path;
     SimRequest request;
@@ -426,7 +477,8 @@ runRun(int argc, char** argv)
     request.accels = splitSpecList(accel_list);
     if (request.accels.empty())
         throw std::invalid_argument("--accel list is empty");
-    request.networks = resolveNetworks(network_list);
+    request.networks =
+        expandNetworkGrids(splitNetworkList(network_list));
     if (request.networks.empty())
         throw std::invalid_argument("--network list is empty");
     if (json_path == "-" && cache_flags.stats_path == "-")
@@ -781,7 +833,40 @@ runBench(int argc, char** argv)
     metrics.emplace_back("cache_bytes",
                          static_cast<double>(cc.bytes));
 
-    // 4. Kernel microbenches + the zero-allocation steady-state check,
+    // 4. Served-request throughput: a daemon on a scratch socket,
+    //    one warm-up submit, then timed sequential requests — every
+    //    timed one is a pure cache-hit run, so this tracks the serve
+    //    pipeline overhead (socket round trip, queue, report slicing
+    //    and rendering), not compile time.
+    {
+        serve::Server::Config server_config;
+        server_config.socket_path = "/tmp/loas-bench-" +
+                                    std::to_string(::getpid()) +
+                                    ".sock";
+        server_config.queue.engine_threads = threads;
+        serve::Server server(server_config, sweep.compiled_cache);
+        std::thread server_thread([&server] { server.run(); });
+        {
+            serve::ServeClient client(server_config.socket_path);
+            const std::string submit =
+                std::string("{\"cmd\": \"submit\", \"accel\": "
+                            "\"loas\", \"network\": ") +
+                json::quote(quick ? "alexnet-l4" : "alexnet") +
+                ", \"seed\": " + std::to_string(seed) + "}";
+            client.call(submit); // warm-up: compiles once
+            const int requests = quick ? 8 : 32;
+            const auto t_serve = Clock::now();
+            for (int i = 0; i < requests; ++i)
+                client.call(submit);
+            metrics.emplace_back("serve_requests_per_s",
+                                 requests /
+                                     (ms_since(t_serve) / 1000.0));
+        }
+        server.requestStop(true);
+        server_thread.join();
+    }
+
+    // 5. Kernel microbenches + the zero-allocation steady-state check,
     //    reported in their own schema-stable file.
     std::vector<std::pair<std::string, double>> kernel_metrics;
     runKernelBench(quick, seed, kernel_metrics);
@@ -789,8 +874,9 @@ runBench(int argc, char** argv)
     // Schema-stable output: the perf-trajectory tooling and the CI
     // trend gate (tools/bench_compare.py) both key on "schema" and
     // the metric list. loas-bench/2 added the prepare_ms / sim_ms
-    // two-phase split, loas-bench/3 the compile-cache counters;
-    // loas-kernels/1 is the kernel-bench companion.
+    // two-phase split, loas-bench/3 the compile-cache counters,
+    // loas-bench/4 the served-request throughput; loas-kernels/1 is
+    // the kernel-bench companion.
     const auto render = [&](const char* schema, const auto& list) {
         std::string out = "{\n";
         out += std::string("  \"schema\": \"") + schema + "\",\n";
@@ -815,9 +901,9 @@ runBench(int argc, char** argv)
         std::printf("%-32s %16.3f\n", name.c_str(), value);
 
     int rc = writeCacheStats(cache_flags, report.compile_cache);
-    rc |= writeOutput(out_path, render("loas-bench/3", metrics));
+    rc |= writeOutput(out_path, render(kBenchSchema, metrics));
     rc |= writeOutput(kernels_out_path,
-                      render("loas-kernels/1", kernel_metrics));
+                      render(kKernelsSchema, kernel_metrics));
     return rc;
 }
 
@@ -845,7 +931,7 @@ runCache(int argc, char** argv)
             "unknown cache action '" + action +
             "' (known: stats, clear, warm)");
 
-    std::string accel_list = "sparten,gospa,gamma,loas,loas-ft";
+    std::string accel_list = serve::kDefaultAccels;
     std::string network_list = "all";
     std::uint64_t seed = 101;
     int threads = 0;
@@ -959,6 +1045,229 @@ runCache(int argc, char** argv)
     return writeCacheStats(cache_flags, stats);
 }
 
+/** `loas_cli version`: one JSON object, every version in one place. */
+int
+runVersion(int argc, char** argv)
+{
+    (void)argv;
+    if (argc != 0)
+        throw std::invalid_argument("version takes no flags");
+    std::printf("%s\n", serve::versionJson().c_str());
+    return 0;
+}
+
+serve::Server* g_server = nullptr;
+
+extern "C" void
+handleStopSignal(int)
+{
+    // Async-signal-safe: requestStop only write()s to a wake pipe.
+    if (g_server != nullptr)
+        g_server->requestStop(/*drain=*/true);
+}
+
+int
+runServe(int argc, char** argv)
+{
+    serve::Server::Config config;
+    CacheFlags cache_flags;
+
+    ArgCursor args(argc, argv);
+    while (args.more()) {
+        const std::string arg = args.next();
+        if (arg == "--socket")
+            config.socket_path = args.value(arg);
+        else if (arg == "--workers")
+            config.queue.workers = static_cast<int>(
+                std::min<std::uint64_t>(parseUint(arg, args.value(arg)),
+                                        256));
+        else if (arg == "--engine-threads" || arg == "--threads")
+            config.queue.engine_threads = static_cast<int>(
+                std::min<std::uint64_t>(parseUint(arg, args.value(arg)),
+                                        1024));
+        else if (arg == "--max-depth")
+            config.queue.max_depth = static_cast<std::size_t>(
+                parseUint(arg, args.value(arg)));
+        else if (arg == "--timeout-ms")
+            config.queue.default_timeout_ms = static_cast<double>(
+                parseUint(arg, args.value(arg)));
+        else if (arg == "--no-coalesce")
+            config.queue.coalesce = false;
+        else if (handleCacheFlag(arg, args, cache_flags))
+            continue;
+        else
+            throw std::invalid_argument("unknown flag '" + arg + "'");
+    }
+    if (config.socket_path.empty())
+        throw std::invalid_argument("serve needs --socket PATH");
+    if (config.queue.workers < 1)
+        throw std::invalid_argument("--workers must be >= 1");
+
+    serve::Server server(config, processCache(cache_flags));
+    g_server = &server;
+    std::signal(SIGTERM, handleStopSignal);
+    std::signal(SIGINT, handleStopSignal);
+    // A client that disconnects mid-reply must not kill the daemon.
+    std::signal(SIGPIPE, SIG_IGN);
+    std::fprintf(stderr,
+                 "loas_cli serve: listening on %s "
+                 "(workers %d, max depth %zu)\n",
+                 config.socket_path.c_str(), config.queue.workers,
+                 config.queue.max_depth);
+    server.run();
+    g_server = nullptr;
+    std::fprintf(stderr, "loas_cli serve: stopped\n");
+    return 0;
+}
+
+int
+runRequest(int argc, char** argv)
+{
+    std::string socket_path;
+    std::string cmd = "submit";
+    std::string accel_list = serve::kDefaultAccels;
+    std::string network_list = "all";
+    std::string json_path;
+    std::string raw_line;
+    std::uint64_t seed = 101;
+    bool energy = true;
+    bool wait = true;
+    bool drain = true;
+    double timeout_ms = 0.0;
+
+    ArgCursor args(argc, argv);
+    while (args.more()) {
+        const std::string arg = args.next();
+        if (arg == "--socket")
+            socket_path = args.value(arg);
+        else if (arg == "--cmd")
+            cmd = args.value(arg);
+        else if (arg == "--accel")
+            accel_list = args.value(arg);
+        else if (arg == "--network")
+            network_list = args.value(arg);
+        else if (arg == "--seed")
+            seed = parseUint(arg, args.value(arg));
+        else if (arg == "--no-energy")
+            energy = false;
+        else if (arg == "--no-wait")
+            wait = false;
+        else if (arg == "--no-drain")
+            drain = false;
+        else if (arg == "--timeout-ms")
+            timeout_ms =
+                static_cast<double>(parseUint(arg, args.value(arg)));
+        else if (arg == "--json")
+            json_path = args.value(arg);
+        else if (arg == "--raw")
+            raw_line = args.value(arg);
+        else
+            throw std::invalid_argument("unknown flag '" + arg + "'");
+    }
+    if (socket_path.empty())
+        throw std::invalid_argument("request needs --socket PATH");
+
+    serve::ServeClient client(socket_path);
+
+    if (!raw_line.empty()) {
+        std::printf("%s\n", client.call(raw_line).c_str());
+        return 0;
+    }
+
+    if (cmd == "stats" || cmd == "version") {
+        std::printf(
+            "%s\n",
+            client.call("{\"cmd\": \"" + cmd + "\"}").c_str());
+        return 0;
+    }
+    if (cmd == "shutdown") {
+        std::printf("%s\n",
+                    client
+                        .call(std::string("{\"cmd\": \"shutdown\", "
+                                          "\"drain\": ") +
+                              (drain ? "true" : "false") + "}")
+                        .c_str());
+        return 0;
+    }
+    if (cmd != "submit")
+        throw std::invalid_argument(
+            "unknown --cmd '" + cmd +
+            "' (known: submit, stats, version, shutdown)");
+
+    // Submit: the "network" field is ';'-separated on the wire, so a
+    // comma-form name list translates; grids pass through verbatim.
+    std::string network_field;
+    for (const auto& entry : splitNetworkList(network_list)) {
+        if (!network_field.empty())
+            network_field += ';';
+        network_field += entry;
+    }
+    std::string submit = "{\"cmd\": \"submit\"";
+    submit += ", \"accel\": " + json::quote(accel_list);
+    submit += ", \"network\": " + json::quote(network_field);
+    submit += ", \"seed\": " + std::to_string(seed);
+    submit += std::string(", \"energy\": ") +
+              (energy ? "true" : "false");
+    if (timeout_ms > 0)
+        submit += ", \"timeout_ms\": " + json::num(timeout_ms);
+    if (!wait)
+        submit += ", \"wait\": false";
+    submit += "}";
+
+    const serve::JsonValue reply = client.callJson(submit);
+    if (!reply.getBool("ok", false)) {
+        std::fprintf(stderr, "request failed: %s: %s\n",
+                     reply.getString("error", "?").c_str(),
+                     reply.getString("message", "").c_str());
+        return 1;
+    }
+    const std::uint64_t id =
+        static_cast<std::uint64_t>(reply.getNumber("id", 0));
+    const std::string state = reply.getString("state", "?");
+    if (!wait) {
+        std::printf("submitted job %llu (%s%s)\n",
+                    static_cast<unsigned long long>(id), state.c_str(),
+                    reply.getBool("deduped", false) ? ", deduped"
+                                                    : "");
+        return 0;
+    }
+    if (state != "done") {
+        std::fprintf(stderr, "job %llu: %s%s%s\n",
+                     static_cast<unsigned long long>(id),
+                     state.c_str(),
+                     reply.get("message") != nullptr ? ": " : "",
+                     reply.getString("message", "").c_str());
+        return 1;
+    }
+    const serve::JsonValue* stats = reply.get("stats");
+    if (stats != nullptr) {
+        const serve::JsonValue* cache = stats->get("cache");
+        std::fprintf(
+            stderr,
+            "job %llu done: queue %.1f ms, run %.1f ms "
+            "(compile %.1f ms, sim %.1f ms), cache %g hits / "
+            "%g misses%s%s\n",
+            static_cast<unsigned long long>(id),
+            stats->getNumber("queue_ms", 0), stats->getNumber("run_ms", 0),
+            stats->getNumber("compile_ms", 0),
+            stats->getNumber("sim_ms", 0),
+            cache != nullptr ? cache->getNumber("hits", 0) : 0.0,
+            cache != nullptr ? cache->getNumber("misses", 0) : 0.0,
+            reply.getBool("deduped", false) ? ", deduped" : "",
+            reply.getNumber("coalesced_with", 0) > 0 ? ", coalesced"
+                                                     : "");
+    }
+    const serve::JsonValue* report = reply.get("report");
+    if (report == nullptr || !report->isString()) {
+        std::fprintf(stderr, "reply carried no report\n");
+        return 1;
+    }
+    if (!json_path.empty())
+        return writeOutput(json_path, report->string,
+                           json_path == "-");
+    return 0;
+}
+
 } // namespace
 
 int
@@ -978,6 +1287,12 @@ main(int argc, char** argv)
             return runBench(argc - 2, argv + 2);
         if (command == "cache")
             return runCache(argc - 2, argv + 2);
+        if (command == "serve")
+            return runServe(argc - 2, argv + 2);
+        if (command == "request")
+            return runRequest(argc - 2, argv + 2);
+        if (command == "version")
+            return runVersion(argc - 2, argv + 2);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
