@@ -83,13 +83,33 @@ JobQueue::submit(const RunSpec& spec)
     }
     ++counters_.submitted;
 
+    const double timeout_ms = spec.timeout_ms > 0
+                                  ? spec.timeout_ms
+                                  : config_.default_timeout_ms;
+    const auto deadlineFor = [&](double ms) {
+        return now + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(ms));
+    };
+
     if (auto it = inflight_.find(dedup); it != inflight_.end()) {
         // Identical request already queued or running: attach to it.
-        it->second->deduped = true;
+        // The job now answers for one more submitter, so it obeys the
+        // LEAST restrictive of their deadlines, and cancel() needs one
+        // vote per attachment before it really cancels.
+        const std::shared_ptr<Job>& job = it->second;
+        job->deduped = true;
+        ++job->attached;
+        if (timeout_ms <= 0) {
+            job->has_deadline = false;
+        } else if (job->has_deadline) {
+            const auto deadline = deadlineFor(timeout_ms);
+            if (deadline > job->deadline)
+                job->deadline = deadline;
+        }
         ++counters_.deduped;
         out.accepted = true;
         out.deduped = true;
-        out.id = it->second->id;
+        out.id = job->id;
         return out;
     }
 
@@ -108,15 +128,9 @@ JobQueue::submit(const RunSpec& spec)
     job->dedup_key = dedup;
     job->coalesce_key = coalesceKey(spec);
     job->enqueued = now;
-    const double timeout_ms = spec.timeout_ms > 0
-                                  ? spec.timeout_ms
-                                  : config_.default_timeout_ms;
     if (timeout_ms > 0) {
         job->has_deadline = true;
-        job->deadline =
-            now + std::chrono::duration_cast<Clock::duration>(
-                      std::chrono::duration<double, std::milli>(
-                          timeout_ms));
+        job->deadline = deadlineFor(timeout_ms);
     }
 
     jobs_.emplace(job->id, job);
@@ -166,6 +180,13 @@ JobQueue::cancel(std::uint64_t id)
     auto it = jobs_.find(id);
     if (it == jobs_.end() || isTerminal(it->second->state))
         return false;
+    // A deduped job answers for several submitters who all hold the
+    // same id: each cancel detaches one of them, and only the last
+    // detachment cancels the job the others no longer want.
+    if (it->second->attached > 1) {
+        --it->second->attached;
+        return true;
+    }
     cancelLocked(it->second, State::Cancelled);
     done_cv_.notify_all();
     return true;

@@ -12,7 +12,11 @@
  *    backpressure, never an unbounded queue or a hang;
  *  - request dedup: a submit exactly identical to an in-flight
  *    (queued or running) job attaches to that job instead of
- *    enqueueing a copy, and both submitters share its one result;
+ *    enqueueing a copy, and all submitters share its one result. The
+ *    shared job keeps the least restrictive of the attached
+ *    submitters' deadlines, and cancel() is refcounted across them —
+ *    one cancel per attached submitter before the job actually dies
+ *    (the same vote scheme coalesce groups use);
  *  - job coalescing: when a worker dequeues a job it also takes every
  *    queued job with the same workload identity (networks, seed,
  *    energy — see protocol.hh coalesceKey) and runs the union of
@@ -185,8 +189,9 @@ class JobQueue
      *  cancels it as TimedOut); nullopt for unknown ids. */
     std::optional<Result> wait(std::uint64_t id);
 
-    /** Cancel a queued or running job. False: unknown or already
-     *  terminal. */
+    /** Cancel a queued or running job. On a deduped job this detaches
+     *  one submitter; the job dies with the last one. False: unknown
+     *  or already terminal. */
     bool cancel(std::uint64_t id);
 
     Counters counters() const;
@@ -216,6 +221,10 @@ class JobQueue
         std::chrono::steady_clock::time_point enqueued;
         std::chrono::steady_clock::time_point deadline;
         bool has_deadline = false;
+
+        /** Submitters sharing this job via dedup; each cancel()
+         *  detaches one, the last one's cancel kills the job. */
+        std::size_t attached = 1;
 
         /** Cancel intent of THIS job; the group token aggregates. */
         bool cancel_requested = false;

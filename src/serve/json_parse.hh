@@ -11,7 +11,8 @@
  *
  * Numbers are held as double (JSON's own model); protocol fields that
  * carry 64-bit ids stay exact up to 2^53, far beyond any realistic
- * job count.
+ * job count, and protocol.hh getUintField rejects anything at or
+ * beyond that bound rather than decode a nearby different integer.
  */
 
 #pragma once

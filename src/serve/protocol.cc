@@ -26,20 +26,27 @@ joinList(const std::vector<std::string>& items)
     return out;
 }
 
+} // namespace
+
 std::uint64_t
-getUint(const JsonValue& request, const std::string& key,
-        std::uint64_t fallback)
+getUintField(const JsonValue& request, const std::string& key,
+             std::uint64_t fallback)
 {
+    // JSON numbers are doubles: integers at or above 2^53 no longer
+    // round-trip exactly, so a seed like 2^63+1 would silently parse
+    // as a DIFFERENT integer that still passes the integrality check.
+    // Reject the whole inexact range instead of guessing. The bound
+    // also keeps the uint64 cast below well-defined.
+    constexpr double kExactLimit = 9007199254740992.0;  // 2^53
     const double value =
         request.getNumber(key, static_cast<double>(fallback));
-    if (value < 0 || value != static_cast<double>(
-                                  static_cast<std::uint64_t>(value)))
-        throw std::invalid_argument("field '" + key +
-                                    "' must be a non-negative integer");
+    if (value < 0 || value >= kExactLimit ||
+        value != static_cast<double>(static_cast<std::uint64_t>(value)))
+        throw std::invalid_argument(
+            "field '" + key +
+            "' must be a non-negative integer below 2^53");
     return static_cast<std::uint64_t>(value);
 }
-
-} // namespace
 
 RunSpec
 parseRunSpec(const JsonValue& request)
@@ -55,7 +62,7 @@ parseRunSpec(const JsonValue& request)
         throw std::invalid_argument("accel list is empty");
     if (spec.networks.empty())
         throw std::invalid_argument("network list is empty");
-    spec.seed = getUint(request, "seed", spec.seed);
+    spec.seed = getUintField(request, "seed", spec.seed);
     spec.energy = request.getBool("energy", spec.energy);
     spec.timeout_ms = request.getNumber("timeout_ms", 0.0);
     if (spec.timeout_ms < 0)

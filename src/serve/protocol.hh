@@ -22,6 +22,13 @@
  *   {"cmd":"poll",   "id":N}     Job state (+ result when terminal).
  *   {"cmd":"cancel", "id":N}     Cancel a queued or running job.
  *   {"cmd":"stats"}              Queue counters + shared cache stats.
+ *
+ * Dedup sharing: a submit identical to an in-flight request attaches
+ * to that job and replies with the SAME id. The shared job then obeys
+ * the least restrictive of its submitters' deadlines (a submitter
+ * with no timeout lifts the deadline entirely), and cancels are
+ * refcounted — each cancel on the id detaches one submitter, and the
+ * job is only actually cancelled when the last one has bowed out.
  *   {"cmd":"version"}            The loas_cli version object.
  *   {"cmd":"shutdown", "drain":true}
  *       Stop the daemon; drain=true finishes queued jobs first.
@@ -76,6 +83,16 @@ struct RunSpec
  * default matrix. Throws std::invalid_argument on bad types/values.
  */
 RunSpec parseRunSpec(const JsonValue& request);
+
+/**
+ * Read an unsigned-integer protocol field ("id", "seed"). JSON
+ * numbers are doubles, exact only below 2^53 — anything at or above
+ * that bound (or negative / fractional) throws std::invalid_argument
+ * rather than silently decoding to a nearby different integer.
+ */
+std::uint64_t getUintField(const JsonValue& request,
+                           const std::string& key,
+                           std::uint64_t fallback);
 
 /**
  * Exact-identity key of a request: two submits dedup onto one

@@ -5,6 +5,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
@@ -17,6 +18,11 @@ namespace loas {
 namespace serve {
 
 namespace {
+
+/** A request line still missing its newline beyond this many bytes
+ *  gets a bad_request reply and the connection closed, bounding the
+ *  per-connection buffer a hostile client can grow. */
+constexpr std::size_t kMaxRequestLineBytes = 1 << 20;
 
 /** write() the whole buffer, riding out EINTR/short writes. */
 bool
@@ -39,12 +45,9 @@ writeAll(int fd, const std::string& data)
 std::uint64_t
 requireId(const JsonValue& request)
 {
-    const double value = request.getNumber("id", -1.0);
-    if (value < 0 ||
-        value != static_cast<double>(static_cast<std::uint64_t>(value)))
-        throw std::invalid_argument(
-            "field 'id' must be a non-negative integer");
-    return static_cast<std::uint64_t>(value);
+    if (request.get("id") == nullptr)
+        throw std::invalid_argument("field 'id' is required");
+    return getUintField(request, "id", 0);
 }
 
 } // namespace
@@ -161,6 +164,7 @@ Server::run()
         if ((fds[0].revents & POLLIN) == 0)
             continue;
         const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        reapFinishedConnections();
         if (fd < 0)
             continue;
         std::lock_guard<std::mutex> lock(connections_mutex_);
@@ -168,7 +172,7 @@ Server::run()
         connection->fd = fd;
         Connection* raw = connection.get();
         connection->thread =
-            std::thread([this, raw] { connectionLoop(raw->fd); });
+            std::thread([this, raw] { connectionLoop(raw); });
         connections_.push_back(std::move(connection));
     }
 
@@ -200,7 +204,46 @@ Server::run()
 }
 
 void
-Server::connectionLoop(int fd)
+Server::reapFinishedConnections()
+{
+    // Collect under the lock, join outside it: a finished connection's
+    // thread is past its last touch of shared state and exits
+    // immediately, but join() still blocks for that instant.
+    std::vector<std::unique_ptr<Connection>> finished;
+    {
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        const auto alive_end = std::stable_partition(
+            connections_.begin(), connections_.end(),
+            [](const std::unique_ptr<Connection>& connection) {
+                return !connection->done.load(
+                    std::memory_order_acquire);
+            });
+        for (auto it = alive_end; it != connections_.end(); ++it)
+            finished.push_back(std::move(*it));
+        connections_.erase(alive_end, connections_.end());
+    }
+    for (auto& connection : finished)
+        if (connection->thread.joinable())
+            connection->thread.join();
+}
+
+void
+Server::connectionLoop(Connection* connection)
+{
+    serveConnection(connection->fd);
+    // Close under the mutex and mark the fd gone so run()'s shutdown
+    // pass can't ::shutdown()/close() it a second time; `done` makes
+    // the entry reapable by the accept loop.
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    if (connection->fd >= 0) {
+        ::close(connection->fd);
+        connection->fd = -1;
+    }
+    connection->done.store(true, std::memory_order_release);
+}
+
+void
+Server::serveConnection(int fd)
 {
     std::string buffer;
     char chunk[4096];
@@ -232,6 +275,17 @@ Server::connectionLoop(int fd)
         if (n <= 0)
             return;
         buffer.append(chunk, static_cast<std::size_t>(n));
+        if (buffer.size() > kMaxRequestLineBytes &&
+            buffer.find('\n') == std::string::npos) {
+            writeAll(fd,
+                     errorResponse(
+                         "bad_request",
+                         "request line exceeds " +
+                             std::to_string(kMaxRequestLineBytes) +
+                             " bytes") +
+                         "\n");
+            return;
+        }
     }
 }
 

@@ -79,7 +79,19 @@ class Server
     JobQueue& queue() { return *queue_; }
 
   private:
-    void connectionLoop(int fd);
+    struct Connection
+    {
+        int fd = -1;
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+
+    void connectionLoop(Connection* connection);
+    void serveConnection(int fd);
+    /** Join and drop connections whose threads have exited, so a
+     *  long-lived daemon doesn't accumulate one fd + one unjoined
+     *  thread per client that ever connected. */
+    void reapFinishedConnections();
     /** One reply per request line; a `shutdown` command reports
      *  itself via the out-params so the caller can write the reply
      *  BEFORE stopping the server (otherwise the force-close of the
@@ -104,11 +116,6 @@ class Server
     std::atomic<bool> drain_{true};
 
     std::mutex connections_mutex_;
-    struct Connection
-    {
-        int fd = -1;
-        std::thread thread;
-    };
     std::vector<std::unique_ptr<Connection>> connections_;
 };
 

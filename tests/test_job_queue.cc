@@ -165,6 +165,78 @@ TEST(JobQueue, IdenticalInFlightSubmitsDedupOntoOneJob)
     EXPECT_EQ(gate->started, 1);
 }
 
+TEST(JobQueue, DedupedCancelsAreRefcountedAcrossSubmitters)
+{
+    auto gate = std::make_shared<Gate>();
+    JobQueue queue(testConfig(), nullptr, gatedRunner(gate));
+
+    const auto first = queue.submit(spec("loas"));
+    ASSERT_TRUE(first.accepted);
+    gate->waitStarted(1);
+    const auto second = queue.submit(spec("loas"));
+    ASSERT_TRUE(second.deduped);
+    ASSERT_EQ(second.id, first.id);
+
+    // One of the two submitters bows out: the shared job must keep
+    // running for the other, not die with the first cancel.
+    EXPECT_TRUE(queue.cancel(first.id));
+    const auto polled = queue.poll(first.id);
+    ASSERT_TRUE(polled.has_value());
+    EXPECT_EQ(polled->state, JobQueue::State::Running);
+
+    gate->release();
+    const auto result = queue.wait(first.id);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->state, JobQueue::State::Done);
+    ASSERT_NE(result->report_json, nullptr);
+}
+
+TEST(JobQueue, LastDedupedCancelActuallyCancelsTheJob)
+{
+    auto gate = std::make_shared<Gate>();
+    JobQueue queue(testConfig(), nullptr, cancellableRunner(gate));
+
+    const auto first = queue.submit(spec("loas"));
+    ASSERT_TRUE(first.accepted);
+    gate->waitStarted(1);
+    const auto second = queue.submit(spec("loas"));
+    ASSERT_TRUE(second.deduped);
+
+    EXPECT_TRUE(queue.cancel(first.id)); // detaches one submitter
+    EXPECT_TRUE(queue.cancel(first.id)); // last one: real cancel
+    const auto result = queue.wait(first.id);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->state, JobQueue::State::Cancelled);
+    EXPECT_EQ(queue.counters().cancelled, 1u);
+}
+
+TEST(JobQueue, DedupedSubmitWithoutTimeoutLiftsTheSharedDeadline)
+{
+    auto gate = std::make_shared<Gate>();
+    JobQueue queue(testConfig(), nullptr, gatedRunner(gate));
+
+    RunSpec timed = spec("loas");
+    timed.timeout_ms = 150;
+    const auto first = queue.submit(timed);
+    ASSERT_TRUE(first.accepted);
+    gate->waitStarted(1);
+
+    // Second submitter has no deadline; the shared job obeys the
+    // least restrictive one, so the 150 ms deadline is lifted.
+    const auto second = queue.submit(spec("loas"));
+    ASSERT_TRUE(second.deduped);
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    const auto polled = queue.poll(first.id);
+    ASSERT_TRUE(polled.has_value());
+    EXPECT_EQ(polled->state, JobQueue::State::Running);
+
+    gate->release();
+    const auto result = queue.wait(first.id);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->state, JobQueue::State::Done);
+}
+
 TEST(JobQueue, QueueFullSubmitsGetStructuredBackpressure)
 {
     auto gate = std::make_shared<Gate>();

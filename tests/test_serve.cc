@@ -9,10 +9,14 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -167,6 +171,106 @@ TEST(Serve, MalformedAndUnknownRequestsGetStructuredErrors)
     const JsonValue unknown_id =
         client.callJson("{\"cmd\": \"poll\", \"id\": 424242}");
     EXPECT_EQ(unknown_id.getString("error", ""), "unknown_id");
+
+    // uint64 fields ride in JSON doubles, exact only below 2^53; a
+    // seed that would silently round to a DIFFERENT integer must be
+    // rejected, not simulated with the rounded value.
+    const JsonValue big_seed = client.callJson(
+        "{\"cmd\": \"submit\", \"accel\": \"loas\", "
+        "\"network\": \"alexnet-l4\", \"seed\": 9007199254740993}");
+    EXPECT_EQ(big_seed.getString("error", ""), "bad_request");
+
+    const JsonValue big_id =
+        client.callJson("{\"cmd\": \"poll\", \"id\": 1e300}");
+    EXPECT_EQ(big_id.getString("error", ""), "bad_request");
+}
+
+TEST(Serve, OversizedRequestLineGetsBadRequestAndClose)
+{
+    TestServer server;
+
+    // Raw socket: stream past the 1 MiB line cap WITHOUT a newline,
+    // stop, and expect a bad_request reply followed by EOF instead of
+    // the server buffering our bytes forever.
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, server.path().c_str(),
+                server.path().size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+
+    const std::string blob((1 << 20) + (1 << 12), 'x');
+    std::size_t off = 0;
+    while (off < blob.size()) {
+        const ssize_t n = ::send(fd, blob.data() + off,
+                                 blob.size() - off, MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR)
+            continue;
+        ASSERT_GT(n, 0);
+        off += static_cast<std::size_t>(n);
+    }
+
+    std::string reply;
+    char chunk[4096];
+    while (true) {
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break; // EOF: the server closed the connection
+        reply.append(chunk, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+
+    const std::size_t newline_at = reply.find('\n');
+    ASSERT_NE(newline_at, std::string::npos);
+    const JsonValue parsed = parseJson(reply.substr(0, newline_at));
+    EXPECT_FALSE(parsed.getBool("ok", true));
+    EXPECT_EQ(parsed.getString("error", ""), "bad_request");
+}
+
+TEST(Serve, FinishedConnectionsAreReapedNotAccumulated)
+{
+    const auto openFds = [] {
+        std::size_t count = 0;
+        for (const auto& entry :
+             std::filesystem::directory_iterator("/proc/self/fd")) {
+            (void)entry;
+            ++count;
+        }
+        return count;
+    };
+
+    TestServer server;
+    {
+        ServeClient warm(server.path());
+        warm.callJson("{\"cmd\": \"stats\"}");
+    }
+    const std::size_t baseline = openFds();
+
+    for (int i = 0; i < 32; ++i) {
+        ServeClient client(server.path());
+        client.callJson("{\"cmd\": \"stats\"}");
+    }
+
+    // Each accept reaps connections already finished; the EOF handlers
+    // run asynchronously, so keep poking until the fd table settles
+    // back to its baseline neighbourhood.
+    std::size_t now = 0;
+    for (int attempt = 0; attempt < 200; ++attempt) {
+        {
+            ServeClient poke(server.path());
+            poke.callJson("{\"cmd\": \"stats\"}");
+        }
+        now = openFds();
+        if (now <= baseline + 6)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_LE(now, baseline + 6);
 }
 
 TEST(Serve, FullQueueRepliesWithBackpressureNotAHang)
