@@ -54,10 +54,42 @@ class Accelerator
     virtual CompiledLayer prepare(const LayerData& layer) const = 0;
 
     /**
-     * Phase 2: simulate the datapath over a compiled layer. The layer
-     * must come from this design's format family (fatal otherwise).
+     * Phase 2: simulate the datapath over a compiled layer (input 0 of
+     * its batch — equivalent to executeInput(compiled, 0, 0)). The
+     * layer must come from this design's format family (fatal
+     * otherwise).
      */
     virtual RunResult execute(const CompiledLayer& compiled) = 0;
+
+    /**
+     * Phase 2 over one input of a batched compiled layer. `worker`
+     * selects the scratch pool slot and nothing else — two concurrent
+     * calls are safe iff their worker indices differ and
+     * reserveWorkers() pre-sized the pool. The default covers
+     * single-input designs: (0, 0) forwards to execute(), anything
+     * else is fatal.
+     */
+    virtual RunResult executeInput(const CompiledLayer& compiled,
+                                   std::size_t input,
+                                   std::size_t worker);
+
+    /**
+     * Pre-size per-worker execute scratch so a batch-level parallel
+     * section never grows the pool concurrently. Called serially by
+     * executeBatch(); default no-op for designs without pools.
+     */
+    virtual void reserveWorkers(std::size_t workers) { (void)workers; }
+
+    /**
+     * Phase 2 over EVERY input of a batched compiled layer: a
+     * batch-level parallel loop over per-input fibers with per-worker
+     * scratch, reduced into one aggregate in input order (bit-identical
+     * at any thread count; each input's result lands in a fixed slot).
+     * With `per_input` the per-input results are copied out (resized to
+     * the batch). threads <= 1 runs serially on worker slot 0.
+     */
+    RunResult executeBatch(const CompiledLayer& compiled, int threads,
+                           std::vector<RunResult>* per_input = nullptr);
 
     /** One-shot convenience: prepare + execute. */
     RunResult runLayer(const LayerData& layer);
@@ -71,6 +103,22 @@ class Accelerator
     runNetwork(const std::vector<std::shared_ptr<const CompiledLayer>>&
                    layers,
                const std::string& workload_name);
+
+    /**
+     * Simulate a network over every input of its batch. Layer results
+     * are summed per input; `per_input` (optional) receives the B
+     * per-input network totals and the returned aggregate sums them in
+     * input order.
+     */
+    RunResult runNetworkBatch(
+        const std::vector<std::shared_ptr<const CompiledLayer>>& layers,
+        const std::string& workload_name, int threads,
+        std::vector<RunResult>* per_input = nullptr);
+
+  private:
+    /** Reused per-input result slots of executeBatch (steady-state
+     *  batched execution stays allocation-free once warm). */
+    std::vector<RunResult> batch_slots_;
 };
 
 } // namespace loas

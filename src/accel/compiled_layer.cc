@@ -123,6 +123,7 @@ makeCompiledLayer(const LayerData& layer, std::string family,
     compiled.k = layer.spikes.cols();
     compiled.n = layer.weights.cols();
     compiled.timesteps = layer.spec.t;
+    compiled.batch = layer.batchSize();
     compiled.bytes = artifact_bytes;
     compiled.artifact = std::move(artifact);
     return compiled;

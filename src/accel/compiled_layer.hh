@@ -54,6 +54,10 @@ struct CompiledLayer
     std::size_t m = 0, k = 0, n = 0;
     int timesteps = 0;
 
+    /** Input tensors compiled into the artifact (the batch axis);
+     *  the weight-side operand is compiled exactly once per layer. */
+    std::size_t batch = 1;
+
     /** Artifact footprint estimate in bytes (cache accounting). */
     std::size_t bytes = 0;
 

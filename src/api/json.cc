@@ -205,12 +205,24 @@ toJson(const RunResult& result)
 std::string
 toJson(const SimRun& run)
 {
-    return Obj()
-        .str("accel_spec", run.accel_spec)
+    Obj obj;
+    obj.str("accel_spec", run.accel_spec)
         .str("network", run.network)
         .field("result", toJson(run.result))
-        .field("energy", toJson(run.energy))
-        .render();
+        .field("energy", toJson(run.energy));
+    // Batched cells carry their per-input results; unbatched cells
+    // leave per_input empty, keeping batch-1 reports byte-identical to
+    // the pre-batching schema.
+    if (!run.per_input.empty()) {
+        std::string inputs = "[\n";
+        for (std::size_t b = 0; b < run.per_input.size(); ++b) {
+            inputs += "  " + shift(toJson(run.per_input[b]));
+            inputs += b + 1 < run.per_input.size() ? ",\n" : "\n";
+        }
+        inputs += "]";
+        obj.field("inputs", inputs);
+    }
+    return obj.render();
 }
 
 std::string

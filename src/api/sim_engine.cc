@@ -69,6 +69,9 @@ SimEngine::run(const SimRequest& request) const
                 "duplicate network name '" + net.name +
                 "' in SimRequest");
 
+    if (request.batch < 1)
+        throw std::invalid_argument("SimRequest batch must be >= 1");
+
     const int threads = resolveThreads(request.threads);
 
     // Cancellation is cooperative and cell-granular: the token is
@@ -93,9 +96,11 @@ SimEngine::run(const SimRequest& request) const
         check_cancelled();
         const NetworkSpec& net = request.networks[i];
         if (want_plain)
-            plain[i] = generateNetwork(net, request.seed);
+            plain[i] = generateNetwork(net, request.seed, /*ft=*/false,
+                                       request.batch);
         if (want_ft)
-            ft[i] = generateNetwork(net, request.seed, /*ft=*/true);
+            ft[i] = generateNetwork(net, request.seed, /*ft=*/true,
+                                    request.batch);
     });
 
     // Phase 2: lower each layer through the shared compiled-workload
@@ -126,6 +131,15 @@ SimEngine::run(const SimRequest& request) const
     std::atomic<std::uint64_t> sim_ns{0};
     using Clock = std::chrono::steady_clock;
 
+    // Batched cells parallelize along the input axis *inside* a cell;
+    // splitting the thread budget across the cell jobs keeps total
+    // concurrency at the requested level.
+    const int batch_threads =
+        request.batch > 1
+            ? std::max<int>(1, threads / std::max<std::size_t>(
+                                            1, report.runs.size()))
+            : 1;
+
     parallelFor(report.runs.size(), threads, [&](std::size_t i) {
         check_cancelled();
         const std::size_t a = i / n_nets;
@@ -146,12 +160,16 @@ SimEngine::run(const SimRequest& request) const
             compiled.push_back(cache->getOrCompile(
                 compiledLayerKey(net.name, l, accel.ft_workload,
                                  family, layers[l].spec.t,
-                                 request.seed),
+                                 request.seed, request.batch),
                 [&] { return instance->prepare(layers[l]); },
                 &attributed));
 
         const auto t_exec = Clock::now();
-        run.result = instance->runNetwork(compiled, net.name);
+        if (request.batch > 1)
+            run.result = instance->runNetworkBatch(
+                compiled, net.name, batch_threads, &run.per_input);
+        else
+            run.result = instance->runNetwork(compiled, net.name);
         sim_ns += static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 Clock::now() - t_exec)

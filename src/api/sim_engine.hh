@@ -50,6 +50,15 @@ struct SimRequest
     /** Workload-synthesis seed (per-layer diversified downstream). */
     std::uint64_t seed = 101;
 
+    /**
+     * Inputs simulated per (accelerator, network) cell: each gets an
+     * independently-seeded spike tensor per layer (weights are shared),
+     * compiled into ONE artifact per cache key and executed over a
+     * batch-level parallel loop. 1 (the default) is byte-identical to
+     * the unbatched engine. Must be >= 1.
+     */
+    std::size_t batch = 1;
+
     /** Also evaluate the energy model on every result. */
     bool energy = true;
 
@@ -99,8 +108,16 @@ struct SimRun
 {
     std::string accel_spec;   // spec string as requested
     std::string network;      // NetworkSpec::name
+
+    /** Batch aggregate (== the single input's result at batch 1). */
     RunResult result;
     EnergyBreakdown energy;   // zeros when the request disabled energy
+
+    /**
+     * Per-input network totals, in input order; empty at batch 1 so
+     * unbatched reports (and their JSON) are unchanged.
+     */
+    std::vector<RunResult> per_input;
 };
 
 /** All cells of a finished SimRequest, in accel-major request order. */

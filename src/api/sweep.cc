@@ -197,6 +197,7 @@ SweepEngine::run(const SweepRequest& request) const
             " networks, more than " + std::to_string(kMaxGridCells) +
             " cells");
     sim.seed = request.seed;
+    sim.batch = request.batch;
     sim.energy = request.energy;
     sim.energy_params = request.energy_params;
     sim.threads = request.threads;

@@ -55,6 +55,9 @@ struct SweepRequest
     /** Workload-synthesis seed (SimRequest passthrough). */
     std::uint64_t seed = 101;
 
+    /** Inputs per cell (SimRequest passthrough; 1 = unbatched). */
+    std::size_t batch = 1;
+
     /** Evaluate the energy model (enables energy_gain/EDP columns). */
     bool energy = true;
 

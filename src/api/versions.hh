@@ -18,11 +18,11 @@
 
 namespace loas {
 
-inline constexpr char kCliVersion[] = "0.6.0";
+inline constexpr char kCliVersion[] = "0.7.0";
 
 /** loas_cli bench BENCH_sweep.json ("metrics" list; /4 added the
- *  served-throughput metric). */
-inline constexpr char kBenchSchema[] = "loas-bench/4";
+ *  served-throughput metric, /5 the batched-inference metrics). */
+inline constexpr char kBenchSchema[] = "loas-bench/5";
 
 /** loas_cli bench BENCH_kernels.json kernel microbench companion. */
 inline constexpr char kKernelsSchema[] = "loas-kernels/1";
@@ -30,8 +30,9 @@ inline constexpr char kKernelsSchema[] = "loas-kernels/1";
 /** loas_cli list --json accelerator catalog. */
 inline constexpr char kListSchema[] = "loas-list/1";
 
-/** loas_cli serve newline-delimited JSON protocol (src/serve/). */
-inline constexpr char kServeSchema[] = "loas-serve/1";
+/** loas_cli serve newline-delimited JSON protocol (src/serve/); /2
+ *  added the "batch" submit field and "inferences_per_s" stats. */
+inline constexpr char kServeSchema[] = "loas-serve/2";
 
 /** loas_cli version self-description object. */
 inline constexpr char kVersionSchema[] = "loas-version/1";

@@ -7,6 +7,7 @@
 
 #include "api/registry.hh"
 #include "common/bitutil.hh"
+#include "common/logging.hh"
 #include "common/parallel.hh"
 #include "mem/memory_system.hh"
 #include "tensor/compress.hh"
@@ -55,54 +56,65 @@ GammaSim::prepare(const LayerData& layer) const
     auto art = std::make_shared<GammaCompiled>();
     art->b = compileWeightRows(layer.weights);
     art->weight_density = 1.0 - layer.weights.sparsity();
-    art->total_spikes = layer.spikes.countSpikes();
 
-    // Per-(timestep, row) merge tasks: the columns whose spike fires
-    // and whose B row carries values, in the scheduler's replay order.
-    // Built in two per-row-parallel passes (count, then fill) so the
-    // CSR comes out identical to the serial t-outer walk: task t*m+r
-    // only ever holds row r's columns in ascending order.
-    const std::size_t n_tasks = static_cast<std::size_t>(timesteps) * m;
-    std::vector<std::uint64_t> sizes(n_tasks, 0);
-    parallelFor(m, prepareParallelism(m), [&](std::size_t r) {
-        for (std::size_t c = 0; c < k; ++c) {
-            if (art->b.fibers[c].values.empty())
-                continue;
-            TimeWord w = layer.spikes.word(r, c);
-            while (w) {
-                const int t = lowestSetBit(w);
-                w &= w - 1;
-                ++sizes[static_cast<std::size_t>(t) * m + r];
-            }
-        }
-    });
-    art->ptr.resize(n_tasks + 1);
-    art->ptr[0] = 0;
-    for (std::size_t i = 0; i < n_tasks; ++i)
-        art->ptr[i + 1] = art->ptr[i] + sizes[i];
-    art->cols.resize(art->ptr[n_tasks]);
-    parallelFor(m, prepareParallelism(m), [&](std::size_t r) {
-        std::array<std::uint64_t, kMaxTimesteps> cursor{};
-        for (std::size_t c = 0; c < k; ++c) {
-            if (art->b.fibers[c].values.empty())
-                continue;
-            TimeWord w = layer.spikes.word(r, c);
-            while (w) {
-                const int t = lowestSetBit(w);
-                w &= w - 1;
-                const std::size_t task =
-                    static_cast<std::size_t>(t) * m + r;
-                art->cols[art->ptr[task] +
-                          cursor[static_cast<std::size_t>(t)]++] =
-                    static_cast<std::uint32_t>(c);
-            }
-        }
-    });
+    // Per-(timestep, row) merge tasks, one CSR per batch input: the
+    // columns whose spike fires and whose B row carries values, in the
+    // scheduler's replay order. Built in two per-row-parallel passes
+    // (count, then fill) so the CSR comes out identical to the serial
+    // t-outer walk: task t*m+r only ever holds row r's columns in
+    // ascending order.
+    const std::size_t batch = layer.batchSize();
+    art->total_spikes.resize(batch);
+    art->cols.resize(batch);
+    art->ptr.resize(batch);
+    std::size_t bytes = art->b.footprintBytes();
+    for (std::size_t bi = 0; bi < batch; ++bi) {
+        const SpikeTensor& spikes = layer.input(bi);
+        auto& cols = art->cols[bi];
+        auto& ptr = art->ptr[bi];
+        art->total_spikes[bi] = spikes.countSpikes();
 
-    const std::size_t bytes =
-        art->b.footprintBytes() +
-        art->cols.size() * sizeof(std::uint32_t) +
-        art->ptr.size() * sizeof(std::uint64_t);
+        const std::size_t n_tasks =
+            static_cast<std::size_t>(timesteps) * m;
+        std::vector<std::uint64_t> sizes(n_tasks, 0);
+        parallelFor(m, prepareParallelism(m), [&](std::size_t r) {
+            for (std::size_t c = 0; c < k; ++c) {
+                if (art->b.fibers[c].values.empty())
+                    continue;
+                TimeWord w = spikes.word(r, c);
+                while (w) {
+                    const int t = lowestSetBit(w);
+                    w &= w - 1;
+                    ++sizes[static_cast<std::size_t>(t) * m + r];
+                }
+            }
+        });
+        ptr.resize(n_tasks + 1);
+        ptr[0] = 0;
+        for (std::size_t i = 0; i < n_tasks; ++i)
+            ptr[i + 1] = ptr[i] + sizes[i];
+        cols.resize(ptr[n_tasks]);
+        parallelFor(m, prepareParallelism(m), [&](std::size_t r) {
+            std::array<std::uint64_t, kMaxTimesteps> cursor{};
+            for (std::size_t c = 0; c < k; ++c) {
+                if (art->b.fibers[c].values.empty())
+                    continue;
+                TimeWord w = spikes.word(r, c);
+                while (w) {
+                    const int t = lowestSetBit(w);
+                    w &= w - 1;
+                    const std::size_t task =
+                        static_cast<std::size_t>(t) * m + r;
+                    cols[ptr[task] +
+                         cursor[static_cast<std::size_t>(t)]++] =
+                        static_cast<std::uint32_t>(c);
+                }
+            }
+        });
+        bytes += cols.size() * sizeof(std::uint32_t) +
+                 ptr.size() * sizeof(std::uint64_t);
+    }
+
     return makeCompiledLayer(layer, formatFamily(), std::move(art),
                              bytes);
 }
@@ -110,7 +122,26 @@ GammaSim::prepare(const LayerData& layer) const
 RunResult
 GammaSim::execute(const CompiledLayer& compiled)
 {
+    return executeInput(compiled, 0, 0);
+}
+
+void
+GammaSim::reserveWorkers(std::size_t workers)
+{
+    if (scratch_.size() < workers)
+        scratch_.resize(workers);
+}
+
+RunResult
+GammaSim::executeInput(const CompiledLayer& compiled, std::size_t input,
+                       std::size_t worker)
+{
     const auto& art = artifactAs<GammaCompiled>(compiled, formatFamily());
+    if (input >= art.cols.size())
+        fatal("layer '%s': input %zu of a %zu-input batch",
+              compiled.spec.name.c_str(), input, art.cols.size());
+    const std::vector<std::uint32_t>& task_cols = art.cols[input];
+    const std::vector<std::uint64_t>& task_ptr = art.ptr[input];
     const int timesteps = compiled.timesteps;
     const std::size_t m = compiled.m;
     const std::size_t k = compiled.k;
@@ -118,11 +149,17 @@ GammaSim::execute(const CompiledLayer& compiled)
     const double weight_density = art.weight_density;
     const auto& fibers_b = art.b.fibers;
 
-    if (!scratch_.mem)
-        scratch_.mem.emplace(config_.cache, config_.dram);
+    // Serial-context growth only; batch-parallel callers pre-size the
+    // pool through reserveWorkers() before fanning out.
+    if (worker >= scratch_.size())
+        scratch_.resize(worker + 1);
+    ExecuteScratch& scratch = scratch_[worker];
+
+    if (!scratch.mem)
+        scratch.mem.emplace(config_.cache, config_.dram);
     else
-        scratch_.mem->reset();
-    MemorySystem& mem = *scratch_.mem;
+        scratch.mem->reset();
+    MemorySystem& mem = *scratch.mem;
 
     RunResult result;
     result.accel = name();
@@ -132,7 +169,7 @@ GammaSim::execute(const CompiledLayer& compiled)
     mem.streamRead(
         TensorCategory::Meta,
         ceilDiv<std::uint64_t>(
-            art.total_spikes *
+            art.total_spikes[input] *
                 static_cast<std::uint64_t>(config_.coord_bits),
             8) +
             4 * (m + 1) * static_cast<std::uint64_t>(timesteps));
@@ -140,8 +177,8 @@ GammaSim::execute(const CompiledLayer& compiled)
     // Gamma's row-window scheduler achieves near-perfect B-row reuse
     // through the FiberCache: each distinct row crosses DRAM once per
     // layer and is served on-chip afterwards.
-    scratch_.fetched.assign(k, false);
-    std::vector<bool>& fetched = scratch_.fetched;
+    scratch.fetched.assign(k, false);
+    std::vector<bool>& fetched = scratch.fetched;
     std::uint64_t row_uses = 0;
     std::uint64_t distinct_rows = 0;
     auto fetch_row = [&](std::size_t c, std::size_t nnz_b) {
@@ -166,9 +203,9 @@ GammaSim::execute(const CompiledLayer& compiled)
             const std::size_t task = static_cast<std::size_t>(t) * m + r;
             std::uint64_t nnz_a = 0;
             std::uint64_t updates = 0;
-            for (std::uint64_t i = art.ptr[task]; i < art.ptr[task + 1];
-                 ++i) {
-                const std::size_t c = art.cols[i];
+            for (std::uint64_t i = task_ptr[task];
+                 i < task_ptr[task + 1]; ++i) {
+                const std::size_t c = task_cols[i];
                 const std::size_t nnz_b = fibers_b[c].values.size();
                 ++nnz_a;
                 updates += nnz_b;

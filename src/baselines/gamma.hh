@@ -57,18 +57,19 @@ struct GammaConfig
 };
 
 /**
- * Compiled Gamma-SNN operands: B in row-fiber form plus the scheduler's
- * per-(timestep, output-row) task lists in CSR form — the columns whose
- * spike is set *and* whose B row is non-empty, exactly the fibers the
- * merger consumes. Task t*M+r spans `cols[ptr[t*M+r], ptr[t*M+r+1])`.
+ * Compiled Gamma-SNN operands: B in row-fiber form plus, per batch
+ * input, the scheduler's per-(timestep, output-row) task lists in CSR
+ * form — the columns whose spike is set *and* whose B row is
+ * non-empty, exactly the fibers the merger consumes. Task t*M+r of
+ * input b spans `cols[b][ptr[b][t*M+r], ptr[b][t*M+r+1])`.
  */
 struct GammaCompiled : CompiledArtifact
 {
-    CompiledWeightFibers b;  // rows of B
+    CompiledWeightFibers b;  // rows of B (shared by the batch)
     double weight_density = 0.0;
-    std::uint64_t total_spikes = 0;     // all spikes (input streaming)
-    std::vector<std::uint32_t> cols;    // merge-task column lists
-    std::vector<std::uint64_t> ptr;     // T*M + 1 entries
+    std::vector<std::uint64_t> total_spikes;  // per input
+    std::vector<std::vector<std::uint32_t>> cols;  // per input
+    std::vector<std::vector<std::uint64_t>> ptr;   // per input
 };
 
 /** Gamma running SNN workloads timestep-by-timestep. */
@@ -85,19 +86,26 @@ class GammaSim : public Accelerator
 
     RunResult execute(const CompiledLayer& compiled) override;
 
+    RunResult executeInput(const CompiledLayer& compiled,
+                           std::size_t input,
+                           std::size_t worker) override;
+
+    void reserveWorkers(std::size_t workers) override;
+
     /** Original Gamma on an int8 ANN layer (Fig. 18). */
     RunResult runAnnLayer(const AnnLayerData& layer);
 
   private:
     GammaConfig config_;
 
-    /** Reusable execute() working state (see LoasSim::ExecuteScratch). */
+    /** Reusable per-worker execute() working state (see
+     *  LoasSim::ExecuteScratch). */
     struct ExecuteScratch
     {
         std::optional<MemorySystem> mem;
         std::vector<bool> fetched;  // one flag per B row
     };
-    ExecuteScratch scratch_;
+    std::vector<ExecuteScratch> scratch_;
 };
 
 } // namespace loas

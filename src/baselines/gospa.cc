@@ -6,6 +6,7 @@
 
 #include "api/registry.hh"
 #include "common/bitutil.hh"
+#include "common/logging.hh"
 #include "common/parallel.hh"
 #include "mem/memory_system.hh"
 
@@ -42,27 +43,32 @@ GospaSim::prepare(const LayerData& layer) const
     auto art = std::make_shared<GospaCompiled>();
     art->b = compileWeightRows(layer.weights);
 
-    // A as per-timestep CSC: spike counts per (t, k) column. Columns
-    // are independent (column c touches only the T slots t*k + c), so
-    // the count parallelizes per column; each packed word contributes
-    // one ctz per set spike bit.
-    art->col_spikes.assign(static_cast<std::size_t>(timesteps) * k, 0);
-    parallelFor(k, prepareParallelism(k), [&](std::size_t c) {
-        for (std::size_t r = 0; r < m; ++r) {
-            TimeWord w = layer.spikes.word(r, c);
-            while (w) {
-                const int t = lowestSetBit(w);
-                w &= w - 1;
-                ++art->col_spikes[static_cast<std::size_t>(t) * k + c];
+    // A as per-timestep CSC, one stream per batch input: spike counts
+    // per (t, k) column. Columns are independent (column c touches
+    // only the T slots t*k + c), so the count parallelizes per column;
+    // each packed word contributes one ctz per set spike bit.
+    art->col_spikes.resize(layer.batchSize());
+    art->total_spikes.assign(layer.batchSize(), 0);
+    std::size_t bytes = art->b.footprintBytes();
+    for (std::size_t b = 0; b < layer.batchSize(); ++b) {
+        const SpikeTensor& spikes = layer.input(b);
+        auto& col_spikes = art->col_spikes[b];
+        col_spikes.assign(static_cast<std::size_t>(timesteps) * k, 0);
+        parallelFor(k, prepareParallelism(k), [&](std::size_t c) {
+            for (std::size_t r = 0; r < m; ++r) {
+                TimeWord w = spikes.word(r, c);
+                while (w) {
+                    const int t = lowestSetBit(w);
+                    w &= w - 1;
+                    ++col_spikes[static_cast<std::size_t>(t) * k + c];
+                }
             }
-        }
-    });
-    for (const auto count : art->col_spikes)
-        art->total_spikes += count;
+        });
+        for (const auto count : col_spikes)
+            art->total_spikes[b] += count;
+        bytes += col_spikes.size() * sizeof(std::uint32_t);
+    }
 
-    const std::size_t bytes =
-        art->b.footprintBytes() +
-        art->col_spikes.size() * sizeof(std::uint32_t);
     return makeCompiledLayer(layer, formatFamily(), std::move(art),
                              bytes);
 }
@@ -70,7 +76,25 @@ GospaSim::prepare(const LayerData& layer) const
 RunResult
 GospaSim::execute(const CompiledLayer& compiled)
 {
+    return executeInput(compiled, 0, 0);
+}
+
+void
+GospaSim::reserveWorkers(std::size_t workers)
+{
+    if (mem_scratch_.size() < workers)
+        mem_scratch_.resize(workers);
+}
+
+RunResult
+GospaSim::executeInput(const CompiledLayer& compiled, std::size_t input,
+                       std::size_t worker)
+{
     const auto& art = artifactAs<GospaCompiled>(compiled, formatFamily());
+    if (input >= art.col_spikes.size())
+        fatal("layer '%s': input %zu of a %zu-input batch",
+              compiled.spec.name.c_str(), input, art.col_spikes.size());
+    const std::vector<std::uint32_t>& col_spikes = art.col_spikes[input];
     const int timesteps = compiled.timesteps;
     const std::size_t m = compiled.m;
     const std::size_t k = compiled.k;
@@ -80,18 +104,23 @@ GospaSim::execute(const CompiledLayer& compiled)
     const auto& b_meta_off = art.b.meta_off;
     const auto& b_val_off = art.b.val_off;
 
-    if (!mem_scratch_)
-        mem_scratch_.emplace(config_.cache, config_.dram);
+    // Serial-context growth only; batch-parallel callers pre-size the
+    // pool through reserveWorkers() before fanning out.
+    if (worker >= mem_scratch_.size())
+        mem_scratch_.resize(worker + 1);
+    std::optional<MemorySystem>& mem_scratch = mem_scratch_[worker];
+    if (!mem_scratch)
+        mem_scratch.emplace(config_.cache, config_.dram);
     else
-        mem_scratch_->reset();
-    MemorySystem& mem = *mem_scratch_;
+        mem_scratch->reset();
+    MemorySystem& mem = *mem_scratch;
 
     RunResult result;
     result.accel = name();
     result.workload = compiled.spec.name;
 
     // --- Input streaming: A as per-timestep CSC with per-spike coords.
-    const std::uint64_t total_spikes = art.total_spikes;
+    const std::uint64_t total_spikes = art.total_spikes[input];
     const std::uint64_t coord_bytes = ceilDiv<std::uint64_t>(
         total_spikes * static_cast<std::uint64_t>(config_.coord_bits), 8);
     // Column pointers per timestep plus one coordinate per spike. OP
@@ -106,7 +135,7 @@ GospaSim::execute(const CompiledLayer& compiled)
     for (int t = 0; t < timesteps; ++t) {
         const auto ts = static_cast<std::size_t>(t);
         for (std::size_t c = 0; c < k; ++c) {
-            const std::uint32_t spikes = art.col_spikes[ts * k + c];
+            const std::uint32_t spikes = col_spikes[ts * k + c];
             if (spikes == 0)
                 continue;
             const std::size_t nnz_b = fibers_b[c].values.size();
@@ -156,7 +185,8 @@ GospaSim::execute(const CompiledLayer& compiled)
         config_.psum_spill_fraction * static_cast<double>(overflow));
     mem.streamWrite(TensorCategory::Psum, spill);
     mem.streamRead(TensorCategory::Psum, spill);
-    last_psum_dram_ = 2 * spill;
+    if (input == 0)
+        last_psum_dram_ = 2 * spill;
 
     // Dependent spill round trips overlap poorly with compute.
     const std::uint64_t spill_stall = static_cast<std::uint64_t>(

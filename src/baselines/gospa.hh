@@ -62,16 +62,17 @@ struct GospaConfig
 };
 
 /**
- * Compiled GoSPA-SNN operands: B in row-fiber form plus the decoupled
- * preprocessing unit's view of A — per-(timestep, column) spike counts
- * of the per-timestep CSC streams (timestep-major: column c at
- * timestep t is `col_spikes[t * K + c]`).
+ * Compiled GoSPA-SNN operands: B in row-fiber form plus, per batch
+ * input, the decoupled preprocessing unit's view of A — per-(timestep,
+ * column) spike counts of the per-timestep CSC streams
+ * (timestep-major: column c at timestep t of input b is
+ * `col_spikes[b][t * K + c]`).
  */
 struct GospaCompiled : CompiledArtifact
 {
-    CompiledWeightFibers b;                 // rows of B
-    std::vector<std::uint32_t> col_spikes;  // T x K, timestep-major
-    std::uint64_t total_spikes = 0;
+    CompiledWeightFibers b;  // rows of B (shared by the batch)
+    std::vector<std::vector<std::uint32_t>> col_spikes;  // per input
+    std::vector<std::uint64_t> total_spikes;             // per input
 };
 
 /** GoSPA running SNN workloads timestep-by-timestep. */
@@ -88,15 +89,22 @@ class GospaSim : public Accelerator
 
     RunResult execute(const CompiledLayer& compiled) override;
 
-    /** Partial-sum DRAM traffic of the last layer run (Fig. 5). */
+    RunResult executeInput(const CompiledLayer& compiled,
+                           std::size_t input,
+                           std::size_t worker) override;
+
+    void reserveWorkers(std::size_t workers) override;
+
+    /** Partial-sum DRAM traffic of input 0 of the last layer (Fig. 5). */
     std::uint64_t lastPsumDramBytes() const { return last_psum_dram_; }
 
   private:
     GospaConfig config_;
     std::uint64_t last_psum_dram_ = 0;
 
-    /** Reusable execute() working state (see LoasSim::ExecuteScratch). */
-    std::optional<MemorySystem> mem_scratch_;
+    /** Reusable per-worker execute() working state (see
+     *  LoasSim::ExecuteScratch). */
+    std::vector<std::optional<MemorySystem>> mem_scratch_;
 };
 
 } // namespace loas

@@ -45,30 +45,34 @@ SpartenSim::prepare(const LayerData& layer) const
     auto art = std::make_shared<SpartenCompiled>();
     art->b = compileWeightColumns(layer.weights);
 
-    // Per-timestep bitmask views of the spike rows. Rows are
-    // independent (row r touches only the T slots t*m + r), so the
-    // construction parallelizes per row; each packed word scatters via
-    // one ctz per set spike bit.
-    art->row_masks.assign(static_cast<std::size_t>(timesteps) * m,
-                          Bitmask());
-    parallelFor(m, prepareParallelism(m), [&](std::size_t r) {
-        for (int t = 0; t < timesteps; ++t)
-            art->row_masks[static_cast<std::size_t>(t) * m + r] =
-                Bitmask(k);
-        for (std::size_t c = 0; c < k; ++c) {
-            TimeWord w = layer.spikes.word(r, c);
-            while (w) {
-                const int t = lowestSetBit(w);
-                w &= w - 1;
-                art->row_masks[static_cast<std::size_t>(t) * m + r]
-                    .set(c);
+    // Per-timestep bitmask views of the spike rows, one set per batch
+    // input. Rows are independent (row r touches only the T slots
+    // t*m + r), so the construction parallelizes per row; each packed
+    // word scatters via one ctz per set spike bit.
+    art->row_masks.resize(layer.batchSize());
+    for (std::size_t b = 0; b < layer.batchSize(); ++b) {
+        const SpikeTensor& spikes = layer.input(b);
+        auto& masks = art->row_masks[b];
+        masks.assign(static_cast<std::size_t>(timesteps) * m,
+                     Bitmask());
+        parallelFor(m, prepareParallelism(m), [&](std::size_t r) {
+            for (int t = 0; t < timesteps; ++t)
+                masks[static_cast<std::size_t>(t) * m + r] = Bitmask(k);
+            for (std::size_t c = 0; c < k; ++c) {
+                TimeWord w = spikes.word(r, c);
+                while (w) {
+                    const int t = lowestSetBit(w);
+                    w &= w - 1;
+                    masks[static_cast<std::size_t>(t) * m + r].set(c);
+                }
             }
-        }
-    });
+        });
+    }
 
     std::size_t bytes = art->b.footprintBytes();
-    for (const auto& mask : art->row_masks)
-        bytes += mask.storageBytes();
+    for (const auto& masks : art->row_masks)
+        for (const auto& mask : masks)
+            bytes += mask.storageBytes();
     return makeCompiledLayer(layer, formatFamily(), std::move(art),
                              bytes);
 }
@@ -76,8 +80,26 @@ SpartenSim::prepare(const LayerData& layer) const
 RunResult
 SpartenSim::execute(const CompiledLayer& compiled)
 {
+    return executeInput(compiled, 0, 0);
+}
+
+void
+SpartenSim::reserveWorkers(std::size_t workers)
+{
+    if (scratch_.size() < workers)
+        scratch_.resize(workers);
+}
+
+RunResult
+SpartenSim::executeInput(const CompiledLayer& compiled,
+                         std::size_t input, std::size_t worker)
+{
     const auto& art =
         artifactAs<SpartenCompiled>(compiled, formatFamily());
+    if (input >= art.row_masks.size())
+        fatal("layer '%s': input %zu of a %zu-input batch",
+              compiled.spec.name.c_str(), input, art.row_masks.size());
+    const std::vector<Bitmask>& row_masks = art.row_masks[input];
     const int timesteps = compiled.timesteps;
     const std::size_t m = compiled.m;
     const std::size_t k = compiled.k;
@@ -90,24 +112,31 @@ SpartenSim::execute(const CompiledLayer& compiled)
     const auto& b_meta_off = art.b.meta_off;
     const auto& b_val_off = art.b.val_off;
 
-    if (!scratch_.mem)
-        scratch_.mem.emplace(config_.cache, config_.dram);
+    // Serial-context growth only; batch-parallel callers pre-size the
+    // pool through reserveWorkers() before fanning out.
+    if (worker >= scratch_.size())
+        scratch_.resize(worker + 1);
+    ExecuteScratch& scratch = scratch_[worker];
+
+    if (!scratch.mem)
+        scratch.mem.emplace(config_.cache, config_.dram);
     else
-        scratch_.mem->reset();
-    MemorySystem& mem = *scratch_.mem;
+        scratch.mem->reset();
+    MemorySystem& mem = *scratch.mem;
     const Scheduler scheduler(m, n, config_.num_pes);
 
     RunResult result;
     result.accel = name();
     result.workload = compiled.spec.name;
-    last_output_.reset(m, n, timesteps);
+    if (input == 0)
+        last_output_.reset(m, n, timesteps);
 
-    scratch_.sums.assign(static_cast<std::size_t>(timesteps), 0);
-    std::vector<std::int32_t>& sums = scratch_.sums;
+    scratch.sums.assign(static_cast<std::size_t>(timesteps), 0);
+    std::vector<std::int32_t>& sums = scratch.sums;
     std::uint64_t dram_bytes_seen = 0;
     for (std::size_t w = 0; w < scheduler.waveCount(); ++w) {
-        scheduler.wave(w, scratch_.items);
-        const auto& items = scratch_.items;
+        scheduler.wave(w, scratch.items);
+        const auto& items = scratch.items;
 
         // Weight fiber of each column in the wave, broadcast once.
         std::uint64_t prev_col = ~0ull;
@@ -139,7 +168,7 @@ SpartenSim::execute(const CompiledLayer& compiled)
                 // its own data). Word-parallel: AND the mask words
                 // directly, with the weight offset from the compiled
                 // rank table — no materialized AND mask.
-                const Bitmask& ma = art.row_masks[ts * m + item.m];
+                const Bitmask& ma = row_masks[ts * m + item.m];
                 std::uint64_t matches = 0;
                 std::int32_t acc = 0;
                 forEachMatch(ma, ranked_b[item.n],
@@ -158,7 +187,8 @@ SpartenSim::execute(const CompiledLayer& compiled)
             }
             const TimeWord spikes =
                 lifAcrossTimesteps(sums, config_.lif);
-            last_output_.setWord(item.m, item.n, spikes);
+            if (input == 0)
+                last_output_.setWord(item.m, item.n, spikes);
             wave_cycles = std::max(wave_cycles, pe_cycles);
         }
         wave_cycles += config_.wave_overhead_cycles;

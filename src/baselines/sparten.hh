@@ -58,15 +58,15 @@ struct SpartenConfig
 };
 
 /**
- * Compiled SparTen-SNN operands: B in column-fiber form plus the
- * per-timestep bitmask views of the spike rows the sequential-timestep
- * datapath scans (timestep-major: mask of row m at timestep t is
- * `row_masks[t * M + m]`).
+ * Compiled SparTen-SNN operands: B in column-fiber form plus, per
+ * batch input, the per-timestep bitmask views of the spike rows the
+ * sequential-timestep datapath scans (timestep-major: mask of row m at
+ * timestep t of input b is `row_masks[b][t * M + m]`).
  */
 struct SpartenCompiled : CompiledArtifact
 {
-    CompiledWeightFibers b;          // columns of B
-    std::vector<Bitmask> row_masks;  // T x M, timestep-major
+    CompiledWeightFibers b;  // columns of B (shared by the batch)
+    std::vector<std::vector<Bitmask>> row_masks;  // per input: T x M
 };
 
 /** SparTen running SNN workloads timestep-by-timestep. */
@@ -83,24 +83,31 @@ class SpartenSim : public Accelerator
 
     RunResult execute(const CompiledLayer& compiled) override;
 
+    RunResult executeInput(const CompiledLayer& compiled,
+                           std::size_t input,
+                           std::size_t worker) override;
+
+    void reserveWorkers(std::size_t workers) override;
+
     /** Original SparTen on an int8 ANN layer (Fig. 18). */
     RunResult runAnnLayer(const AnnLayerData& layer);
 
-    /** Output spikes of the last SNN layer run (verification). */
+    /** Output spikes of input 0 of the last SNN layer (verification). */
     const SpikeTensor& lastOutput() const { return last_output_; }
 
   private:
     SpartenConfig config_;
     SpikeTensor last_output_;
 
-    /** Reusable execute() working state (see LoasSim::ExecuteScratch). */
+    /** Reusable per-worker execute() working state (see
+     *  LoasSim::ExecuteScratch). */
     struct ExecuteScratch
     {
         std::optional<MemorySystem> mem;
         std::vector<std::int32_t> sums;  // one slot per timestep
         std::vector<WorkItem> items;     // current wave
     };
-    ExecuteScratch scratch_;
+    std::vector<ExecuteScratch> scratch_;
 };
 
 } // namespace loas

@@ -22,11 +22,15 @@ struct LayerShape
     std::uint64_t max_spikes_per_t;
 };
 
-/** Tile/shape view of a compiled layer for this array geometry. */
+/** Tile/shape view of one input of a compiled layer for this array
+ *  geometry. */
 LayerShape
 analyze(const CompiledLayer& compiled, const SystolicCompiled& art,
-        int rows)
+        int rows, std::size_t input)
 {
+    if (input >= art.spikes.size())
+        fatal("layer '%s': input %zu of a %zu-input batch",
+              compiled.spec.name.c_str(), input, art.spikes.size());
     LayerShape s;
     s.m = compiled.m;
     s.k = compiled.k;
@@ -34,8 +38,8 @@ analyze(const CompiledLayer& compiled, const SystolicCompiled& art,
     s.timesteps = compiled.timesteps;
     s.n_tiles = ceilDiv<std::uint64_t>(
         s.n, static_cast<std::uint64_t>(rows));
-    s.spikes = art.spikes;
-    s.max_spikes_per_t = art.max_spikes_per_t;
+    s.spikes = art.spikes[input];
+    s.max_spikes_per_t = art.max_spikes_per_t[input];
     return s;
 }
 
@@ -90,14 +94,26 @@ SystolicBase::formatFamily() const
     return "systolic";
 }
 
-MemorySystem&
-SystolicBase::scratchMem()
+void
+SystolicBase::reserveWorkers(std::size_t workers)
 {
-    if (!mem_scratch_)
-        mem_scratch_.emplace(config_.cache, config_.dram);
+    if (mem_scratch_.size() < workers)
+        mem_scratch_.resize(workers);
+}
+
+MemorySystem&
+SystolicBase::scratchMem(std::size_t worker)
+{
+    // Serial-context growth only; batch-parallel callers pre-size the
+    // pool through reserveWorkers() before fanning out.
+    if (worker >= mem_scratch_.size())
+        mem_scratch_.resize(worker + 1);
+    std::optional<MemorySystem>& mem = mem_scratch_[worker];
+    if (!mem)
+        mem.emplace(config_.cache, config_.dram);
     else
-        mem_scratch_->reset();
-    return *mem_scratch_;
+        mem->reset();
+    return *mem;
 }
 
 CompiledLayer
@@ -108,27 +124,35 @@ SystolicBase::prepare(const LayerData& layer) const
     const int timesteps = layer.spec.t;
 
     // Per-timestep spike counts in one pass over the packed words (one
-    // ctz per spike instead of one bit test per (r, c, t)).
+    // ctz per spike instead of one bit test per (r, c, t)), once per
+    // batch input.
     auto art = std::make_shared<SystolicCompiled>();
-    std::array<std::uint64_t, kMaxTimesteps> counts{};
-    for (std::size_t r = 0; r < m; ++r)
-        for (std::size_t c = 0; c < k; ++c) {
-            TimeWord w = layer.spikes.word(r, c);
-            while (w) {
-                const int t = lowestSetBit(w);
-                w &= w - 1;
-                ++counts[static_cast<std::size_t>(t)];
+    const std::size_t batch = layer.batchSize();
+    art->spikes.assign(batch, 0);
+    art->max_spikes_per_t.assign(batch, 0);
+    for (std::size_t b = 0; b < batch; ++b) {
+        const SpikeTensor& spikes = layer.input(b);
+        std::array<std::uint64_t, kMaxTimesteps> counts{};
+        for (std::size_t r = 0; r < m; ++r)
+            for (std::size_t c = 0; c < k; ++c) {
+                TimeWord w = spikes.word(r, c);
+                while (w) {
+                    const int t = lowestSetBit(w);
+                    w &= w - 1;
+                    ++counts[static_cast<std::size_t>(t)];
+                }
             }
+        std::uint64_t max_per_t = 0;
+        for (int t = 0; t < timesteps; ++t) {
+            art->spikes[b] += counts[static_cast<std::size_t>(t)];
+            max_per_t =
+                std::max(max_per_t, counts[static_cast<std::size_t>(t)]);
         }
-    std::uint64_t max_per_t = 0;
-    for (int t = 0; t < timesteps; ++t) {
-        art->spikes += counts[static_cast<std::size_t>(t)];
-        max_per_t =
-            std::max(max_per_t, counts[static_cast<std::size_t>(t)]);
+        art->max_spikes_per_t[b] = max_per_t;
     }
-    art->max_spikes_per_t = max_per_t;
     return makeCompiledLayer(layer, formatFamily(), std::move(art),
-                             sizeof(SystolicCompiled));
+                             sizeof(SystolicCompiled) +
+                                 2 * batch * sizeof(std::uint64_t));
 }
 
 PtbSim::PtbSim(const SystolicConfig& config) : SystolicBase(config) {}
@@ -142,10 +166,17 @@ PtbSim::name() const
 RunResult
 PtbSim::execute(const CompiledLayer& compiled)
 {
+    return executeInput(compiled, 0, 0);
+}
+
+RunResult
+PtbSim::executeInput(const CompiledLayer& compiled, std::size_t input,
+                     std::size_t worker)
+{
     const auto& art =
         artifactAs<SystolicCompiled>(compiled, formatFamily());
-    const LayerShape s = analyze(compiled, art, config_.rows);
-    MemorySystem& mem = scratchMem();
+    const LayerShape s = analyze(compiled, art, config_.rows, input);
+    MemorySystem& mem = scratchMem(worker);
     // Dense dispatch: every (m, k) position, every timestep column.
     const std::uint64_t element_steps =
         s.n_tiles * static_cast<std::uint64_t>(s.m) * s.k *
@@ -197,10 +228,17 @@ StellarSim::name() const
 RunResult
 StellarSim::execute(const CompiledLayer& compiled)
 {
+    return executeInput(compiled, 0, 0);
+}
+
+RunResult
+StellarSim::executeInput(const CompiledLayer& compiled,
+                         std::size_t input, std::size_t worker)
+{
     const auto& art =
         artifactAs<SystolicCompiled>(compiled, formatFamily());
-    const LayerShape s = analyze(compiled, art, config_.rows);
-    MemorySystem& mem = scratchMem();
+    const LayerShape s = analyze(compiled, art, config_.rows, input);
+    MemorySystem& mem = scratchMem(worker);
     // Spike-gated dispatch: only actual spikes enter the array.
     const std::uint64_t element_steps = s.n_tiles * s.spikes;
     chargeCommonTraffic(mem, s, element_steps);

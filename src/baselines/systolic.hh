@@ -37,15 +37,15 @@ struct SystolicConfig
 };
 
 /**
- * Compiled operands of the dense systolic models: the spike-count
- * statistics the analytical equations consume. Dense weight streaming
- * needs no compression, so this is the whole artifact — shared by PTB
- * and Stellar (one "systolic" family).
+ * Compiled operands of the dense systolic models: the per-input
+ * spike-count statistics the analytical equations consume. Dense
+ * weight streaming needs no compression, so this is the whole artifact
+ * — shared by PTB and Stellar (one "systolic" family).
  */
 struct SystolicCompiled : CompiledArtifact
 {
-    std::uint64_t spikes = 0;           // total spikes of A
-    std::uint64_t max_spikes_per_t = 0; // densest timestep's count
+    std::vector<std::uint64_t> spikes;  // per input: total spikes of A
+    std::vector<std::uint64_t> max_spikes_per_t;  // densest timestep
 };
 
 /** Shared prepare phase (and config) of both systolic models. */
@@ -55,15 +55,17 @@ class SystolicBase : public Accelerator
     explicit SystolicBase(const SystolicConfig& config);
     std::string formatFamily() const override;
     CompiledLayer prepare(const LayerData& layer) const override;
+    void reserveWorkers(std::size_t workers) override;
 
   protected:
-    /** Reusable execute() memory model (see LoasSim::ExecuteScratch). */
-    MemorySystem& scratchMem();
+    /** Reusable per-worker execute() memory model (see
+     *  LoasSim::ExecuteScratch). */
+    MemorySystem& scratchMem(std::size_t worker);
 
     SystolicConfig config_;
 
   private:
-    std::optional<MemorySystem> mem_scratch_;
+    std::vector<std::optional<MemorySystem>> mem_scratch_;
 };
 
 /** PTB: partially temporal-parallel systolic array. */
@@ -73,6 +75,9 @@ class PtbSim : public SystolicBase
     explicit PtbSim(const SystolicConfig& config = {});
     std::string name() const override;
     RunResult execute(const CompiledLayer& compiled) override;
+    RunResult executeInput(const CompiledLayer& compiled,
+                           std::size_t input,
+                           std::size_t worker) override;
 };
 
 /** Stellar: fully temporal-parallel FS-neuron systolic array. */
@@ -82,6 +87,9 @@ class StellarSim : public SystolicBase
     explicit StellarSim(const SystolicConfig& config = {});
     std::string name() const override;
     RunResult execute(const CompiledLayer& compiled) override;
+    RunResult executeInput(const CompiledLayer& compiled,
+                           std::size_t input,
+                           std::size_t worker) override;
 };
 
 } // namespace loas

@@ -68,6 +68,60 @@ parallelFor(std::size_t jobs, int threads, Body&& body)
         std::rethrow_exception(error);
 }
 
+/**
+ * Like parallelFor, but each worker has a stable identity: `body` is
+ * called as body(worker, job) with `worker` in [0, workers) where
+ * `workers = min(threads, jobs)` (or 0 when the loop runs serially).
+ * Jobs are still pulled off one atomic counter, so the job->worker
+ * assignment is nondeterministic — callers must write results into
+ * per-JOB slots and use the worker index only for scratch reuse.
+ * The batch execute path uses it for per-worker ExecuteScratch pools.
+ */
+template <typename Body>
+void
+parallelForWorkers(std::size_t jobs, int threads, Body&& body)
+{
+    if (threads <= 1 || jobs <= 1) {
+        for (std::size_t i = 0; i < jobs; ++i)
+            body(std::size_t{0}, i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+
+    auto worker = [&](std::size_t w) {
+        while (true) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= jobs)
+                return;
+            if (failed.load())
+                continue; // drain without doing more work
+            try {
+                body(w, i);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error)
+                    error = std::current_exception();
+                failed.store(true);
+            }
+        }
+    };
+
+    const std::size_t n_workers =
+        std::min<std::size_t>(static_cast<std::size_t>(threads), jobs);
+    std::vector<std::thread> pool;
+    pool.reserve(n_workers);
+    for (std::size_t w = 0; w < n_workers; ++w)
+        pool.emplace_back(worker, w);
+    for (auto& t : pool)
+        t.join();
+    if (error)
+        std::rethrow_exception(error);
+}
+
 /** Requested thread count resolved: 0 = one per hardware thread. */
 inline int
 resolveThreads(int requested)

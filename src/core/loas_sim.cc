@@ -53,12 +53,16 @@ LoasSim::prepare(const LayerData& layer) const
 
     // Input operands in their compressed formats. The spike values are
     // packed T bits each (4-bit for T=4, Fig. 8); per-row regions are
-    // byte-aligned but values pack within a row.
+    // byte-aligned but values pack within a row. Each batch input gets
+    // its own compiled spike fibers; the weights compile once.
     auto art = std::make_shared<LoasCompiled>();
-    art->a = compileSpikeRows(layer.spikes);
+    art->a.reserve(layer.batchSize());
+    for (std::size_t b = 0; b < layer.batchSize(); ++b)
+        art->a.push_back(compileSpikeRows(layer.input(b)));
     art->b = compileWeightColumns(layer.weights);
-    const std::size_t bytes =
-        art->a.footprintBytes(layer.spec.t) + art->b.footprintBytes();
+    std::size_t bytes = art->b.footprintBytes();
+    for (const auto& a : art->a)
+        bytes += a.footprintBytes(layer.spec.t);
     return makeCompiledLayer(layer, formatFamily(), std::move(art),
                              bytes);
 }
@@ -66,7 +70,24 @@ LoasSim::prepare(const LayerData& layer) const
 RunResult
 LoasSim::execute(const CompiledLayer& compiled)
 {
+    return executeInput(compiled, 0, 0);
+}
+
+void
+LoasSim::reserveWorkers(std::size_t workers)
+{
+    if (scratch_.size() < workers)
+        scratch_.resize(workers);
+}
+
+RunResult
+LoasSim::executeInput(const CompiledLayer& compiled, std::size_t input,
+                      std::size_t worker)
+{
     const auto& art = artifactAs<LoasCompiled>(compiled, formatFamily());
+    if (input >= art.a.size())
+        fatal("layer '%s': input %zu of a %zu-input batch",
+              compiled.spec.name.c_str(), input, art.a.size());
     const int timesteps = compiled.timesteps;
     if (timesteps > config_.timesteps) {
         fatal("LoAS configured for %d timesteps, layer '%s' needs %d",
@@ -75,20 +96,27 @@ LoasSim::execute(const CompiledLayer& compiled)
     const std::size_t m = compiled.m;
     const std::size_t n = compiled.n;
 
-    const auto& fibers_a = art.a.fibers;
+    const CompiledSpikeFibers& a = art.a[input];
+    const auto& fibers_a = a.fibers;
     const auto& fibers_b = art.b.fibers;
-    const auto& ranked_a = art.a.ranked;
+    const auto& ranked_a = a.ranked;
     const auto& ranked_b = art.b.ranked;
-    const auto& a_meta_off = art.a.meta_off;
-    const auto& a_val_off = art.a.val_off;
+    const auto& a_meta_off = a.meta_off;
+    const auto& a_val_off = a.val_off;
     const auto& b_meta_off = art.b.meta_off;
     const auto& b_val_off = art.b.val_off;
 
-    if (!scratch_.mem)
-        scratch_.mem.emplace(config_.cache, config_.dram);
+    // Serial-context growth only; batch-parallel callers pre-size the
+    // pool through reserveWorkers() before fanning out.
+    if (worker >= scratch_.size())
+        scratch_.resize(worker + 1);
+    ExecuteScratch& scratch = scratch_[worker];
+
+    if (!scratch.mem)
+        scratch.mem.emplace(config_.cache, config_.dram);
     else
-        scratch_.mem->reset();
-    MemorySystem& mem = *scratch_.mem;
+        scratch.mem->reset();
+    MemorySystem& mem = *scratch.mem;
     const InnerJoinUnit join_unit(config_.join, timesteps);
     const Plif plif(config_.lif, timesteps);
     const OutputCompressor compressor(config_.join.laggy_adders,
@@ -99,9 +127,10 @@ LoasSim::execute(const CompiledLayer& compiled)
     result.accel = name();
     result.workload = compiled.spec.name;
 
-    last_output_.reset(m, n, timesteps);
-    scratch_.out_rows.assign(m * n, 0);
-    TimeWord* const out_rows = scratch_.out_rows.data();
+    if (input == 0)
+        last_output_.reset(m, n, timesteps);
+    scratch.out_rows.assign(m * n, 0);
+    TimeWord* const out_rows = scratch.out_rows.data();
 
     // With wave pipelining, the correction/drain tail of one join
     // overlaps the next wave's fill; it is re-added once at the end.
@@ -112,8 +141,8 @@ LoasSim::execute(const CompiledLayer& compiled)
 
     std::uint64_t dram_bytes_seen = 0;
     for (std::size_t w = 0; w < scheduler.waveCount(); ++w) {
-        scheduler.wave(w, scratch_.items);
-        const auto& items = scratch_.items;
+        scheduler.wave(w, scratch.items);
+        const auto& items = scratch.items;
 
         // Fetch + broadcast the weight fiber of each column touched by
         // this wave (one SRAM read serves all PEs on that column).
@@ -138,7 +167,7 @@ LoasSim::execute(const CompiledLayer& compiled)
             const JoinResult& jr =
                 join_unit.join(fibers_a[item.m], ranked_a[item.m],
                                fibers_b[item.n], ranked_b[item.n],
-                               scratch_.join);
+                               scratch.join);
 
             // Matched packed spike words fetched from the global cache;
             // adjacent offsets coalesce into one access. Addresses are
@@ -161,7 +190,8 @@ LoasSim::execute(const CompiledLayer& compiled)
 
             const PlifResult pr = plif.fire(jr.sums);
             out_rows[item.m * n + item.n] = pr.spikes;
-            last_output_.setWord(item.m, item.n, pr.spikes);
+            if (input == 0)
+                last_output_.setWord(item.m, item.n, pr.spikes);
 
             result.ops += jr.ops;
             result.ops += pr.ops;
@@ -192,8 +222,8 @@ LoasSim::execute(const CompiledLayer& compiled)
     std::uint64_t last_row_cycles = 0;
     for (std::size_t row = 0; row < m; ++row) {
         compressor.compressInto(out_rows + row * n, n,
-                                scratch_.compress);
-        const CompressResult& cr = scratch_.compress;
+                                scratch.compress);
+        const CompressResult& cr = scratch.compress;
         result.ops += cr.ops;
         last_row_cycles = cr.cycles;
         // Spike words enter the compressor buffer, the compressed fiber

@@ -27,12 +27,14 @@ namespace loas {
  * Compiled LoAS operands: both tensors in the FTP-friendly fiber
  * format (Fig. 8) with their cumulative address-offset tables. Shared
  * by every LoAS design variant — PE count, cache size and pipelining
- * change the datapath, not the compiled format.
+ * change the datapath, not the compiled format. The spike side carries
+ * one compiled fiber set per batch input; the weight side is compiled
+ * exactly once however large the batch.
  */
 struct LoasCompiled : CompiledArtifact
 {
-    CompiledSpikeFibers a;   // rows of A, packed temporal words
-    CompiledWeightFibers b;  // columns of B
+    std::vector<CompiledSpikeFibers> a;  // per input: rows of A
+    CompiledWeightFibers b;              // columns of B
 };
 
 /** LoAS accelerator model. */
@@ -55,9 +57,16 @@ class LoasSim : public Accelerator
 
     RunResult execute(const CompiledLayer& compiled) override;
 
+    RunResult executeInput(const CompiledLayer& compiled,
+                           std::size_t input,
+                           std::size_t worker) override;
+
+    void reserveWorkers(std::size_t workers) override;
+
     /**
-     * Output spike tensor of the last simulated layer, before output
-     * compression (for verification against the functional reference).
+     * Output spike tensor of input 0 of the last simulated layer,
+     * before output compression (for verification against the
+     * functional reference).
      */
     const SpikeTensor& lastOutput() const { return last_output_; }
 
@@ -69,10 +78,12 @@ class LoasSim : public Accelerator
     SpikeTensor last_output_;
 
     /**
-     * Reusable working state of execute(). An accelerator instance is
-     * driven by one thread at a time (the SimEngine gives each job a
-     * private instance), so the buffers warm up on the first layer and
-     * steady-state execution performs no heap allocations.
+     * Reusable working state of one execute worker. An accelerator
+     * instance is driven by one thread at a time per worker slot (the
+     * SimEngine gives each job a private instance; executeBatch hands
+     * each batch worker its own slot), so the buffers warm up on the
+     * first layer and steady-state execution performs no heap
+     * allocations.
      */
     struct ExecuteScratch
     {
@@ -82,7 +93,7 @@ class LoasSim : public Accelerator
         std::vector<WorkItem> items;     // current wave
         CompressResult compress;
     };
-    ExecuteScratch scratch_;
+    std::vector<ExecuteScratch> scratch_;
 };
 
 } // namespace loas

@@ -351,6 +351,13 @@ JobQueue::workerLoop()
             }
             member->compile_ms = report.compile_cache.compile_ms;
             member->sim_ms = report.sim_ms;
+            // Throughput this job observed: its own inference count
+            // (batch x sliced cells) over the shared run's wall time.
+            if (run_ms > 0.0)
+                member->inferences_per_s =
+                    static_cast<double>(member->request.batch *
+                                        sliced.runs.size()) /
+                    (run_ms / 1000.0);
             member->cache = report.compile_cache;
             member->report_json = std::make_shared<const std::string>(
                 json::toJson(sliced));
@@ -374,6 +381,7 @@ JobQueue::snapshotLocked(const Job& job) const
     out.run_ms = job.run_ms;
     out.compile_ms = job.compile_ms;
     out.sim_ms = job.sim_ms;
+    out.inferences_per_s = job.inferences_per_s;
     out.cache = job.cache;
     out.report_json = job.report_json;
     out.error = job.error;

@@ -127,6 +127,10 @@ class JobQueue
         double compile_ms = 0.0;  // engine prepare phase
         double sim_ms = 0.0;      // engine execute phase
 
+        /** Served throughput of THIS job: batch x its own cell count
+         *  / run wall time; set only in state Done. */
+        double inferences_per_s = 0.0;
+
         /** Exact attributed cache counters of the run that served
          *  this job (shared across coalesced jobs); gauges are the
          *  cache occupancy after it. */
@@ -234,6 +238,7 @@ class JobQueue
         double run_ms = 0.0;
         double compile_ms = 0.0;
         double sim_ms = 0.0;
+        double inferences_per_s = 0.0;
         CompiledCache::Stats cache;
         std::shared_ptr<const std::string> report_json;
         std::string error;

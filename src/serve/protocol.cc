@@ -63,6 +63,12 @@ parseRunSpec(const JsonValue& request)
     if (spec.networks.empty())
         throw std::invalid_argument("network list is empty");
     spec.seed = getUintField(request, "seed", spec.seed);
+    // serve/1 clients never send "batch"; the default keeps their
+    // submits (and replies) exactly as before.
+    spec.batch = static_cast<std::size_t>(
+        getUintField(request, "batch", spec.batch));
+    if (spec.batch == 0)
+        throw std::invalid_argument("batch must be >= 1");
     spec.energy = request.getBool("energy", spec.energy);
     spec.timeout_ms = request.getNumber("timeout_ms", 0.0);
     if (spec.timeout_ms < 0)
@@ -80,7 +86,8 @@ std::string
 coalesceKey(const RunSpec& spec)
 {
     return joinList(spec.networks) + "|s" +
-           std::to_string(spec.seed) +
+           std::to_string(spec.seed) + "|b" +
+           std::to_string(spec.batch) +
            (spec.energy ? "|e1" : "|e0");
 }
 
@@ -91,6 +98,7 @@ toSimRequest(const RunSpec& spec)
     request.accels = spec.accels;
     request.networks = expandNetworkGrids(spec.networks);
     request.seed = spec.seed;
+    request.batch = spec.batch;
     request.energy = spec.energy;
     return request;
 }

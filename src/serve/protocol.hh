@@ -1,23 +1,28 @@
 /**
  * @file
  * Wire protocol of the `loas_cli serve` daemon: newline-delimited JSON
- * over a local stream socket, schema `loas-serve/1`. Every request is
+ * over a local stream socket, schema `loas-serve/2`. Every request is
  * one JSON object on one line, every reply one JSON object on one
  * line; a connection may issue any number of requests sequentially.
+ * (serve/2 added the optional "batch" submit field and the
+ * "inferences_per_s" stats field; requests that omit "batch" behave
+ * exactly like serve/1 clients.)
  *
  * Requests ("cmd" selects one):
  *
  *   {"cmd":"submit", "accel":"sparten,loas", "network":"alexnet",
- *    "seed":101, "energy":true, "timeout_ms":0, "wait":true}
+ *    "seed":101, "batch":1, "energy":true, "timeout_ms":0,
+ *    "wait":true}
  *       Enqueue one simulation job — the same (accelerator x network)
  *       matrix `loas_cli run` executes, so a served report is
  *       byte-identical to the one-shot run of the same parameters.
  *       "accel" is a comma-separated spec list, "network" a
  *       semicolon-separated list of network names or single-layer
- *       grids (see expandNetworkGrids). With "wait" (the default) the
- *       reply arrives when the job reaches a terminal state; with
- *       "wait":false the reply acknowledges the queued job and the
- *       client polls.
+ *       grids (see expandNetworkGrids); "batch" (default 1) simulates
+ *       that many independently-seeded inputs per cell. With "wait"
+ *       (the default) the reply arrives when the job reaches a
+ *       terminal state; with "wait":false the reply acknowledges the
+ *       queued job and the client polls.
  *
  *   {"cmd":"poll",   "id":N}     Job state (+ result when terminal).
  *   {"cmd":"cancel", "id":N}     Cancel a queued or running job.
@@ -40,7 +45,8 @@
  * failed; a done reply embeds the full report document as the JSON
  * string field "report" — exactly the bytes `loas_cli run --json`
  * would have written — plus per-request "stats" (queue_ms, run_ms,
- * compile_ms, sim_ms and the exact attributed cache counters).
+ * compile_ms, sim_ms, inferences_per_s — batch x runs / run wall
+ * time — and the exact attributed cache counters).
  */
 
 #pragma once
@@ -70,6 +76,10 @@ struct RunSpec
     std::vector<std::string> networks;
 
     std::uint64_t seed = 101;
+
+    /** Inputs per (accelerator, network) cell (engine passthrough). */
+    std::size_t batch = 1;
+
     bool energy = true;
 
     /** Per-request deadline; 0 = the server's default (may be none). */
@@ -78,9 +88,11 @@ struct RunSpec
 
 /**
  * Parse the wire fields of a submit object ("accel", "network",
- * "seed", "energy", "timeout_ms") into a RunSpec. Missing fields take
- * the `loas_cli run` defaults so a bare {"cmd":"submit"} serves the
- * default matrix. Throws std::invalid_argument on bad types/values.
+ * "seed", "batch", "energy", "timeout_ms") into a RunSpec. Missing
+ * fields take the `loas_cli run` defaults so a bare {"cmd":"submit"}
+ * serves the default matrix (and serve/1 clients that never send
+ * "batch" get batch 1). Throws std::invalid_argument on bad
+ * types/values.
  */
 RunSpec parseRunSpec(const JsonValue& request);
 
@@ -97,15 +109,15 @@ std::uint64_t getUintField(const JsonValue& request,
 /**
  * Exact-identity key of a request: two submits dedup onto one
  * in-flight job iff their keys are equal (same accel strings in the
- * same order, same networks, seed, energy).
+ * same order, same networks, seed, batch, energy).
  */
 std::string dedupKey(const RunSpec& spec);
 
 /**
  * Compatibility key for job coalescing: requests with equal coalesce
- * keys (same networks, seed, energy — accelerators free) can merge
- * into one engine run over the union of their accelerator lists,
- * sharing one workload synthesis and one compile pass.
+ * keys (same networks, seed, batch, energy — accelerators free) can
+ * merge into one engine run over the union of their accelerator
+ * lists, sharing one workload synthesis and one compile pass.
  */
 std::string coalesceKey(const RunSpec& spec);
 

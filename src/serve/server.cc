@@ -424,6 +424,8 @@ Server::jobReply(const JobQueue::Result& result) const
     out += ", \"run_ms\": " + json::num(result.run_ms);
     out += ", \"compile_ms\": " + json::num(result.compile_ms);
     out += ", \"sim_ms\": " + json::num(result.sim_ms);
+    out += ", \"inferences_per_s\": " +
+           json::num(result.inferences_per_s);
     out += ", \"cache\": " + cacheStatsJson(result.cache);
     out += "}";
     if (result.report_json)

@@ -123,10 +123,15 @@ getSpikeFibers(Reader& in, CompiledSpikeFibers& fibers)
 
 // --- Per-family artifact payloads -----------------------------------
 
+// Every spike-side member is stored per batch input (count-prefixed);
+// the weight-side operand is stored exactly once per layer.
+
 void
 putLoas(Writer& out, const LoasCompiled& art)
 {
-    putSpikeFibers(out, art.a);
+    out.u64(art.a.size());
+    for (const auto& a : art.a)
+        putSpikeFibers(out, a);
     putWeightFibers(out, art.b);
 }
 
@@ -134,7 +139,14 @@ std::shared_ptr<const CompiledArtifact>
 getLoas(Reader& in)
 {
     auto art = std::make_shared<LoasCompiled>();
-    if (!getSpikeFibers(in, art->a) || !getWeightFibers(in, art->b))
+    std::uint64_t batch = 0;
+    if (!in.u64(batch) || batch == 0)
+        return nullptr;
+    art->a.resize(static_cast<std::size_t>(batch));
+    for (auto& a : art->a)
+        if (!getSpikeFibers(in, a))
+            return nullptr;
+    if (!getWeightFibers(in, art->b))
         return nullptr;
     return art;
 }
@@ -144,21 +156,30 @@ putSparten(Writer& out, const SpartenCompiled& art)
 {
     putWeightFibers(out, art.b);
     out.u64(art.row_masks.size());
-    for (const auto& mask : art.row_masks)
-        putBitmask(out, mask);
+    for (const auto& masks : art.row_masks) {
+        out.u64(masks.size());
+        for (const auto& mask : masks)
+            putBitmask(out, mask);
+    }
 }
 
 std::shared_ptr<const CompiledArtifact>
 getSparten(Reader& in)
 {
     auto art = std::make_shared<SpartenCompiled>();
-    std::uint64_t count = 0;
-    if (!getWeightFibers(in, art->b) || !in.u64(count))
+    std::uint64_t batch = 0;
+    if (!getWeightFibers(in, art->b) || !in.u64(batch) || batch == 0)
         return nullptr;
-    art->row_masks.resize(static_cast<std::size_t>(count));
-    for (auto& mask : art->row_masks)
-        if (!getBitmask(in, mask))
+    art->row_masks.resize(static_cast<std::size_t>(batch));
+    for (auto& masks : art->row_masks) {
+        std::uint64_t count = 0;
+        if (!in.u64(count))
             return nullptr;
+        masks.resize(static_cast<std::size_t>(count));
+        for (auto& mask : masks)
+            if (!getBitmask(in, mask))
+                return nullptr;
+    }
     return art;
 }
 
@@ -166,17 +187,25 @@ void
 putGospa(Writer& out, const GospaCompiled& art)
 {
     putWeightFibers(out, art.b);
-    out.vec(art.col_spikes);
-    out.u64(art.total_spikes);
+    out.u64(art.col_spikes.size());
+    for (std::size_t b = 0; b < art.col_spikes.size(); ++b) {
+        out.vec(art.col_spikes[b]);
+        out.u64(art.total_spikes[b]);
+    }
 }
 
 std::shared_ptr<const CompiledArtifact>
 getGospa(Reader& in)
 {
     auto art = std::make_shared<GospaCompiled>();
-    if (!getWeightFibers(in, art->b) || !in.vec(art->col_spikes) ||
-        !in.u64(art->total_spikes))
+    std::uint64_t batch = 0;
+    if (!getWeightFibers(in, art->b) || !in.u64(batch) || batch == 0)
         return nullptr;
+    art->col_spikes.resize(static_cast<std::size_t>(batch));
+    art->total_spikes.resize(static_cast<std::size_t>(batch));
+    for (std::size_t b = 0; b < art->col_spikes.size(); ++b)
+        if (!in.vec(art->col_spikes[b]) || !in.u64(art->total_spikes[b]))
+            return nullptr;
     return art;
 }
 
@@ -185,35 +214,55 @@ putGamma(Writer& out, const GammaCompiled& art)
 {
     putWeightFibers(out, art.b);
     out.f64(art.weight_density);
-    out.u64(art.total_spikes);
-    out.vec(art.cols);
-    out.vec(art.ptr);
+    out.u64(art.cols.size());
+    for (std::size_t b = 0; b < art.cols.size(); ++b) {
+        out.u64(art.total_spikes[b]);
+        out.vec(art.cols[b]);
+        out.vec(art.ptr[b]);
+    }
 }
 
 std::shared_ptr<const CompiledArtifact>
 getGamma(Reader& in)
 {
     auto art = std::make_shared<GammaCompiled>();
+    std::uint64_t batch = 0;
     if (!getWeightFibers(in, art->b) || !in.f64(art->weight_density) ||
-        !in.u64(art->total_spikes) || !in.vec(art->cols) ||
-        !in.vec(art->ptr))
+        !in.u64(batch) || batch == 0)
         return nullptr;
+    art->total_spikes.resize(static_cast<std::size_t>(batch));
+    art->cols.resize(static_cast<std::size_t>(batch));
+    art->ptr.resize(static_cast<std::size_t>(batch));
+    for (std::size_t b = 0; b < art->cols.size(); ++b)
+        if (!in.u64(art->total_spikes[b]) || !in.vec(art->cols[b]) ||
+            !in.vec(art->ptr[b]))
+            return nullptr;
     return art;
 }
 
 void
 putSystolic(Writer& out, const SystolicCompiled& art)
 {
-    out.u64(art.spikes);
-    out.u64(art.max_spikes_per_t);
+    out.u64(art.spikes.size());
+    for (std::size_t b = 0; b < art.spikes.size(); ++b) {
+        out.u64(art.spikes[b]);
+        out.u64(art.max_spikes_per_t[b]);
+    }
 }
 
 std::shared_ptr<const CompiledArtifact>
 getSystolic(Reader& in)
 {
     auto art = std::make_shared<SystolicCompiled>();
-    if (!in.u64(art->spikes) || !in.u64(art->max_spikes_per_t))
+    std::uint64_t batch = 0;
+    if (!in.u64(batch) || batch == 0)
         return nullptr;
+    art->spikes.resize(static_cast<std::size_t>(batch));
+    art->max_spikes_per_t.resize(static_cast<std::size_t>(batch));
+    for (std::size_t b = 0; b < art->spikes.size(); ++b)
+        if (!in.u64(art->spikes[b]) ||
+            !in.u64(art->max_spikes_per_t[b]))
+            return nullptr;
     return art;
 }
 
@@ -258,6 +307,7 @@ serializeCompiledLayer(const CompiledLayer& layer, Writer& out)
     out.u64(layer.k);
     out.u64(layer.n);
     out.i32(layer.timesteps);
+    out.u64(layer.batch);
     out.u64(layer.bytes);
 
     if (!layer.artifact)
@@ -284,14 +334,15 @@ serializeCompiledLayer(const CompiledLayer& layer, Writer& out)
 bool
 deserializeCompiledLayer(Reader& in, CompiledLayer& out)
 {
-    std::uint64_t m = 0, k = 0, n = 0, bytes = 0;
+    std::uint64_t m = 0, k = 0, n = 0, batch = 0, bytes = 0;
     if (!in.str(out.family) || !getSpec(in, out.spec) || !in.u64(m) ||
         !in.u64(k) || !in.u64(n) || !in.i32(out.timesteps) ||
-        !in.u64(bytes))
+        !in.u64(batch) || !in.u64(bytes) || batch == 0)
         return false;
     out.m = static_cast<std::size_t>(m);
     out.k = static_cast<std::size_t>(k);
     out.n = static_cast<std::size_t>(n);
+    out.batch = static_cast<std::size_t>(batch);
     out.bytes = static_cast<std::size_t>(bytes);
 
     if (out.family == "loas")

@@ -11,11 +11,12 @@ namespace loas {
 std::string
 compiledLayerKey(const std::string& network, std::size_t layer_index,
                  bool ft_workload, const std::string& family,
-                 int timesteps, std::uint64_t seed)
+                 int timesteps, std::uint64_t seed, std::size_t batch)
 {
     return network + "#l" + std::to_string(layer_index) +
            (ft_workload ? "#ft" : "#plain") + "#" + family + "#t" +
-           std::to_string(timesteps) + "#s" + std::to_string(seed);
+           std::to_string(timesteps) + "#s" + std::to_string(seed) +
+           "#b" + std::to_string(batch);
 }
 
 CompiledCache::Stats

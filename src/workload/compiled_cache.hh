@@ -20,7 +20,8 @@
  *
  * Keys name the workload-side identity of an artifact:
  * (network, layer index, ft-variant, format family, timesteps,
- * workload seed). Hardware options are deliberately absent —
+ * workload seed, batch size). Hardware options are deliberately
+ * absent —
  * prepare() output must not depend on them (that is what makes a
  * family a family) — while the ft-variant component keeps `loas` and
  * `loas-ft` apart and the seed component keeps differently-synthesized
@@ -64,7 +65,7 @@ class ArtifactStore;
 std::string compiledLayerKey(const std::string& network,
                              std::size_t layer_index, bool ft_workload,
                              const std::string& family, int timesteps,
-                             std::uint64_t seed);
+                             std::uint64_t seed, std::size_t batch = 1);
 
 /** Memoizes CompiledLayer artifacts by key, bounded and persistent. */
 class CompiledCache

@@ -100,16 +100,39 @@ solveFiringProbability(double target_mean, int t, int min_spikes)
     return 0.5 * (lo + hi);
 }
 
+namespace {
+
+/** Sample one spike tensor off `rng` with the solved statistics. */
+void
+sampleSpikeTensor(Rng& rng, SpikeTensor& spikes, const LayerSpec& spec,
+                  double silent, double p, int min_spikes)
+{
+    for (std::size_t m = 0; m < spec.m; ++m) {
+        for (std::size_t k = 0; k < spec.k; ++k) {
+            if (silent >= 1.0 || rng.bernoulli(silent))
+                continue;
+            spikes.setWord(m, k,
+                           sampleActiveWord(rng, p, spec.t, min_spikes));
+        }
+    }
+}
+
+} // namespace
+
 LayerData
-generateLayer(const LayerSpec& spec, std::uint64_t seed, bool ft)
+generateLayer(const LayerSpec& spec, std::uint64_t seed, bool ft,
+              std::size_t batch)
 {
     if (spec.t < 1 || spec.t > kMaxTimesteps)
         fatal("layer '%s': unsupported timestep count %d",
               spec.name.c_str(), spec.t);
+    if (batch < 1)
+        fatal("layer '%s': batch must be >= 1", spec.name.c_str());
 
     Rng rng(seed ^ 0x5bd1e995u);
     LayerData data{spec, SpikeTensor(spec.m, spec.k, spec.t),
-                   DenseMatrix<std::int8_t>(spec.k, spec.n, 0)};
+                   DenseMatrix<std::int8_t>(spec.k, spec.n, 0),
+                   {}};
 
     const double silent =
         std::clamp(ft ? spec.silent_ratio_ft : spec.silent_ratio, 0.0, 1.0);
@@ -123,15 +146,7 @@ generateLayer(const LayerSpec& spec, std::uint64_t seed, bool ft)
         p = solveFiringProbability(mean_spikes, spec.t, min_spikes);
     }
 
-    for (std::size_t m = 0; m < spec.m; ++m) {
-        for (std::size_t k = 0; k < spec.k; ++k) {
-            if (silent >= 1.0 || rng.bernoulli(silent))
-                continue;
-            data.spikes.setWord(m, k,
-                                sampleActiveWord(rng, p, spec.t,
-                                                 min_spikes));
-        }
-    }
+    sampleSpikeTensor(rng, data.spikes, spec, silent, p, min_spikes);
 
     const double weight_density = 1.0 - spec.weight_sparsity;
     for (std::size_t k = 0; k < spec.k; ++k)
@@ -139,18 +154,33 @@ generateLayer(const LayerSpec& spec, std::uint64_t seed, bool ft)
             if (rng.bernoulli(weight_density))
                 data.weights(k, n) = sampleNonzeroWeight(rng);
 
+    // Extra batch inputs come off per-input streams derived from the
+    // layer seed alone: input b is identical whatever the total batch
+    // size, and input 0 + weights above never see the batch axis. The
+    // mixing constant differs from generateNetwork's per-layer stride
+    // so the input axis cannot alias the layer axis.
+    data.extra_inputs.reserve(batch - 1);
+    for (std::size_t b = 1; b < batch; ++b) {
+        Rng input_rng((seed + 0xd1b54a32d192ed03ull * b) ^ 0x5bd1e995u);
+        SpikeTensor input(spec.m, spec.k, spec.t);
+        sampleSpikeTensor(input_rng, input, spec, silent, p, min_spikes);
+        data.extra_inputs.push_back(std::move(input));
+    }
+
     return data;
 }
 
 std::vector<LayerData>
-generateNetwork(const NetworkSpec& net, std::uint64_t seed, bool ft)
+generateNetwork(const NetworkSpec& net, std::uint64_t seed, bool ft,
+                std::size_t batch)
 {
     std::vector<LayerData> layers;
     layers.reserve(net.layers.size());
     for (std::size_t l = 0; l < net.layers.size(); ++l) {
         const std::uint64_t layer_seed =
             seed + 0x9e3779b97f4a7c15ull * (l + 1);
-        layers.push_back(generateLayer(net.layers[l], layer_seed, ft));
+        layers.push_back(
+            generateLayer(net.layers[l], layer_seed, ft, batch));
     }
     return layers;
 }

@@ -22,12 +22,29 @@
 
 namespace loas {
 
-/** Concrete data for one SNN layer. */
+/**
+ * Concrete data for one SNN layer. A batched request carries B input
+ * spike tensors through ONE weight matrix: `spikes` is input 0 (the
+ * batch=1 tensor, byte-identical whatever the batch size) and
+ * `extra_inputs` holds inputs 1..B-1, each synthesized from its own
+ * seed derived from the layer seed alone — input b is the same tensor
+ * whether the request batches 2 or 64.
+ */
 struct LayerData
 {
     LayerSpec spec;
-    SpikeTensor spikes;                 // A: M x K x T
-    DenseMatrix<std::int8_t> weights;   // B: K x N
+    SpikeTensor spikes;                 // A: M x K x T (input 0)
+    DenseMatrix<std::int8_t> weights;   // B: K x N (shared by the batch)
+    std::vector<SpikeTensor> extra_inputs;  // inputs 1..B-1
+
+    /** Number of input tensors (>= 1). */
+    std::size_t batchSize() const { return 1 + extra_inputs.size(); }
+
+    /** Input tensor `b` of the batch (0 = `spikes`). */
+    const SpikeTensor& input(std::size_t b) const
+    {
+        return b == 0 ? spikes : extra_inputs[b - 1];
+    }
 };
 
 /** Concrete data for one ANN layer (Fig. 18 comparisons). */
@@ -44,13 +61,20 @@ struct AnnLayerData
  * statistics are used: the silent ratio rises to spec.silent_ratio_ft
  * and every remaining active neuron fires at least twice (single-spike
  * neurons are exactly what preprocessing masks).
+ *
+ * `batch` >= 1 adds independently-seeded extra input tensors drawn
+ * from the same layer statistics; input 0 and the weights come off the
+ * original RNG stream, so batch=1 output is byte-identical to before
+ * the batch axis existed and the batch=1 tensors are a prefix of any
+ * larger batch.
  */
 LayerData generateLayer(const LayerSpec& spec, std::uint64_t seed,
-                        bool ft = false);
+                        bool ft = false, std::size_t batch = 1);
 
 /** Generate every layer of a network (seed is diversified per layer). */
 std::vector<LayerData> generateNetwork(const NetworkSpec& net,
-                                       std::uint64_t seed, bool ft = false);
+                                       std::uint64_t seed, bool ft = false,
+                                       std::size_t batch = 1);
 
 /** Generate an int8 ANN layer with the spec's activation sparsity. */
 AnnLayerData generateAnnLayer(const LayerSpec& spec, std::uint64_t seed);

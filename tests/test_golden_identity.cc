@@ -14,16 +14,23 @@
  *     instance reproduces the cold run exactly.
  *
  * Re-capturing the golden table (only when the *modeled hardware*
- * legitimately changes): for each registry key, run
- * `registry.make(key)->runNetwork(generateNetwork(net, 101, ft), ...)`
- * on the two NetworkSpecs below and record, in order: total_cycles,
- * compute_cycles, dram_cycles, traffic.dramBytes(),
- * traffic.sramBytes(), cache_hits, cache_misses, ops.total().
+ * legitimately changes): the DISABLED_PrintGoldenTable test below
+ * prints both tables in source form — paste its output over the
+ * kGolden* arrays. One-liner:
+ *
+ *   ./build/test_golden_identity --gtest_also_run_disabled_tests \
+ *       --gtest_filter='*PrintGoldenTable*'
+ *
+ * Each row is, in order: total_cycles, compute_cycles, dram_cycles,
+ * traffic.dramBytes(), traffic.sramBytes(), cache_hits,
+ * cache_misses, ops.total() of
+ * `registry.make(key)->runNetwork(generateNetwork(net, 101, ft), ...)`.
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <deque>
 
 #include "api/registry.hh"
@@ -119,6 +126,42 @@ TEST(GoldenIdentity, Vgg16L8AllDesigns)
 {
     expectGolden(NetworkSpec{"vgg16-l8", {tables::vgg16L8()}},
                  kGoldenVgg16L8, std::size(kGoldenVgg16L8));
+}
+
+// Re-capture helper (see the file header): prints both golden tables
+// in source form. Disabled so it never runs in CI; invoke it with
+// --gtest_also_run_disabled_tests when the modeled hardware changes.
+TEST(GoldenIdentity, DISABLED_PrintGoldenTable)
+{
+    const auto& registry = AcceleratorRegistry::instance();
+    const NetworkSpec nets[] = {
+        {"alexnet-l4", {tables::alexnetL4()}},
+        {"vgg16-l8", {tables::vgg16L8()}},
+    };
+    for (const auto& net : nets) {
+        std::printf("// %s (seed 101)\n", net.name.c_str());
+        for (const auto& key : registry.keys()) {
+            const bool ft = registry.entry(key).ft_workload;
+            const auto layers = generateNetwork(net, 101, ft);
+            const RunResult r =
+                registry.make(key)->runNetwork(layers, net.name);
+            std::printf("    {\"%s\", %lluull, %lluull, %lluull, "
+                        "%lluull, %lluull, %lluull, %lluull, "
+                        "%lluull},\n",
+                        key.c_str(),
+                        static_cast<unsigned long long>(r.total_cycles),
+                        static_cast<unsigned long long>(
+                            r.compute_cycles),
+                        static_cast<unsigned long long>(r.dram_cycles),
+                        static_cast<unsigned long long>(
+                            r.traffic.dramBytes()),
+                        static_cast<unsigned long long>(
+                            r.traffic.sramBytes()),
+                        static_cast<unsigned long long>(r.cache_hits),
+                        static_cast<unsigned long long>(r.cache_misses),
+                        static_cast<unsigned long long>(r.ops.total()));
+        }
+    }
 }
 
 // ---------------------------------------------------------------------

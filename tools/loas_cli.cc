@@ -126,12 +126,12 @@ usage(const char* argv0)
         stderr,
         "usage: %s list [--json [PATH]]\n"
         "       %s run [--accel LIST] [--network LIST] [--seed N]\n"
-        "           [--threads N] [--no-energy] [--json PATH]\n"
-        "           [cache flags]\n"
+        "           [--batch N] [--threads N] [--no-energy]\n"
+        "           [--json PATH] [cache flags]\n"
         "       %s sweep --grid GRIDS [--network GRIDS]\n"
-        "           [--baseline SPEC] [--seed N] [--threads N]\n"
-        "           [--no-energy] [--csv PATH] [--json PATH]\n"
-        "           [cache flags]\n"
+        "           [--baseline SPEC] [--seed N] [--batch N]\n"
+        "           [--threads N] [--no-energy] [--csv PATH]\n"
+        "           [--json PATH] [cache flags]\n"
         "       %s bench [--quick] [--seed N] [--threads N] [--out PATH]\n"
         "           [cache flags]\n"
         "       loas_cli cache stats|clear --cache-dir PATH\n"
@@ -141,8 +141,9 @@ usage(const char* argv0)
         "           [--engine-threads N] [--max-depth N]\n"
         "           [--timeout-ms MS] [--no-coalesce] [cache flags]\n"
         "       loas_cli request --socket PATH [--accel LIST]\n"
-        "           [--network LIST] [--seed N] [--no-energy]\n"
-        "           [--timeout-ms MS] [--no-wait] [--json PATH]\n"
+        "           [--network LIST] [--seed N] [--batch N]\n"
+        "           [--no-energy] [--timeout-ms MS] [--no-wait]\n"
+        "           [--json PATH]\n"
         "           [--cmd submit|stats|version|shutdown]\n"
         "           [--no-drain] [--raw LINE]\n"
         "       loas_cli version\n"
@@ -167,6 +168,9 @@ usage(const char* argv0)
         "                  single-layer grids like alexnet-l4?t=8\n"
         "                  (';'-separated when grids carry value lists)\n"
         "  --seed N        workload-synthesis seed (default 101)\n"
+        "  --batch N       inputs per (accel, network) cell; each gets\n"
+        "                  an independently-seeded spike tensor, weights\n"
+        "                  and compiled artifacts are shared (default 1)\n"
         "  --threads N     worker threads (default: all cores)\n"
         "  --no-energy     skip the energy model\n"
         "  --json PATH     write the full report as JSON (\"-\": stdout)\n"
@@ -269,6 +273,16 @@ handleCommonFlag(const std::string& arg, ArgCursor& args,
         return true;
     }
     return false;
+}
+
+/** Parse a --batch value (>= 1 enforced here, not in the engine). */
+std::size_t
+parseBatch(const std::string& flag, const std::string& value)
+{
+    const std::uint64_t batch = parseUint(flag, value);
+    if (batch == 0)
+        throw std::invalid_argument(flag + " must be >= 1");
+    return static_cast<std::size_t>(batch);
 }
 
 /** Shared --cache-* flag state of the run/sweep/bench subcommands. */
@@ -461,6 +475,8 @@ runRun(int argc, char** argv)
             accel_list = args.value(arg);
         else if (arg == "--network")
             network_list = args.value(arg);
+        else if (arg == "--batch")
+            request.batch = parseBatch(arg, args.value(arg));
         else if (handleCommonFlag(arg, args, request.seed,
                                   request.threads))
             continue;
@@ -550,6 +566,8 @@ runSweep(int argc, char** argv)
                 request.networks.push_back(std::move(grid));
         else if (arg == "--baseline")
             request.baseline = args.value(arg);
+        else if (arg == "--batch")
+            request.batch = parseBatch(arg, args.value(arg));
         else if (handleCommonFlag(arg, args, request.seed,
                                   request.threads))
             continue;
@@ -729,6 +747,31 @@ runKernelBench(bool quick, std::uint64_t seed,
                 "kernel bench execute produced zero cycles");
         metrics.emplace_back("execute_allocs_steady_" + key, allocs);
     }
+
+    // --- Batched steady state: executeBatch() over a multi-input
+    // layer must stay off the heap too once the per-input result slots
+    // and per-worker scratch pools are warm. threads=1 on purpose —
+    // spawning pool threads allocates, and this gates the execute
+    // path, not the thread fan-out.
+    constexpr std::size_t kBenchBatch = 4;
+    for (const auto& key : registry.keys()) {
+        const bool ft = registry.entry(key).ft_workload;
+        const LayerData layer =
+            generateLayer(kspec, seed, ft, kBenchBatch);
+        const auto instance = registry.make(key);
+        const CompiledLayer compiled = instance->prepare(layer);
+        instance->executeBatch(compiled, 1);
+        instance->executeBatch(compiled, 1);
+        const std::uint64_t before = allochook::allocationCount();
+        const RunResult r = instance->executeBatch(compiled, 1);
+        const auto allocs = static_cast<double>(
+            allochook::allocationCount() - before);
+        if (r.total_cycles == 0)
+            throw std::runtime_error(
+                "kernel bench executeBatch produced zero cycles");
+        metrics.emplace_back("execute_batch_allocs_steady_" + key,
+                             allocs);
+    }
     metrics.emplace_back("alloc_hook_active",
                          allochook::active() ? 1.0 : 0.0);
 }
@@ -833,6 +876,30 @@ runBench(int argc, char** argv)
     metrics.emplace_back("cache_bytes",
                          static_cast<double>(cc.bytes));
 
+    // 3b. Batched-inference throughput along the request dimension:
+    //     one engine run at batch 8 on the LoAS design over the same
+    //     network as stage 1; each cell compiles its artifacts once
+    //     and fans its inputs out over the batch-level parallel loop,
+    //     so the rate amortizes synthesis + compile across the batch.
+    {
+        constexpr std::size_t kBatch = 8;
+        SimRequest batch_request;
+        batch_request.accels = {"loas"};
+        batch_request.networks = {net};
+        batch_request.seed = seed;
+        batch_request.threads = threads;
+        batch_request.batch = kBatch;
+        batch_request.compiled_cache = sweep.compiled_cache;
+        const auto t_batch = Clock::now();
+        const SimReport batch_report =
+            SimEngine().run(batch_request);
+        const double batch_ms = ms_since(t_batch);
+        metrics.emplace_back(
+            "batch_inferences_per_s",
+            static_cast<double>(kBatch * batch_report.runs.size()) /
+                (batch_ms / 1000.0));
+    }
+
     // 4. Served-request throughput: a daemon on a scratch socket,
     //    one warm-up submit, then timed sequential requests — every
     //    timed one is a pure cache-hit run, so this tracks the serve
@@ -875,8 +942,10 @@ runBench(int argc, char** argv)
     // trend gate (tools/bench_compare.py) both key on "schema" and
     // the metric list. loas-bench/2 added the prepare_ms / sim_ms
     // two-phase split, loas-bench/3 the compile-cache counters,
-    // loas-bench/4 the served-request throughput; loas-kernels/1 is
-    // the kernel-bench companion.
+    // loas-bench/4 the served-request throughput, loas-bench/5 the
+    // batched-inference throughput (the kernels file gained the
+    // batched alloc gates alongside); loas-kernels/1 is the
+    // kernel-bench companion.
     const auto render = [&](const char* schema, const auto& list) {
         std::string out = "{\n";
         out += std::string("  \"schema\": \"") + schema + "\",\n";
@@ -1130,6 +1199,7 @@ runRequest(int argc, char** argv)
     std::string json_path;
     std::string raw_line;
     std::uint64_t seed = 101;
+    std::size_t batch = 1;
     bool energy = true;
     bool wait = true;
     bool drain = true;
@@ -1148,6 +1218,8 @@ runRequest(int argc, char** argv)
             network_list = args.value(arg);
         else if (arg == "--seed")
             seed = parseUint(arg, args.value(arg));
+        else if (arg == "--batch")
+            batch = parseBatch(arg, args.value(arg));
         else if (arg == "--no-energy")
             energy = false;
         else if (arg == "--no-wait")
@@ -1206,6 +1278,9 @@ runRequest(int argc, char** argv)
     submit += ", \"accel\": " + json::quote(accel_list);
     submit += ", \"network\": " + json::quote(network_field);
     submit += ", \"seed\": " + std::to_string(seed);
+    // Omitted at 1: the wire default, and what serve/1 clients send.
+    if (batch > 1)
+        submit += ", \"batch\": " + std::to_string(batch);
     submit += std::string(", \"energy\": ") +
               (energy ? "true" : "false");
     if (timeout_ms > 0)
