@@ -13,6 +13,7 @@
 #include "common/alloc_hook.hh"
 #include "common/rng.hh"
 #include "core/compressor.hh"
+#include "core/fused_join.hh"
 #include "core/inner_join.hh"
 #include "core/plif.hh"
 #include "mem/memory_system.hh"
@@ -84,6 +85,136 @@ BM_InnerJoinScratch(benchmark::State& state)
                             static_cast<std::int64_t>(k));
 }
 BENCHMARK(BM_InnerJoinScratch)->Arg(512)->Arg(2304)->Arg(4608);
+
+/**
+ * One spike fiber at `timesteps` bits per word plus the per-timestep
+ * bitmask views the sequential datapath scans — both views of the same
+ * operand, so the two temporal-join benches compute identical sums.
+ */
+struct TemporalOperands
+{
+    SpikeFiber fa;
+    std::vector<Bitmask> t_masks;
+};
+
+TemporalOperands
+makeTemporalOperands(std::size_t k, double density, int timesteps,
+                     double dense_fraction, std::uint64_t seed)
+{
+    Rng rng(seed);
+    const TimeWord all_ones =
+        static_cast<TimeWord>((TimeWord(1) << timesteps) - 1);
+    TemporalOperands ops;
+    ops.fa.mask = Bitmask(k);
+    ops.t_masks.assign(static_cast<std::size_t>(timesteps), Bitmask(k));
+    for (std::size_t i = 0; i < k; ++i) {
+        if (!rng.bernoulli(density))
+            continue;
+        const TimeWord word =
+            rng.bernoulli(dense_fraction)
+                ? all_ones
+                : static_cast<TimeWord>(
+                      1 + rng.uniformInt(static_cast<int>(all_ones) - 1));
+        ops.fa.mask.set(i);
+        ops.fa.values.push_back(word);
+        for (int t = 0; t < timesteps; ++t)
+            if ((word >> t) & 1u)
+                ops.t_masks[static_cast<std::size_t>(t)].set(i);
+    }
+    return ops;
+}
+
+// The sequential baseline the tentpole replaces: T independent
+// row-mask scans against the same weight fiber (T word-ANDs per weight
+// word). Arg pair: (k, timesteps).
+void
+BM_TemporalJoinSequential(benchmark::State& state)
+{
+    const auto k = static_cast<std::size_t>(state.range(0));
+    const int timesteps = static_cast<int>(state.range(1));
+    const auto ops = makeTemporalOperands(k, 0.25, timesteps, 0.2, 7);
+    const auto fibers = makeFibers(k, 0.25, 0.03, 7);
+    const WeightFiber& fb = fibers.second;
+    const RankedBitmask rb(fb.mask);
+    std::vector<std::int32_t> sums(
+        static_cast<std::size_t>(timesteps), 0);
+    for (auto _ : state) {
+        for (int t = 0; t < timesteps; ++t) {
+            std::int32_t acc = 0;
+            forEachMatch(ops.t_masks[static_cast<std::size_t>(t)], rb,
+                         [&](std::size_t, std::size_t b_off) {
+                             acc += fb.values[b_off];
+                         });
+            sums[static_cast<std::size_t>(t)] = acc;
+        }
+        benchmark::DoNotOptimize(sums.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(k) * timesteps);
+}
+BENCHMARK(BM_TemporalJoinSequential)
+    ->Args({2304, 4})
+    ->Args({2304, 8})
+    ->Args({2304, 16});
+
+// The fused kernel: one word-AND per weight word for all T timesteps,
+// matches fanned out through the packed temporal words.
+void
+BM_TemporalJoinFused(benchmark::State& state)
+{
+    const auto k = static_cast<std::size_t>(state.range(0));
+    const int timesteps = static_cast<int>(state.range(1));
+    const auto ops = makeTemporalOperands(k, 0.25, timesteps, 0.2, 7);
+    const auto fibers = makeFibers(k, 0.25, 0.03, 7);
+    const WeightFiber& fb = fibers.second;
+    const RankedBitmask ra(ops.fa.mask), rb(fb.mask);
+    std::vector<std::int32_t> sums(
+        static_cast<std::size_t>(timesteps), 0);
+    for (auto _ : state) {
+        const FusedJoinStats s =
+            fusedTemporalJoin(ops.fa, ra, fb, rb, timesteps,
+                              /*collapse=*/false, sums.data());
+        benchmark::DoNotOptimize(s.matches);
+        benchmark::DoNotOptimize(sums.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(k) * timesteps);
+}
+BENCHMARK(BM_TemporalJoinFused)
+    ->Args({2304, 4})
+    ->Args({2304, 8})
+    ->Args({2304, 16});
+
+// The collapse fast path on a temporally dense operand (90% all-ones
+// trains): pseudo-accumulate once per match, correct only zero bits.
+void
+BM_TemporalJoinCollapse(benchmark::State& state)
+{
+    const auto k = static_cast<std::size_t>(state.range(0));
+    const int timesteps = static_cast<int>(state.range(1));
+    const auto ops = makeTemporalOperands(k, 0.25, timesteps, 0.9, 7);
+    const auto fibers = makeFibers(k, 0.25, 0.03, 7);
+    const WeightFiber& fb = fibers.second;
+    const RankedBitmask ra(ops.fa.mask), rb(fb.mask);
+    std::vector<std::int32_t> sums(
+        static_cast<std::size_t>(timesteps), 0);
+    std::vector<std::int64_t> correction(
+        static_cast<std::size_t>(timesteps), 0);
+    for (auto _ : state) {
+        const FusedJoinStats s =
+            fusedTemporalJoin(ops.fa, ra, fb, rb, timesteps,
+                              /*collapse=*/true, sums.data(),
+                              correction.data());
+        benchmark::DoNotOptimize(s.matches);
+        benchmark::DoNotOptimize(sums.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(k) * timesteps);
+}
+BENCHMARK(BM_TemporalJoinCollapse)->Args({2304, 8})->Args({2304, 16});
 
 void
 BM_OutputCompressor(benchmark::State& state)

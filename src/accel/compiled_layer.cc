@@ -111,6 +111,20 @@ compileSpikeRows(const SpikeTensor& spikes)
     return compiled;
 }
 
+std::vector<std::uint32_t>
+denseTimewordCounts(const CompiledSpikeFibers& compiled, int timesteps)
+{
+    const TimeWord all_ones =
+        timesteps >= kMaxTimesteps
+            ? ~TimeWord(0)
+            : static_cast<TimeWord>((TimeWord(1) << timesteps) - 1);
+    std::vector<std::uint32_t> counts(compiled.fibers.size(), 0);
+    for (std::size_t i = 0; i < compiled.fibers.size(); ++i)
+        for (const TimeWord w : compiled.fibers[i].values)
+            counts[i] += (w & all_ones) == all_ones ? 1u : 0u;
+    return counts;
+}
+
 CompiledLayer
 makeCompiledLayer(const LayerData& layer, std::string family,
                   std::shared_ptr<const CompiledArtifact> artifact,

@@ -163,6 +163,15 @@ struct CompiledSpikeFibers
 CompiledSpikeFibers compileSpikeRows(const SpikeTensor& spikes);
 
 /**
+ * Per-fiber count of stored temporal words that are all ones across
+ * `timesteps` — the data-dependent density signal the fused join's
+ * collapse policy keys on. Precomputed at prepare time so execute()
+ * picks a datapath per row in O(1).
+ */
+std::vector<std::uint32_t>
+denseTimewordCounts(const CompiledSpikeFibers& compiled, int timesteps);
+
+/**
  * Assemble a CompiledLayer around a family artifact: copies the spec,
  * records the operand shapes and timestep count, and takes ownership of
  * the artifact. Every prepare() implementation funnels through this so

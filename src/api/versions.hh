@@ -18,14 +18,16 @@
 
 namespace loas {
 
-inline constexpr char kCliVersion[] = "0.7.0";
+inline constexpr char kCliVersion[] = "0.8.0";
 
 /** loas_cli bench BENCH_sweep.json ("metrics" list; /4 added the
  *  served-throughput metric, /5 the batched-inference metrics). */
 inline constexpr char kBenchSchema[] = "loas-bench/5";
 
-/** loas_cli bench BENCH_kernels.json kernel microbench companion. */
-inline constexpr char kKernelsSchema[] = "loas-kernels/1";
+/** loas_cli bench BENCH_kernels.json kernel microbench companion; /2
+ *  added the fused temporally-parallel join metrics and the fused
+ *  SparTen steady-state allocation gates. */
+inline constexpr char kKernelsSchema[] = "loas-kernels/2";
 
 /** loas_cli list --json accelerator catalog. */
 inline constexpr char kListSchema[] = "loas-list/1";

@@ -7,6 +7,7 @@
 #include "common/bitutil.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "core/fused_join.hh"
 #include "core/scheduler.hh"
 #include "mem/memory_system.hh"
 
@@ -26,7 +27,10 @@ SpartenSim::SpartenSim(const SpartenConfig& config) : config_(config) {}
 std::string
 SpartenSim::name() const
 {
-    return "SparTen-SNN";
+    // Both names stay within std::string's small-string capacity:
+    // RunResult carries the accel name by value on the steady-state
+    // (zero-allocation) execute path.
+    return config_.fused ? "SparTen-SNN(f)" : "SparTen-SNN";
 }
 
 std::string
@@ -69,10 +73,27 @@ SpartenSim::prepare(const LayerData& layer) const
         });
     }
 
+    // Temporally-packed view of the same rows for the fused datapath,
+    // plus the per-row density signal its collapse policy keys on. The
+    // artifact carries both views so the fused=0/1 design variants
+    // share one compilation (artifacts never depend on hardware
+    // options).
+    art->packed.reserve(layer.batchSize());
+    art->dense_nnz.reserve(layer.batchSize());
+    for (std::size_t b = 0; b < layer.batchSize(); ++b) {
+        art->packed.push_back(compileSpikeRows(layer.input(b)));
+        art->dense_nnz.push_back(
+            denseTimewordCounts(art->packed.back(), timesteps));
+    }
+
     std::size_t bytes = art->b.footprintBytes();
     for (const auto& masks : art->row_masks)
         for (const auto& mask : masks)
             bytes += mask.storageBytes();
+    for (const auto& packed : art->packed)
+        bytes += packed.footprintBytes(timesteps);
+    for (const auto& counts : art->dense_nnz)
+        bytes += counts.size() * sizeof(std::uint32_t);
     return makeCompiledLayer(layer, formatFamily(), std::move(art),
                              bytes);
 }
@@ -132,7 +153,10 @@ SpartenSim::executeInput(const CompiledLayer& compiled,
         last_output_.reset(m, n, timesteps);
 
     scratch.sums.assign(static_cast<std::size_t>(timesteps), 0);
+    scratch.correction.assign(static_cast<std::size_t>(timesteps), 0);
     std::vector<std::int32_t>& sums = scratch.sums;
+    const CompiledSpikeFibers& packed = art.packed[input];
+    const std::vector<std::uint32_t>& dense_nnz = art.dense_nnz[input];
     std::uint64_t dram_bytes_seen = 0;
     for (std::size_t w = 0; w < scheduler.waveCount(); ++w) {
         scheduler.wave(w, scratch.items);
@@ -155,35 +179,75 @@ SpartenSim::executeInput(const CompiledLayer& compiled,
         for (const auto& item : items) {
             const WeightFiber& fb = fibers_b[item.n];
             std::uint64_t pe_cycles = 0;
-            for (int t = 0; t < timesteps; ++t) {
-                const auto ts = static_cast<std::size_t>(t);
-                // The raw spike train is bitmask and data at once; every
-                // bit of the row is fetched, every timestep again.
-                mem.read(TensorCategory::Input,
-                         kBaseA + (ts * m + item.m) * row_bytes,
-                         row_bytes);
+            if (config_.fused) {
+                // Fused temporally-parallel join: the compressed row
+                // (mask metadata + packed temporal words) is fetched
+                // once, the masks are ANDed once, and every match fans
+                // its weight out to all T accumulators — or collapses
+                // through the pseudo-accumulator when the row's train
+                // is dense in time.
+                const SpikeFiber& fa = packed.fibers[item.m];
+                mem.read(TensorCategory::Meta,
+                         kBaseAMeta + packed.meta_off[item.m],
+                         fa.metadataBytes());
+                const std::uint64_t value_bytes =
+                    packed.val_off[item.m + 1] - packed.val_off[item.m];
+                if (value_bytes)
+                    mem.read(TensorCategory::Input,
+                             kBaseA + packed.val_off[item.m],
+                             value_bytes);
 
-                // Accumulate matched weights, one per cycle; a single
-                // fast prefix-sum serves the weight side (the spike is
-                // its own data). Word-parallel: AND the mask words
-                // directly, with the weight offset from the compiled
-                // rank table — no materialized AND mask.
-                const Bitmask& ma = row_masks[ts * m + item.m];
-                std::uint64_t matches = 0;
-                std::int32_t acc = 0;
-                forEachMatch(ma, ranked_b[item.n],
-                             [&](std::size_t, std::size_t b_off) {
-                                 acc += fb.values[b_off];
-                                 ++matches;
-                             });
-                sums[ts] = acc;
+                const bool collapse =
+                    shouldCollapse(dense_nnz[item.m], fa.nnz(),
+                                   config_.collapse_threshold);
+                const FusedJoinStats stats = fusedTemporalJoin(
+                    fa, packed.ranked[item.m], fb, ranked_b[item.n],
+                    timesteps, collapse, sums.data(),
+                    scratch.correction.data());
 
                 result.ops.mask_and_ops += chunks;
-                result.ops.fast_prefix_ops += matches;
-                result.ops.acc_ops += matches;
-                result.ops.lif_ops += 1;
-                pe_cycles += config_.mask_stream_passes * chunks +
-                             matches + config_.t_restart_cycles;
+                // Both operands are compressed here, so both prefix
+                // circuits fire per match (like the ANN datapath).
+                result.ops.fast_prefix_ops += 2 * stats.matches;
+                result.ops.acc_ops += stats.acc_ops;
+                result.ops.correction_ops += stats.correction_ops;
+                result.ops.lif_ops +=
+                    static_cast<std::uint64_t>(timesteps);
+                pe_cycles =
+                    config_.fusedJoinCycles(chunks, stats.updates());
+            } else {
+                for (int t = 0; t < timesteps; ++t) {
+                    const auto ts = static_cast<std::size_t>(t);
+                    // The raw spike train is bitmask and data at once;
+                    // every bit of the row is fetched, every timestep
+                    // again.
+                    mem.read(TensorCategory::Input,
+                             kBaseA + (ts * m + item.m) * row_bytes,
+                             row_bytes);
+
+                    // Accumulate matched weights, one per cycle; a
+                    // single fast prefix-sum serves the weight side
+                    // (the spike is its own data). Word-parallel: AND
+                    // the mask words directly, with the weight offset
+                    // from the compiled rank table — no materialized
+                    // AND mask.
+                    const Bitmask& ma = row_masks[ts * m + item.m];
+                    std::uint64_t matches = 0;
+                    std::int32_t acc = 0;
+                    forEachMatch(ma, ranked_b[item.n],
+                                 [&](std::size_t, std::size_t b_off) {
+                                     acc += fb.values[b_off];
+                                     ++matches;
+                                 });
+                    sums[ts] = acc;
+
+                    result.ops.mask_and_ops += chunks;
+                    result.ops.fast_prefix_ops += matches;
+                    result.ops.acc_ops += matches;
+                    result.ops.lif_ops += 1;
+                    pe_cycles +=
+                        config_.timestepJoinCycles(chunks, matches);
+                }
             }
             const TimeWord spikes =
                 lifAcrossTimesteps(sums, config_.lif);
@@ -315,14 +379,19 @@ namespace {
 
 const RegisterAccelerator register_sparten(
     "sparten",
-    {"SparTen-SNN sequential-timestep inner-join baseline",
-     {"pes", "chunk"},
+    {"SparTen-SNN inner-join baseline (sequential timesteps; "
+     "fused=1 joins all T in one pass, collapse sets its "
+     "dense-train threshold)",
+     {"pes", "chunk", "fused", "collapse"},
      /*ft_workload=*/false, [](const AccelSpec& spec) {
          OptionReader opts(spec);
          SpartenConfig config;
          config.num_pes = opts.getInt("pes", config.num_pes);
          config.chunk_bits = static_cast<std::size_t>(opts.getInt(
              "chunk", static_cast<int>(config.chunk_bits)));
+         config.fused = opts.getBool("fused", config.fused);
+         config.collapse_threshold = opts.getDouble(
+             "collapse", config.collapse_threshold, 0.0, 1.0);
          opts.finish();
          return std::make_unique<SpartenSim>(config);
      }});

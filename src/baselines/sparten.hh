@@ -52,21 +52,67 @@ struct SpartenConfig
     /** Fixed scheduling overhead per wave. */
     std::uint64_t wave_overhead_cycles = 1;
 
+    /**
+     * Fused temporally-parallel joins: AND each weight word once and
+     * fan matches out to all T accumulators (one mask scan and one
+     * pipeline restart per output neuron instead of T), fed from the
+     * temporally-packed compiled operand. Off by default — the
+     * sequential datapath is the paper's conservative baseline.
+     */
+    bool fused = false;
+
+    /**
+     * Collapse policy of the fused datapath: a row aggregates
+     * timesteps through the pseudo-accumulator when at least this
+     * fraction of its stored temporal words is all ones (0 = always
+     * collapse, 1 = only fully dense rows; see core/fused_join.hh).
+     */
+    double collapse_threshold = 0.75;
+
     CacheConfig cache;
     DramConfig dram;
     LifParams lif;
+
+    /**
+     * Cycle model of one sequential-datapath join at a single
+     * timestep: stream the mask chunks, drain one match per cycle,
+     * restart the pipeline for the next timestep.
+     */
+    std::uint64_t
+    timestepJoinCycles(std::size_t chunks, std::uint64_t matches) const
+    {
+        return mask_stream_passes * chunks + matches + t_restart_cycles;
+    }
+
+    /**
+     * Cycle model of one fused join covering all T timesteps: a single
+     * mask-chunk stream, one accumulator update per cycle (fan-out
+     * adds plus collapse corrections), a single restart.
+     */
+    std::uint64_t
+    fusedJoinCycles(std::size_t chunks, std::uint64_t updates) const
+    {
+        return mask_stream_passes * chunks + updates + t_restart_cycles;
+    }
 };
 
 /**
  * Compiled SparTen-SNN operands: B in column-fiber form plus, per
- * batch input, the per-timestep bitmask views of the spike rows the
- * sequential-timestep datapath scans (timestep-major: mask of row m at
- * timestep t of input b is `row_masks[b][t * M + m]`).
+ * batch input, both views of the A operand — the per-timestep bitmask
+ * views the sequential-timestep datapath scans (timestep-major: mask
+ * of row m at timestep t of input b is `row_masks[b][t * M + m]`) and
+ * the temporally-packed spike fibers the fused datapath joins in one
+ * pass, with the per-row dense-timeword counts its collapse policy
+ * keys on. Artifacts depend only on layer data, so the fused=0/1
+ * design variants share one compilation.
  */
 struct SpartenCompiled : CompiledArtifact
 {
     CompiledWeightFibers b;  // columns of B (shared by the batch)
     std::vector<std::vector<Bitmask>> row_masks;  // per input: T x M
+    std::vector<CompiledSpikeFibers> packed;      // per input: M fibers
+    /** Per input, per row: stored temporal words that are all ones. */
+    std::vector<std::vector<std::uint32_t>> dense_nnz;
 };
 
 /** SparTen running SNN workloads timestep-by-timestep. */
@@ -105,6 +151,7 @@ class SpartenSim : public Accelerator
     {
         std::optional<MemorySystem> mem;
         std::vector<std::int32_t> sums;  // one slot per timestep
+        std::vector<std::int64_t> correction;  // collapse-path scratch
         std::vector<WorkItem> items;     // current wave
     };
     std::vector<ExecuteScratch> scratch_;

@@ -1,0 +1,82 @@
+#include "core/fused_join.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "tensor/spike_tensor.hh"
+
+namespace loas {
+
+FusedJoinStats
+fusedTemporalJoin(const SpikeFiber& fiber_a, const RankedBitmask& rank_a,
+                  const WeightFiber& fiber_b, const RankedBitmask& rank_b,
+                  int timesteps, bool collapse, std::int32_t* sums,
+                  std::int64_t* correction)
+{
+    if (timesteps < 1 || timesteps > kMaxTimesteps)
+        panic("fusedTemporalJoin: %d timesteps outside [1, %d]",
+              timesteps, kMaxTimesteps);
+    if (collapse && correction == nullptr)
+        panic("fusedTemporalJoin: collapse path needs a correction "
+              "buffer");
+
+    const auto tcount = static_cast<std::size_t>(timesteps);
+    const TimeWord all_ones =
+        timesteps >= kMaxTimesteps
+            ? ~TimeWord(0)
+            : static_cast<TimeWord>((TimeWord(1) << timesteps) - 1);
+
+    FusedJoinStats stats;
+    stats.collapsed = collapse;
+
+    if (!collapse) {
+        // Fan-out: one add per firing timestep of each match.
+        for (std::size_t t = 0; t < tcount; ++t)
+            sums[t] = 0;
+        forEachMatch(
+            rank_a, rank_b,
+            [&](std::size_t, std::size_t a_off, std::size_t b_off) {
+                const std::int32_t weight = fiber_b.values[b_off];
+                TimeWord w = fiber_a.values[a_off];
+                stats.acc_ops += static_cast<std::uint64_t>(
+                    popcount64(w));
+                while (w) {
+                    const int t = lowestSetBit(w);
+                    w &= w - 1;
+                    sums[t] += weight;
+                }
+                ++stats.matches;
+            });
+        return stats;
+    }
+
+    // Collapse: speculate all-ones into one pseudo-accumulator, correct
+    // only the zero bits. int64 intermediates — the pseudo sum can
+    // exceed what any single timestep accumulates.
+    std::int64_t pseudo = 0;
+    for (std::size_t t = 0; t < tcount; ++t)
+        correction[t] = 0;
+    forEachMatch(
+        rank_a, rank_b,
+        [&](std::size_t, std::size_t a_off, std::size_t b_off) {
+            const std::int32_t weight = fiber_b.values[b_off];
+            pseudo += weight;
+            ++stats.acc_ops;
+            TimeWord zeros = static_cast<TimeWord>(
+                ~fiber_a.values[a_off] & all_ones);
+            while (zeros) {
+                const int t = lowestSetBit(zeros);
+                zeros &= zeros - 1;
+                correction[t] += weight;
+                ++stats.correction_ops;
+            }
+            ++stats.matches;
+        });
+    // One subtract per timestep materializes the full sums (Eq. 1).
+    for (std::size_t t = 0; t < tcount; ++t) {
+        sums[t] = static_cast<std::int32_t>(pseudo - correction[t]);
+        ++stats.correction_ops;
+    }
+    return stats;
+}
+
+} // namespace loas

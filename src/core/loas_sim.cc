@@ -170,10 +170,21 @@ LoasSim::executeInput(const CompiledLayer& compiled, std::size_t input,
                                scratch.join);
 
             // Matched packed spike words fetched from the global cache;
-            // adjacent offsets coalesce into one access. Addresses are
-            // T-bit granular within the row's value region.
+            // adjacent offsets coalesce into one access, and accesses
+            // whose byte spans share a boundary cache line batch into a
+            // single line walk (the offsets are sorted, so runs only
+            // ever extend forward). Addresses are T-bit granular within
+            // the row's value region; the recorded SRAM traffic is
+            // exactly the consumed span bytes, so only the duplicate
+            // boundary-line lookups disappear.
             const auto& offs = jr.matched_offsets_a;
             const auto tbits = static_cast<std::uint64_t>(timesteps);
+            const std::uint64_t line = config_.cache.line_bytes;
+            const std::uint64_t row_base =
+                kBaseAValues + a_val_off[item.m];
+            std::uint64_t run_addr = 0;    // merged walk, [addr, end)
+            std::uint64_t run_end = 0;
+            std::uint64_t run_payload = 0;
             for (std::size_t i = 0; i < offs.size();) {
                 std::size_t j = i + 1;
                 while (j < offs.size() && offs[j] == offs[j - 1] + 1)
@@ -181,12 +192,24 @@ LoasSim::executeInput(const CompiledLayer& compiled, std::size_t input,
                 const std::uint64_t first_bit = offs[i] * tbits;
                 const std::uint64_t span_bytes = ceilDiv<std::uint64_t>(
                     (j - i) * tbits, 8);
-                mem.read(TensorCategory::Input,
-                         kBaseAValues + a_val_off[item.m] +
-                             first_bit / 8,
-                         std::max<std::uint64_t>(span_bytes, 1));
+                const std::uint64_t addr = row_base + first_bit / 8;
+                if (run_payload != 0 &&
+                    addr / line <= (run_end - 1) / line) {
+                    run_end = std::max(run_end, addr + span_bytes);
+                    run_payload += span_bytes;
+                } else {
+                    if (run_payload != 0)
+                        mem.readRun(TensorCategory::Input, run_addr,
+                                    run_end - run_addr, run_payload);
+                    run_addr = addr;
+                    run_end = addr + span_bytes;
+                    run_payload = span_bytes;
+                }
                 i = j;
             }
+            if (run_payload != 0)
+                mem.readRun(TensorCategory::Input, run_addr,
+                            run_end - run_addr, run_payload);
 
             const PlifResult pr = plif.fire(jr.sums);
             out_rows[item.m * n + item.n] = pr.spikes;

@@ -33,8 +33,15 @@ void
 MemorySystem::read(TensorCategory cat, std::uint64_t addr,
                    std::uint64_t bytes)
 {
+    readRun(cat, addr, bytes, bytes);
+}
+
+void
+MemorySystem::readRun(TensorCategory cat, std::uint64_t addr,
+                      std::uint64_t bytes, std::uint64_t payload_bytes)
+{
     const int c = static_cast<int>(cat);
-    stats_.sram_read[c] += bytes;
+    stats_.sram_read[c] += payload_bytes;
     const std::uint32_t line = cache_.config().line_bytes;
     const std::uint64_t first = addr / line;
     const std::uint64_t last = (addr + (bytes ? bytes - 1 : 0)) / line;

@@ -28,6 +28,18 @@ class MemorySystem
      */
     void read(TensorCategory cat, std::uint64_t addr, std::uint64_t bytes);
 
+    /**
+     * Cached read of a coalesced run: `payload_bytes` of SRAM read
+     * traffic are recorded (the bytes the datapath actually consumes),
+     * while the cache walks the whole [addr, addr + bytes) line range
+     * exactly once. Batching N adjacent read() calls whose spans tile
+     * the run into one readRun() keeps misses, evictions, and DRAM
+     * traffic identical and drops only the duplicate boundary-line
+     * lookups — the address-walk fast path of the LoAS memory model.
+     */
+    void readRun(TensorCategory cat, std::uint64_t addr,
+                 std::uint64_t bytes, std::uint64_t payload_bytes);
+
     /** Cached write (write-allocate, write-back). */
     void write(TensorCategory cat, std::uint64_t addr,
                std::uint64_t bytes);

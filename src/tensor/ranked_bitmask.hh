@@ -191,6 +191,45 @@ forEachMatch(const RankedBitmask& a, const RankedBitmask& b,
 }
 
 /**
+ * Invoke fn(pos, rank_a, rank_b) for every position set in both masks
+ * over the full length — the fused temporally-parallel join: one
+ * 64-bit AND per weight word serves every timestep at once, with both
+ * value offsets coming from the compiled prefix tables in O(1).
+ */
+template <typename Fn>
+void
+forEachMatch(const RankedBitmask& a, const RankedBitmask& b, Fn&& fn)
+{
+    if (a.mask().size() != b.mask().size())
+        panic("forEachMatch over mismatched mask sizes %zu vs %zu",
+              a.mask().size(), b.mask().size());
+    const auto& wa = a.mask().words();
+    const auto& wb = b.mask().words();
+    for (std::size_t w = 0; w < wa.size(); ++w) {
+        const std::uint64_t aw = wa[w];
+        std::uint64_t x = aw & wb[w];
+        if (!x)
+            continue;
+        // Word-local state hoisted out of the per-match loop: both
+        // word ranks load once, and positions/ranks derive from the
+        // cached words.
+        const std::uint64_t bw = wb[w];
+        const std::size_t base = w * Bitmask::kWordBits;
+        const std::size_t ra = a.wordRank(w);
+        const std::size_t rb = b.wordRank(w);
+        while (x) {
+            const int bit = lowestSetBit(x);
+            x &= x - 1;
+            fn(base + static_cast<std::size_t>(bit),
+               ra + static_cast<std::size_t>(
+                        popcount64(aw & lowMask64(bit))),
+               rb + static_cast<std::size_t>(
+                        popcount64(bw & lowMask64(bit))));
+        }
+    }
+}
+
+/**
  * Invoke fn(pos, rank_b) for every position set in both masks over the
  * full length, with only b's rank materialized (the SparTen join: the
  * spike row is its own data, only the weight offset is needed).

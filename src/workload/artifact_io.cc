@@ -161,6 +161,12 @@ putSparten(Writer& out, const SpartenCompiled& art)
         for (const auto& mask : masks)
             putBitmask(out, mask);
     }
+    // Format v3: the temporally-packed view of the same inputs (the
+    // fused datapath's operand) plus its per-row dense-timeword counts.
+    for (const auto& packed : art.packed)
+        putSpikeFibers(out, packed);
+    for (const auto& counts : art.dense_nnz)
+        out.vec(counts);
 }
 
 std::shared_ptr<const CompiledArtifact>
@@ -179,6 +185,16 @@ getSparten(Reader& in)
         for (auto& mask : masks)
             if (!getBitmask(in, mask))
                 return nullptr;
+    }
+    art->packed.resize(static_cast<std::size_t>(batch));
+    for (auto& packed : art->packed)
+        if (!getSpikeFibers(in, packed))
+            return nullptr;
+    art->dense_nnz.resize(static_cast<std::size_t>(batch));
+    for (std::size_t b = 0; b < art->dense_nnz.size(); ++b) {
+        if (!in.vec(art->dense_nnz[b]) ||
+            art->dense_nnz[b].size() != art->packed[b].fibers.size())
+            return nullptr;
     }
     return art;
 }

@@ -102,6 +102,11 @@ TEST(Registry, RoundTripsKnownDisplayNames)
     EXPECT_EQ(registry.make("gamma")->name(), "Gamma-SNN");
     EXPECT_EQ(registry.make("systolic")->name(), "PTB");
     EXPECT_EQ(registry.make("stellar")->name(), "Stellar");
+    // The fused datapath is a spec option on the sparten key, not a
+    // registry key of its own (it shares the sparten-snn artifacts).
+    EXPECT_EQ(registry.make("sparten?fused=1")->name(),
+              "SparTen-SNN(f)");
+    EXPECT_EQ(registry.make("sparten?fused=0")->name(), "SparTen-SNN");
 }
 
 TEST(Registry, OnlyFtVariantsWantFtWorkloads)
@@ -124,6 +129,10 @@ TEST(Registry, UnknownKeyAndBadOptionsThrow)
     // ...while options the factory does consume are fine.
     EXPECT_NO_THROW(registry.make("loas?t=8&pes=32"));
     EXPECT_NO_THROW(registry.make("systolic?rows=8&cols=2"));
+    EXPECT_NO_THROW(registry.make("sparten?fused=1&collapse=0.5"));
+    // collapse is a fraction: values outside [0, 1] are rejected.
+    EXPECT_THROW(registry.make("sparten?collapse=1.5"),
+                 std::invalid_argument);
 }
 
 } // namespace

@@ -104,6 +104,35 @@ TEST(ArtifactStore, RoundTripsEveryFamilyBitIdentically)
     EXPECT_EQ(store.stats().files, 0u);
 }
 
+TEST(ArtifactStore, FusedSpartenExecutesIdenticallyFromDisk)
+{
+    // The fused=0/1 design variants share one sparten-snn artifact, so
+    // the v3 temporally-packed operands must survive the disk round
+    // trip well enough that the fused datapath cannot tell either: the
+    // same artifact must serve both variants byte-identically.
+    const std::string dir = tempCacheDir("fused");
+    const ArtifactStore store(dir);
+    const auto& registry = AcceleratorRegistry::instance();
+    const LayerData layer = generateLayer(oddLayer(), 43);
+    const auto compiler = registry.make("sparten");
+    const CompiledLayer compiled = compiler->prepare(layer);
+    const std::string key = compiledLayerKey(
+        "net", 0, false, compiler->formatFamily(), layer.spec.t, 43);
+    ASSERT_TRUE(store.store(key, compiled));
+    const ArtifactStore::LoadResult loaded = store.load(key);
+    ASSERT_NE(loaded.layer, nullptr);
+
+    for (const std::string spec :
+         {"sparten?fused=1", "sparten?fused=1&collapse=0"}) {
+        SCOPED_TRACE(spec);
+        const RunResult from_fresh =
+            registry.make(spec)->execute(compiled);
+        const RunResult from_disk =
+            registry.make(spec)->execute(*loaded.layer);
+        EXPECT_EQ(json::toJson(from_fresh), json::toJson(from_disk));
+    }
+}
+
 TEST(ArtifactStore, MissingFileIsAMissNotARejection)
 {
     const ArtifactStore store(tempCacheDir("missing"));

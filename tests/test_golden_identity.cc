@@ -62,9 +62,9 @@ const GoldenRun kGoldenAlexnetL4[] = {
     {"gospa", 220197ull, 217432ull, 3716ull, 594448ull, 2927816ull,
      635835ull, 2095ull, 1478768ull},
     {"loas", 49031ull, 48807ull, 1232ull, 197097ull, 7864368ull,
-     361007ull, 2972ull, 3719868ull},
+     260312ull, 2972ull, 3719868ull},
     {"loas-ft", 46068ull, 45881ull, 1179ull, 188501ull, 7823001ull,
-     319785ull, 2858ull, 3100510ull},
+     237770ull, 2858ull, 3100510ull},
     {"sparten", 316984ull, 316932ull, 1501ull, 240128ull, 28796816ull,
      497440ull, 3624ull, 3044868ull},
     {"stellar", 919536ull, 919536ull, 6272ull, 1003520ull, 18118656ull,
@@ -79,9 +79,9 @@ const GoldenRun kGoldenVgg16L8[] = {
     {"gospa", 31608ull, 30317ull, 1849ull, 295695ull, 1828600ull,
      310590ull, 3030ull, 625485ull},
     {"loas", 22408ull, 22393ull, 1249ull, 199715ull, 2720697ull,
-     183263ull, 3064ull, 2079933ull},
+     83824ull, 3064ull, 2079933ull},
     {"loas-ft", 17914ull, 17898ull, 1232ull, 196989ull, 2661075ull,
-     123734ull, 3035ull, 1230960ull},
+     69937ull, 3035ull, 1230960ull},
     {"sparten", 120593ull, 120567ull, 1310ull, 209600ull, 9624229ull,
      164536ull, 3211ull, 1197714ull},
     {"stellar", 215488ull, 215488ull, 7514ull, 1202176ull, 3994848ull,

@@ -81,6 +81,104 @@ TEST(Sparten, WaveParallelismUsesAllPes)
     EXPECT_LT(r32.compute_cycles, r16.compute_cycles * 3 / 4);
 }
 
+TEST(SpartenFused, OutputMatchesSequentialOnBothNetworks)
+{
+    // The fused temporally-parallel datapath is a pure perf change:
+    // spike outputs must be bit-identical to the sequential baseline
+    // (and to the reference) on representative layers of both
+    // networks.
+    for (const auto& spec : {tables::alexnetL4(), tables::vgg16L8()}) {
+        SCOPED_TRACE(spec.name);
+        const LayerData layer = generateLayer(spec, 11);
+        SpartenSim sequential;
+        SpartenConfig fused_config;
+        fused_config.fused = true;
+        SpartenSim fused(fused_config);
+        sequential.runLayer(layer);
+        fused.runLayer(layer);
+        EXPECT_EQ(fused.lastOutput(), sequential.lastOutput());
+        EXPECT_EQ(fused.lastOutput(),
+                  referenceSnnLayer(layer.spikes, layer.weights,
+                                    SpartenConfig{}.lif));
+    }
+}
+
+TEST(SpartenFused, OneMaskScanForAllTimesteps)
+{
+    // The tentpole: the fused datapath streams each weight-column mask
+    // once instead of once per timestep, so its compute cycles must
+    // undercut the sequential baseline by well over half at T >= 4.
+    const LayerData layer = generateLayer(tables::vgg16L8(), 13);
+    ASSERT_GE(layer.spec.t, 4);
+    SpartenSim sequential;
+    SpartenConfig fused_config;
+    fused_config.fused = true;
+    SpartenSim fused(fused_config);
+    const auto r_seq = sequential.runLayer(layer);
+    const auto r_fused = fused.runLayer(layer);
+    EXPECT_LT(r_fused.compute_cycles, r_seq.compute_cycles / 2);
+    EXPECT_EQ(r_fused.accel, "SparTen-SNN(f)");
+    EXPECT_EQ(r_seq.accel, "SparTen-SNN");
+}
+
+TEST(SpartenFused, CollapseThresholdEdgesPreserveOutputs)
+{
+    // Threshold 0 forces the pseudo-accumulator datapath onto every
+    // non-empty row, threshold 1 restricts it to fully dense rows;
+    // both are exact, so outputs never move.
+    const LayerData layer = generateLayer(tables::alexnetL4(), 17);
+    SpartenSim sequential;
+    sequential.runLayer(layer);
+    for (const double threshold : {0.0, 0.5, 1.0}) {
+        SCOPED_TRACE(threshold);
+        SpartenConfig config;
+        config.fused = true;
+        config.collapse_threshold = threshold;
+        SpartenSim fused(config);
+        fused.runLayer(layer);
+        EXPECT_EQ(fused.lastOutput(), sequential.lastOutput());
+    }
+}
+
+TEST(SpartenFused, SingleTimestepLayerRuns)
+{
+    // T=1 is the degenerate fusion: nothing to fan out, but the packed
+    // artifact and both collapse extremes must still be exact.
+    const LayerSpec spec = tables::withTimesteps(tables::alexnetL4(), 1);
+    const LayerData layer = generateLayer(spec, 19);
+    SpartenSim sequential;
+    sequential.runLayer(layer);
+    for (const double threshold : {0.0, 1.0}) {
+        SpartenConfig config;
+        config.fused = true;
+        config.collapse_threshold = threshold;
+        SpartenSim fused(config);
+        fused.runLayer(layer);
+        EXPECT_EQ(fused.lastOutput(), sequential.lastOutput());
+    }
+}
+
+TEST(SpartenFused, OddChunkWidthsPreserveOutputs)
+{
+    // Chunk widths that do not divide K (and K % 64 != 0) exercise the
+    // trailing-chunk accounting of both cycle models without touching
+    // functional outputs.
+    LayerSpec spec = tables::alexnetL4();
+    spec.k = 130;
+    const LayerData layer = generateLayer(spec, 23);
+    const SpikeTensor expected = referenceSnnLayer(
+        layer.spikes, layer.weights, SpartenConfig{}.lif);
+    for (const std::size_t chunk_bits : {48ul, 100ul, 128ul}) {
+        SCOPED_TRACE(chunk_bits);
+        SpartenConfig config;
+        config.chunk_bits = chunk_bits;
+        config.fused = true;
+        SpartenSim fused(config);
+        fused.runLayer(layer);
+        EXPECT_EQ(fused.lastOutput(), expected);
+    }
+}
+
 /** Property: SparTen-SNN is functionally exact too. */
 class SpartenProperty : public ::testing::TestWithParam<std::uint64_t>
 {
@@ -105,6 +203,15 @@ TEST_P(SpartenProperty, BitExactAgainstReference)
     const SpikeTensor expected = referenceSnnLayer(
         layer.spikes, layer.weights, SpartenConfig{}.lif);
     EXPECT_EQ(sim.lastOutput(), expected);
+
+    // The fused datapath under a random collapse threshold is exact on
+    // the same random layer.
+    SpartenConfig fused_config;
+    fused_config.fused = true;
+    fused_config.collapse_threshold = rng.uniform(0.0, 1.0);
+    SpartenSim fused(fused_config);
+    fused.runLayer(layer);
+    EXPECT_EQ(fused.lastOutput(), expected);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SpartenProperty,

@@ -10,7 +10,10 @@ Compares a current BENCH_*.json against a checked-in baseline
   * a gated metric regressing by more than ``--threshold`` (default
     25%): lower-is-better simulation timings (``sim_ms*``) and
     higher-is-better throughputs (``*_per_s``: sweep cells/s, join
-    calls and matches/s, rank-table ops/s).
+    calls and matches/s, rank-table ops/s),
+  * a floor metric below its absolute minimum
+    (``join_fused_speedup_t8`` >= 2, the fused-join tentpole claim —
+    baseline-independent).
 
 Everything else (``cache_*`` counters, small wall-time metrics) is
 informational; a changed ``sweep_cells`` is flagged as an error since
@@ -44,6 +47,11 @@ HIGHER_IS_BETTER_SUFFIX = "_per_s"
 INFORMATIONAL_METRICS = {"serve_requests_per_s",
                          "batch_inferences_per_s"}
 
+# Absolute floors (loas-kernels/2): independent of the baseline, these
+# must clear a minimum every run — the fused temporal join must beat
+# the sequential T=8 path by at least 2x (the tentpole claim).
+FLOOR_METRICS = {"join_fused_speedup_t8": 2.0}
+
 
 def load_bench(path):
     with open(path) as f:
@@ -67,9 +75,11 @@ def load_bench(path):
 
 
 def classify(name):
-    """One of 'lower', 'higher', 'hard', 'info' for a metric name."""
+    """One of 'lower', 'higher', 'hard', 'floor', 'info' for a name."""
     if name in INFORMATIONAL_METRICS:
         return "info"
+    if name in FLOOR_METRICS:
+        return "floor"
     # join_allocs_steady and execute_allocs_steady_<design> alike.
     if "_allocs_steady" in name or name == "alloc_hook_active":
         return "hard"
@@ -114,6 +124,15 @@ def main():
                 failures.append(
                     f"hard invariant {name} = {value:g} (want "
                     f"{want:g})")
+        elif kind == "floor":
+            floor = FLOOR_METRICS[name]
+            if ref is not None and ref > 0:
+                delta_text = f"{(value - ref) / ref * 100:+.1f}%"
+            if value < floor:
+                status = "FAIL"
+                failures.append(
+                    f"{name} = {value:g} below the required floor "
+                    f"{floor:g}")
         elif ref is None:
             status = "new"
         elif kind in ("lower", "higher"):
@@ -150,7 +169,7 @@ def main():
     for name, ref, value, delta_text, kind, status in rows:
         gate = {"lower": "lower-is-better",
                 "higher": "higher-is-better",
-                "hard": "hard", "info": "info"}[kind]
+                "hard": "hard", "floor": "floor", "info": "info"}[kind]
         lines.append(f"| {name} | {fmt(ref)} | {fmt(value)} | "
                      f"{delta_text} | {gate} | {status} |")
     if failures:

@@ -36,9 +36,10 @@
  *       sweep-engine throughput (cells/s), and writes a schema-stable
  *       BENCH_sweep.json for the perf trajectory. A second section
  *       times the hot simulation kernels (word-parallel inner join,
- *       O(1) rank tables) and verifies the zero-allocation steady
- *       state of every registered design's execute(), written as
- *       BENCH_kernels.json (schema loas-kernels/1).
+ *       fused vs sequential temporal joins, O(1) rank tables) and
+ *       verifies the zero-allocation steady state of every registered
+ *       design's execute() including the fused SparTen path, written
+ *       as BENCH_kernels.json (schema loas-kernels/2).
  *
  *   loas_cli cache stats|clear|warm --cache-dir PATH ...
  *       Manage the on-disk compiled-artifact cache: report occupancy,
@@ -104,6 +105,7 @@
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
+#include "core/fused_join.hh"
 #include "core/inner_join.hh"
 #include "serve/client.hh"
 #include "serve/json_parse.hh"
@@ -649,7 +651,7 @@ runSweep(int argc, char** argv)
 /**
  * Time the hot simulation kernels and verify the zero-allocation
  * steady-state contract of every registered design's execute().
- * Appends (name, value) metric pairs for the loas-kernels/1 schema.
+ * Appends (name, value) metric pairs for the loas-kernels/2 schema.
  */
 void
 runKernelBench(bool quick, std::uint64_t seed,
@@ -700,6 +702,88 @@ runKernelBench(bool quick, std::uint64_t seed,
     metrics.emplace_back("join_matches_per_s",
                          static_cast<double>(matches) / join_s);
     metrics.emplace_back("join_allocs_steady", join_allocs);
+
+    // --- Fused temporally-parallel join vs the sequential baseline at
+    // T=8: the sequential path scans T per-timestep row masks against
+    // the weight fiber (one pass each), the fused path ANDs the union
+    // mask once and fans matches out through the packed temporal
+    // words. Same sums, so the throughput ratio is the tentpole claim
+    // (>= 2x, gated by bench_compare). Operands follow the paper's
+    // VGG16 fc6 layer: K = 512*7*7 = 25088, weight sparsity 98.2%
+    // (Table II), and non-silent neurons firing on 1-3 of the 8
+    // timesteps — the regime the fusion targets, where the T
+    // redundant mask scans dominate the per-match fan-out work.
+    const int t8 = 8;
+    const std::size_t k8 = 25088;
+    Rng rng8(seed + 1);
+    SpikeFiber fa8;
+    fa8.mask = Bitmask(k8);
+    WeightFiber fb8;
+    fb8.mask = Bitmask(k8);
+    std::vector<Bitmask> t8_masks(
+        static_cast<std::size_t>(t8), Bitmask(k8));
+    for (std::size_t i = 0; i < k8; ++i) {
+        if (rng8.bernoulli(0.018)) {
+            fb8.mask.set(i);
+            fb8.values.push_back(
+                static_cast<std::int32_t>(rng8.uniformInt(255)) - 127);
+        }
+        if (!rng8.bernoulli(0.25))
+            continue;
+        TimeWord word = 0;
+        const auto spikes = 1 + rng8.uniformInt(3);
+        for (std::uint64_t s = 0; s < spikes; ++s)
+            word |= static_cast<TimeWord>(1u << rng8.uniformInt(8));
+        fa8.mask.set(i);
+        fa8.values.push_back(word);
+        for (int t = 0; t < t8; ++t)
+            if ((word >> t) & 1u)
+                t8_masks[static_cast<std::size_t>(t)].set(i);
+    }
+    const RankedBitmask rank_a8(fa8.mask);
+    const RankedBitmask rank_b8(fb8.mask);
+    std::vector<std::int32_t> sums8(static_cast<std::size_t>(t8), 0);
+    std::vector<std::int64_t> corr8(static_cast<std::size_t>(t8), 0);
+
+    // Interleave the two paths in alternating batches so slow drift
+    // (CI runner load) hits both sides equally — the gated quantity is
+    // the ratio, not either absolute rate.
+    const int t8_batches = 20;
+    const int t8_batch_iters = quick ? 2500 : 10000;
+    const int t8_iters = t8_batches * t8_batch_iters;
+    std::int64_t sums_sink = 0;
+    double seq_s = 0.0, fused_s = 0.0;
+    for (int batch = 0; batch < t8_batches; ++batch) {
+        const auto t_seq = Clock::now();
+        for (int i = 0; i < t8_batch_iters; ++i) {
+            for (int t = 0; t < t8; ++t) {
+                std::int32_t acc = 0;
+                forEachMatch(t8_masks[static_cast<std::size_t>(t)],
+                             rank_b8,
+                             [&](std::size_t, std::size_t b_off) {
+                                 acc += fb8.values[b_off];
+                             });
+                sums8[static_cast<std::size_t>(t)] = acc;
+            }
+            sums_sink += sums8[0];
+        }
+        seq_s += seconds_since(t_seq);
+        const auto t_fused = Clock::now();
+        for (int i = 0; i < t8_batch_iters; ++i) {
+            fusedTemporalJoin(fa8, rank_a8, fb8, rank_b8, t8,
+                              /*collapse=*/false, sums8.data(),
+                              corr8.data());
+            sums_sink -= sums8[0];
+        }
+        fused_s += seconds_since(t_fused);
+    }
+    if (sums_sink != 0)
+        throw std::runtime_error(
+            "fused join disagrees with the sequential path");
+    metrics.emplace_back("join_seq_t8_calls_per_s", t8_iters / seq_s);
+    metrics.emplace_back("join_fused_t8_calls_per_s",
+                         t8_iters / fused_s);
+    metrics.emplace_back("join_fused_speedup_t8", seq_s / fused_s);
 
     // --- O(1) rank-table queries.
     const int rank_iters = quick ? 1000000 : 4000000;
@@ -771,6 +855,40 @@ runKernelBench(bool quick, std::uint64_t seed,
                 "kernel bench executeBatch produced zero cycles");
         metrics.emplace_back("execute_batch_allocs_steady_" + key,
                              allocs);
+    }
+
+    // --- The fused SparTen datapath is a spec option, not a registry
+    // key, so it gets its own explicit steady-state gates (collapse
+    // exercised at the default threshold).
+    {
+        const LayerData layer = generateLayer(kspec, seed, false);
+        const auto fused = registry.make("sparten?fused=1");
+        const CompiledLayer compiled = fused->prepare(layer);
+        fused->execute(compiled);
+        fused->execute(compiled);
+        std::uint64_t before = allochook::allocationCount();
+        const RunResult r = fused->execute(compiled);
+        metrics.emplace_back("execute_allocs_steady_sparten_fused",
+                             static_cast<double>(
+                                 allochook::allocationCount() - before));
+        if (r.total_cycles == 0)
+            throw std::runtime_error(
+                "kernel bench fused execute produced zero cycles");
+
+        const LayerData blayer =
+            generateLayer(kspec, seed, false, kBenchBatch);
+        const auto bfused = registry.make("sparten?fused=1");
+        const CompiledLayer bcompiled = bfused->prepare(blayer);
+        bfused->executeBatch(bcompiled, 1);
+        bfused->executeBatch(bcompiled, 1);
+        before = allochook::allocationCount();
+        const RunResult br = bfused->executeBatch(bcompiled, 1);
+        metrics.emplace_back(
+            "execute_batch_allocs_steady_sparten_fused",
+            static_cast<double>(allochook::allocationCount() - before));
+        if (br.total_cycles == 0)
+            throw std::runtime_error(
+                "kernel bench fused executeBatch produced zero cycles");
     }
     metrics.emplace_back("alloc_hook_active",
                          allochook::active() ? 1.0 : 0.0);
