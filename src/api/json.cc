@@ -135,6 +135,9 @@ toJson(const CompiledCache::Stats& stats)
         .field("disk_writes", stats.disk_writes)
         .field("disk_rejects", stats.disk_rejects)
         .field("evictions", stats.evictions)
+        .field("disk_trips", stats.disk_trips)
+        .field("disk_tmp_swept", stats.disk_tmp_swept)
+        .field("disk_degraded", stats.disk_degraded)
         .field("entries", stats.entries)
         .field("bytes", stats.bytes)
         .field("compile_ms", stats.compile_ms)

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "api/registry.hh"
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "workload/generator.hh"
@@ -37,6 +38,11 @@ SimReport::at(const std::string& accel_spec,
 SimReport
 SimEngine::run(const SimRequest& request) const
 {
+    // Injected engine fault: an exception like any other run-time
+    // failure, so it exercises the same surfaces — a structured
+    // `failed` job in the daemon, an error exit in the CLI.
+    fault::maybeThrow(fault::Site::EngineExecute);
+
     const auto& registry = AcceleratorRegistry::instance();
 
     // Validate the whole request up front: parse every spec, resolve

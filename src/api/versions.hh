@@ -18,11 +18,12 @@
 
 namespace loas {
 
-inline constexpr char kCliVersion[] = "0.8.0";
+inline constexpr char kCliVersion[] = "0.9.0";
 
 /** loas_cli bench BENCH_sweep.json ("metrics" list; /4 added the
- *  served-throughput metric, /5 the batched-inference metrics). */
-inline constexpr char kBenchSchema[] = "loas-bench/5";
+ *  served-throughput metric, /5 the batched-inference metrics, /6 the
+ *  fault-hook overhead metric). */
+inline constexpr char kBenchSchema[] = "loas-bench/6";
 
 /** loas_cli bench BENCH_kernels.json kernel microbench companion; /2
  *  added the fused temporally-parallel join metrics and the fused
@@ -33,8 +34,10 @@ inline constexpr char kKernelsSchema[] = "loas-kernels/2";
 inline constexpr char kListSchema[] = "loas-list/1";
 
 /** loas_cli serve newline-delimited JSON protocol (src/serve/); /2
- *  added the "batch" submit field and "inferences_per_s" stats. */
-inline constexpr char kServeSchema[] = "loas-serve/2";
+ *  added the "batch" submit field and "inferences_per_s" stats, /3
+ *  the structured "error" field on failed-job replies and the disk
+ *  circuit-breaker fields in cache stats. */
+inline constexpr char kServeSchema[] = "loas-serve/3";
 
 /** loas_cli version self-description object. */
 inline constexpr char kVersionSchema[] = "loas-version/1";

@@ -1,0 +1,210 @@
+#include "common/fault.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace loas {
+namespace fault {
+
+namespace detail {
+
+std::atomic<bool> g_armed{false};
+
+} // namespace detail
+
+namespace {
+
+/** Per-site rate, call counter and injection counter. Rates are
+ *  atomics so a test reconfiguring beside a live daemon thread is a
+ *  benign race, not UB; all ordering is relaxed on purpose — the
+ *  verdict sequence is per-site, not cross-site. */
+std::atomic<double> g_rates[kSiteCount] = {};
+std::atomic<std::uint64_t> g_checks[kSiteCount] = {};
+std::atomic<std::uint64_t> g_injected[kSiteCount] = {};
+std::atomic<std::uint64_t> g_seed{0};
+
+constexpr const char* kSiteNames[kSiteCount] = {
+    "disk.write",    "disk.read",    "disk.rename",
+    "socket.accept", "socket.read",  "socket.write",
+    "engine.execute", "cache.insert",
+};
+
+/** splitmix64 finalizer: the uniform hash behind every verdict. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+int
+siteIndex(const std::string& name)
+{
+    for (int i = 0; i < kSiteCount; ++i)
+        if (name == kSiteNames[i])
+            return i;
+    return -1;
+}
+
+double
+parseRate(const std::string& spec, const std::string& text)
+{
+    char* end = nullptr;
+    const double rate = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || !(rate >= 0.0) ||
+        rate > 1.0)
+        throw std::invalid_argument("fault spec '" + spec +
+                                    "': rate '" + text +
+                                    "' is not in [0, 1]");
+    return rate;
+}
+
+} // namespace
+
+const char*
+siteName(Site site)
+{
+    return kSiteNames[static_cast<int>(site)];
+}
+
+namespace detail {
+
+bool
+shouldFailSlow(Site site)
+{
+    const int i = static_cast<int>(site);
+    const double rate = g_rates[i].load(std::memory_order_relaxed);
+    if (rate <= 0.0)
+        return false;
+    // The n-th check of a site has a fixed verdict for a given seed:
+    // hash (seed, site, n) to a uniform in [0, 1) and compare.
+    const std::uint64_t n =
+        g_checks[i].fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t h =
+        mix(g_seed.load(std::memory_order_relaxed) +
+            mix(static_cast<std::uint64_t>(i) + 1) + n);
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    if (u >= rate)
+        return false;
+    g_injected[i].fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+} // namespace detail
+
+void
+maybeThrow(Site site)
+{
+    if (shouldFail(site))
+        throw std::runtime_error(std::string("injected fault at ") +
+                                 siteName(site));
+}
+
+void
+configure(const std::string& spec)
+{
+    reset();
+    if (spec.empty())
+        return;
+
+    // Split off the one optional "@seed=N" suffix first.
+    std::string pairs = spec;
+    const std::size_t at = spec.find('@');
+    if (at != std::string::npos) {
+        pairs = spec.substr(0, at);
+        const std::string suffix = spec.substr(at + 1);
+        if (suffix.rfind("seed=", 0) != 0)
+            throw std::invalid_argument(
+                "fault spec '" + spec +
+                "': expected '@seed=N' after '@'");
+        const std::string digits = suffix.substr(5);
+        char* end = nullptr;
+        errno = 0;
+        const unsigned long long seed =
+            std::strtoull(digits.c_str(), &end, 10);
+        if (end == digits.c_str() || *end != '\0' || errno == ERANGE)
+            throw std::invalid_argument("fault spec '" + spec +
+                                        "': bad seed '" + digits +
+                                        "'");
+        g_seed.store(seed, std::memory_order_relaxed);
+    }
+
+    bool any = false;
+    std::size_t start = 0;
+    while (start <= pairs.size()) {
+        std::size_t comma = pairs.find(',', start);
+        if (comma == std::string::npos)
+            comma = pairs.size();
+        const std::string pair = pairs.substr(start, comma - start);
+        start = comma + 1;
+        if (pair.empty())
+            continue;
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos)
+            throw std::invalid_argument(
+                "fault spec '" + spec + "': '" + pair +
+                "' is not a site=rate pair");
+        const int site = siteIndex(pair.substr(0, eq));
+        if (site < 0)
+            throw std::invalid_argument("fault spec '" + spec +
+                                        "': unknown site '" +
+                                        pair.substr(0, eq) + "'");
+        g_rates[site].store(parseRate(spec, pair.substr(eq + 1)),
+                            std::memory_order_relaxed);
+        any = true;
+    }
+    if (!any)
+        throw std::invalid_argument("fault spec '" + spec +
+                                    "' names no sites");
+    detail::g_armed.store(true, std::memory_order_relaxed);
+}
+
+bool
+configureFromEnv()
+{
+    const char* spec = std::getenv("LOAS_FAULT_SPEC");
+    if (spec == nullptr)
+        return false;
+    configure(spec);
+    return true;
+}
+
+void
+reset()
+{
+    detail::g_armed.store(false, std::memory_order_relaxed);
+    for (int i = 0; i < kSiteCount; ++i) {
+        g_rates[i].store(0.0, std::memory_order_relaxed);
+        g_checks[i].store(0, std::memory_order_relaxed);
+        g_injected[i].store(0, std::memory_order_relaxed);
+    }
+    g_seed.store(0, std::memory_order_relaxed);
+}
+
+bool
+enabled()
+{
+    return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+injectedCount(Site site)
+{
+    return g_injected[static_cast<int>(site)].load(
+        std::memory_order_relaxed);
+}
+
+std::uint64_t
+injectedTotal()
+{
+    std::uint64_t total = 0;
+    for (const auto& count : g_injected)
+        total += count.load(std::memory_order_relaxed);
+    return total;
+}
+
+} // namespace fault
+} // namespace loas

@@ -4,9 +4,14 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
+
+#include "common/rng.hh"
 
 namespace loas {
 namespace serve {
@@ -49,12 +54,15 @@ ServeClient::call(const std::string& request_line)
     out += '\n';
     std::size_t off = 0;
     while (off < out.size()) {
-        const ssize_t n =
-            ::write(fd_, out.data() + off, out.size() - off);
+        // MSG_NOSIGNAL: a daemon that dropped the connection surfaces
+        // as EPIPE here (retryable by callWithRetry) instead of a
+        // SIGPIPE killing a client that never installed a handler.
+        const ssize_t n = ::send(fd_, out.data() + off,
+                                 out.size() - off, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
-            throw std::runtime_error(std::string("write(): ") +
+            throw std::runtime_error(std::string("send(): ") +
                                      std::strerror(errno));
         }
         off += static_cast<std::size_t>(n);
@@ -85,6 +93,34 @@ JsonValue
 ServeClient::callJson(const std::string& request_line)
 {
     return parseJson(call(request_line));
+}
+
+std::string
+callWithRetry(const std::string& socket_path,
+              const std::string& request_line,
+              const RetryPolicy& policy)
+{
+    // One jitter stream per call: attempt n's delay is a pure
+    // function of (seed, n), so a given policy always produces the
+    // same backoff schedule.
+    Rng jitter(policy.jitter_seed);
+    double delay_ms = policy.backoff_ms;
+    for (int attempt = 0;; ++attempt) {
+        try {
+            ServeClient client(socket_path);
+            return client.call(request_line);
+        } catch (const std::runtime_error&) {
+            if (attempt >= policy.retries)
+                throw;
+        }
+        // Full jitter over [delay/2, delay): staggers a thundering
+        // herd of clients retrying against one recovering daemon.
+        const double wait_ms =
+            delay_ms * (0.5 + 0.5 * jitter.uniform());
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(wait_ms));
+        delay_ms = std::min(delay_ms * 2.0, policy.max_backoff_ms);
+    }
 }
 
 } // namespace serve

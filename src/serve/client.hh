@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "serve/json_parse.hh"
@@ -43,6 +44,33 @@ class ServeClient
     int fd_ = -1;
     std::string buffer_;
 };
+
+/** Exponential-backoff policy for callWithRetry(). */
+struct RetryPolicy
+{
+    /** Additional attempts after the first (0 = one shot). */
+    int retries = 0;
+    /** First retry delay; each further retry doubles it. */
+    double backoff_ms = 100.0;
+    /** Longest single delay the doubling may reach. */
+    double max_backoff_ms = 2000.0;
+    /** Jitter seed: same seed, same delay sequence (determinism is
+     *  what makes retry behavior reproducible in tests and CI). */
+    std::uint64_t jitter_seed = 0x6c6f6173; // "loas"
+};
+
+/**
+ * One request over a fresh connection, retried with exponential
+ * backoff and deterministic jitter on every transport failure: a
+ * daemon not yet listening (connect), a connection reset or EPIPE
+ * mid-write, or the server closing before the reply (dropped by an
+ * injected socket fault, say). A *reply* is never retried — an error
+ * reply like bad_request is an answer, not a transport failure.
+ * Throws the last attempt's error once the retry budget is spent.
+ */
+std::string callWithRetry(const std::string& socket_path,
+                          const std::string& request_line,
+                          const RetryPolicy& policy);
 
 } // namespace serve
 } // namespace loas

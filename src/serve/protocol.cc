@@ -137,6 +137,9 @@ cacheStatsJson(const CompiledCache::Stats& stats)
     out += ", \"disk_writes\": " + json::num(stats.disk_writes);
     out += ", \"disk_rejects\": " + json::num(stats.disk_rejects);
     out += ", \"evictions\": " + json::num(stats.evictions);
+    out += ", \"disk_trips\": " + json::num(stats.disk_trips);
+    out += ", \"disk_tmp_swept\": " + json::num(stats.disk_tmp_swept);
+    out += ", \"disk_degraded\": " + json::num(stats.disk_degraded);
     out += ", \"entries\": " + json::num(stats.entries);
     out += ", \"bytes\": " + json::num(stats.bytes);
     out += ", \"compile_ms\": " + json::num(stats.compile_ms);

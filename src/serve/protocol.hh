@@ -1,12 +1,15 @@
 /**
  * @file
  * Wire protocol of the `loas_cli serve` daemon: newline-delimited JSON
- * over a local stream socket, schema `loas-serve/2`. Every request is
+ * over a local stream socket, schema `loas-serve/3`. Every request is
  * one JSON object on one line, every reply one JSON object on one
  * line; a connection may issue any number of requests sequentially.
  * (serve/2 added the optional "batch" submit field and the
  * "inferences_per_s" stats field; requests that omit "batch" behave
- * exactly like serve/1 clients.)
+ * exactly like serve/1 clients. serve/3 added the structured "error"
+ * field on failed-job replies and the disk circuit-breaker fields —
+ * disk_trips, disk_tmp_swept, disk_degraded — in cache stats; both
+ * are additive, serve/2 clients keep working unchanged.)
  *
  * Requests ("cmd" selects one):
  *

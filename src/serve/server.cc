@@ -12,6 +12,7 @@
 
 #include "api/json.hh"
 #include "api/versions.hh"
+#include "common/fault.hh"
 #include "serve/json_parse.hh"
 
 namespace loas {
@@ -167,6 +168,12 @@ Server::run()
         reapFinishedConnections();
         if (fd < 0)
             continue;
+        if (fault::shouldFail(fault::Site::SocketAccept)) {
+            // Injected accept failure: this client's connection is
+            // dropped (it retries); the accept loop itself lives on.
+            ::close(fd);
+            continue;
+        }
         std::lock_guard<std::mutex> lock(connections_mutex_);
         auto connection = std::make_unique<Connection>();
         connection->fd = fd;
@@ -260,7 +267,11 @@ Server::serveConnection(int fd)
             bool shutdown_drain = true;
             const std::string reply = handleLine(
                 line, &shutdown_requested, &shutdown_drain);
-            const bool wrote = writeAll(fd, reply + "\n");
+            // An injected write fault is EPIPE: the reply is lost and
+            // the connection closes, exactly like a vanished client.
+            const bool wrote =
+                !fault::shouldFail(fault::Site::SocketWrite) &&
+                writeAll(fd, reply + "\n");
             if (shutdown_requested) {
                 requestStop(shutdown_drain);
                 return;
@@ -269,6 +280,10 @@ Server::serveConnection(int fd)
                 return;
             continue;
         }
+        // An injected read fault is an EIO/ECONNRESET mid-request:
+        // the connection is torn down, the daemon keeps serving.
+        if (fault::shouldFail(fault::Site::SocketRead))
+            return;
         const ssize_t n = ::read(fd, chunk, sizeof(chunk));
         if (n < 0 && errno == EINTR)
             continue;
@@ -417,8 +432,15 @@ Server::jobReply(const JobQueue::Result& result) const
     out += ", \"coalesced_with\": " +
            json::num(static_cast<std::uint64_t>(
                result.coalesced_with < 0 ? 0 : result.coalesced_with));
-    if (!result.error.empty())
+    if (!result.error.empty()) {
         out += ", \"message\": " + json::quote(result.error);
+        // A failed job's exception text is first-class on the wire
+        // (loas-serve/3): "error" on an ok:true reply is the job's
+        // failure reason, distinct from the error *code* that only
+        // ok:false replies carry.
+        if (result.state == JobQueue::State::Failed)
+            out += ", \"error\": " + json::quote(result.error);
+    }
     out += ", \"stats\": {";
     out += "\"queue_ms\": " + json::num(result.queue_ms);
     out += ", \"run_ms\": " + json::num(result.run_ms);

@@ -1,6 +1,8 @@
 #include "workload/artifact_store.hh"
 
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -8,8 +10,10 @@
 #include <system_error>
 #include <utility>
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include "common/fault.hh"
 #include "workload/artifact_io.hh"
 
 namespace loas {
@@ -21,6 +25,34 @@ namespace {
 constexpr char kMagic[8] = {'L', 'O', 'A', 'S', 'A', 'R', 'T', '\0'};
 constexpr std::size_t kHeaderBytes =
     sizeof(kMagic) + sizeof(std::uint32_t) + 2 * sizeof(std::uint64_t);
+
+/** A not-yet-renamed writer temp: "<hash>.loasart.tmp.<pid>.<n>". */
+bool
+isTempFile(const fs::path& path)
+{
+    return path.filename().string().find(
+               std::string(ArtifactStore::kFileSuffix) + ".tmp.") !=
+           std::string::npos;
+}
+
+/** write() the whole buffer, riding out EINTR and short writes; a
+ *  short write with no errno (ENOSPC reporting as a partial count)
+ *  simply continues and fails on the next call's -1. */
+bool
+writeAllFd(int fd, const char* data, std::size_t size)
+{
+    std::size_t off = 0;
+    while (off < size) {
+        const ssize_t n = ::write(fd, data + off, size - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
 
 } // namespace
 
@@ -48,14 +80,23 @@ ArtifactStore::load(const std::string& key) const
     if (!file)
         return result; // plain miss: nothing stored yet
 
-    std::string blob((std::istreambuf_iterator<char>(file)),
-                     std::istreambuf_iterator<char>());
     const auto reject = [&result] {
         result.rejected = true;
         return result;
     };
-    if (!file.good() && !file.eof())
+    // The file exists, so an injected read fault is an EIO mid-read:
+    // the same rejection (recompile-and-overwrite) path as a real one.
+    if (fault::shouldFail(fault::Site::DiskRead)) {
+        result.io_error = true;
         return reject();
+    }
+
+    std::string blob((std::istreambuf_iterator<char>(file)),
+                     std::istreambuf_iterator<char>());
+    if (!file.good() && !file.eof()) {
+        result.io_error = true;
+        return reject();
+    }
     if (blob.size() < kHeaderBytes)
         return reject();
     if (std::memcmp(blob.data(), kMagic, sizeof(kMagic)) != 0)
@@ -118,24 +159,33 @@ ArtifactStore::store(const std::string& key,
                 sizeof(payload_size));
     blob += body;
 
-    // Unique temporary + atomic rename: readers and concurrent writers
-    // only ever see complete files, and the last writer wins.
+    // Unique temporary, fsync, atomic rename: readers and concurrent
+    // writers only ever see complete files, the last writer wins, and
+    // a crash at any point can publish the old file or nothing — never
+    // a torn one. Raw fds instead of ofstream because fsync needs one,
+    // and because ENOSPC/short writes must be caught on *every* step:
+    // write, fsync and close can each be the first to report them.
     static std::atomic<std::uint64_t> write_counter{0};
     const std::string final_path = path(key);
     const std::string tmp_path =
         final_path + ".tmp." + std::to_string(::getpid()) + "." +
         std::to_string(write_counter.fetch_add(1));
-    {
-        std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-        if (!out)
-            return false;
-        out.write(blob.data(),
-                  static_cast<std::streamsize>(blob.size()));
-        out.close();
-        if (!out) {
-            fs::remove(tmp_path, ec);
-            return false;
-        }
+    const int fd = ::open(tmp_path.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                          0644);
+    if (fd < 0)
+        return false;
+    bool ok = !fault::shouldFail(fault::Site::DiskWrite) &&
+              writeAllFd(fd, blob.data(), blob.size());
+    ok = ok && ::fsync(fd) == 0;
+    ok = (::close(fd) == 0) && ok;
+    if (!ok) {
+        fs::remove(tmp_path, ec);
+        return false;
+    }
+    if (fault::shouldFail(fault::Site::DiskRename)) {
+        fs::remove(tmp_path, ec);
+        return false;
     }
     fs::rename(tmp_path, final_path, ec);
     if (ec) {
@@ -153,6 +203,10 @@ ArtifactStore::stats() const
     for (const auto& entry : fs::directory_iterator(dir_, ec)) {
         if (!entry.is_regular_file(ec))
             continue;
+        if (isTempFile(entry.path())) {
+            ++stats.tmp_files;
+            continue;
+        }
         if (entry.path().extension() != kFileSuffix)
             continue;
         // A file may vanish between iteration and stat (concurrent
@@ -176,7 +230,33 @@ ArtifactStore::clear() const
     for (const auto& entry : fs::directory_iterator(dir_, ec)) {
         if (!entry.is_regular_file(ec))
             continue;
-        if (entry.path().extension() != kFileSuffix)
+        if (entry.path().extension() != kFileSuffix &&
+            !isTempFile(entry.path()))
+            continue;
+        if (fs::remove(entry.path(), ec))
+            ++removed;
+    }
+    return removed;
+}
+
+std::size_t
+ArtifactStore::sweepStaleTemps(double max_age_seconds) const
+{
+    std::size_t removed = 0;
+    std::error_code ec;
+    const auto now = fs::file_time_type::clock::now();
+    const auto max_age = std::chrono::duration_cast<
+        fs::file_time_type::duration>(
+        std::chrono::duration<double>(max_age_seconds));
+    for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+        if (!entry.is_regular_file(ec) || !isTempFile(entry.path()))
+            continue;
+        const auto mtime = entry.last_write_time(ec);
+        if (ec) {
+            ec.clear();
+            continue;
+        }
+        if (now - mtime < max_age)
             continue;
         if (fs::remove(entry.path(), ec))
             ++removed;

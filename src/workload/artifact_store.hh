@@ -15,10 +15,14 @@
  *
  * Robustness rules: every anomaly — missing file, short read, magic or
  * version mismatch, checksum failure, key mismatch (hash collision),
- * malformed payload — is reported as a *rejection*, never an error;
- * the caller recompiles and overwrites. Writes go to a process-unique
- * temporary name followed by an atomic rename, so concurrent writers
- * and readers only ever observe complete files.
+ * malformed payload, or an injected disk.read fault — is reported as a
+ * *rejection*, never an error; the caller recompiles and overwrites.
+ * Writes go to a process-unique temporary name, are fsync'd, and only
+ * then renamed into place, so a crash (or ENOSPC, or a short write)
+ * can never publish a torn artifact; concurrent writers and readers
+ * only ever observe complete files. A writer dying between open and
+ * rename orphans its temp file — sweepStaleTemps() reclaims those by
+ * age, clear() unconditionally, and stats() counts the ones present.
  */
 
 #pragma once
@@ -49,6 +53,12 @@ class ArtifactStore
     /** Filename suffix of artifact files (everything else is ignored). */
     static constexpr const char* kFileSuffix = ".loasart";
 
+    /** Age past which an orphaned temp file counts as stale: long
+     *  enough that no live writer (writes take milliseconds) can still
+     *  own it, short enough that leaked space is reclaimed on the next
+     *  attach rather than never. */
+    static constexpr double kStaleTmpAgeSeconds = 3600.0;
+
     explicit ArtifactStore(std::string dir);
 
     const std::string& dir() const { return dir_; }
@@ -60,6 +70,15 @@ class ArtifactStore
         std::shared_ptr<const CompiledLayer> layer;
         /** True when a file existed but failed validation. */
         bool rejected = false;
+        /**
+         * True (alongside rejected) when the rejection was the I/O
+         * itself failing — a short read or an injected disk.read
+         * fault — rather than the *data* being stale or corrupt. The
+         * cache's disk circuit breaker counts only these: a stale
+         * format version must recompile-and-overwrite, not trip the
+         * store into memory-only mode.
+         */
+        bool io_error = false;
     };
 
     /** Load the artifact stored for `key`, validating everything. */
@@ -77,11 +96,25 @@ class ArtifactStore
     {
         std::uint64_t files = 0;
         std::uint64_t bytes = 0;
+        /** Orphaned temp files (dead writers) still on disk. */
+        std::uint64_t tmp_files = 0;
     };
     DiskStats stats() const;
 
-    /** Delete every artifact file; returns how many were removed. */
+    /**
+     * Delete every artifact file *and* every leftover temp file;
+     * returns how many files were removed in total.
+     */
     std::size_t clear() const;
+
+    /**
+     * Remove temp files whose mtime is older than `max_age_seconds`
+     * (0 sweeps them all); returns how many were removed. Live
+     * writers' temps are seconds old at most, so the default age
+     * (kStaleTmpAgeSeconds) can only ever reap dead writers' leaks.
+     */
+    std::size_t sweepStaleTemps(
+        double max_age_seconds = kStaleTmpAgeSeconds) const;
 
     /** Full path of the file that would store `key`. */
     std::string path(const std::string& key) const;

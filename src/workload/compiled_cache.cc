@@ -4,6 +4,7 @@
 #include <chrono>
 #include <iterator>
 
+#include "common/fault.hh"
 #include "workload/artifact_store.hh"
 
 namespace loas {
@@ -29,8 +30,11 @@ CompiledCache::Stats::delta(const Stats& now, const Stats& before)
     out.disk_writes -= before.disk_writes;
     out.disk_rejects -= before.disk_rejects;
     out.evictions -= before.evictions;
+    out.disk_trips -= before.disk_trips;
+    out.disk_tmp_swept -= before.disk_tmp_swept;
     out.compile_ms -= before.compile_ms;
-    // entries / bytes are gauges: the current occupancy stands.
+    // entries / bytes / disk_degraded are gauges: the current state
+    // stands.
     return out;
 }
 
@@ -106,6 +110,46 @@ CompiledCache::enforceBudgetLocked(const std::string& protect)
     }
 }
 
+bool
+CompiledCache::diskAllowedLocked() const
+{
+    if (!breaker_open_)
+        return true;
+    // Half-open: one request past the cooldown probes the disk again.
+    return std::chrono::steady_clock::now() >= breaker_retry_at_;
+}
+
+void
+CompiledCache::recordDiskOutcomeLocked(bool ok, Stats* attributed)
+{
+    if (ok) {
+        breaker_failures_ = 0;
+        if (breaker_open_) {
+            breaker_open_ = false;
+            stats_.disk_degraded = 0;
+        }
+        return;
+    }
+    const auto cooldown = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double, std::milli>(
+            breaker_cooldown_ms_));
+    if (breaker_open_) {
+        // The half-open probe failed: re-arm the cooldown.
+        breaker_retry_at_ = std::chrono::steady_clock::now() + cooldown;
+        return;
+    }
+    if (breaker_threshold_ == 0 ||
+        ++breaker_failures_ < breaker_threshold_)
+        return;
+    breaker_open_ = true;
+    breaker_retry_at_ = std::chrono::steady_clock::now() + cooldown;
+    ++stats_.disk_trips;
+    stats_.disk_degraded = 1;
+    if (attributed)
+        ++attributed->disk_trips;
+}
+
 std::shared_ptr<const CompiledLayer>
 CompiledCache::getOrCompile(const std::string& key,
                             const Compile& compile, Stats* attributed)
@@ -118,7 +162,10 @@ CompiledCache::getOrCompile(const std::string& key,
         if (!entry)
             entry = std::make_shared<Slot>();
         slot = entry;
-        disk = disk_;
+        // An open breaker holds the whole request memory-only: no
+        // load, no store, until the half-open probe closes it again.
+        if (disk_ && diskAllowedLocked())
+            disk = disk_;
     }
 
     // The slot mutex makes the fill once-only: the first caller loads
@@ -138,26 +185,37 @@ CompiledCache::getOrCompile(const std::string& key,
     // cheaper; a rejected one (corrupt, stale version, collision)
     // falls through to recompile-and-overwrite.
     bool disk_rejected = false;
+    bool disk_io_error = false;
     if (disk) {
         ArtifactStore::LoadResult loaded = disk->load(key);
         disk_rejected = loaded.rejected;
+        disk_io_error = loaded.io_error;
         if (loaded.layer) {
             slot->value = std::move(loaded.layer);
             const std::lock_guard<std::mutex> lock(mutex_);
             ++stats_.disk_hits;
             if (attributed)
                 ++attributed->disk_hits;
+            recordDiskOutcomeLocked(true, attributed);
             // The slot may have been dropped by clear() while the
             // file was read; only a slot still in the table joins
             // the accounting and the LRU.
             const auto it = slots_.find(key);
             if (it != slots_.end() && it->second == slot) {
-                const std::uint64_t evicted_before = stats_.evictions;
-                insertAccountedLocked(key, *slot);
-                enforceBudgetLocked(key);
-                if (attributed)
-                    attributed->evictions +=
-                        stats_.evictions - evicted_before;
+                if (fault::shouldFail(fault::Site::CacheInsert)) {
+                    // Injected insert failure: serve the artifact
+                    // but do not retain it — the next request for
+                    // this key loads or compiles afresh.
+                    slots_.erase(it);
+                } else {
+                    const std::uint64_t evicted_before =
+                        stats_.evictions;
+                    insertAccountedLocked(key, *slot);
+                    enforceBudgetLocked(key);
+                    if (attributed)
+                        attributed->evictions +=
+                            stats_.evictions - evicted_before;
+                }
             }
             return slot->value;
         }
@@ -189,13 +247,28 @@ CompiledCache::getOrCompile(const std::string& key,
         if (persisted)
             ++attributed->disk_writes;
     }
+    // Feed the breaker: a failed read (I/O, not data) and the store's
+    // outcome each count. Data rejections stay out of it — a stale
+    // format version must overwrite, not disable the disk level.
+    if (disk) {
+        if (disk_io_error)
+            recordDiskOutcomeLocked(false, attributed);
+        recordDiskOutcomeLocked(persisted, attributed);
+    }
     const auto it = slots_.find(key);
     if (it != slots_.end() && it->second == slot) {
-        const std::uint64_t evicted_before = stats_.evictions;
-        insertAccountedLocked(key, *slot);
-        enforceBudgetLocked(key);
-        if (attributed)
-            attributed->evictions += stats_.evictions - evicted_before;
+        if (fault::shouldFail(fault::Site::CacheInsert)) {
+            // Injected insert failure: serve the artifact but do not
+            // retain it — the next request for this key recompiles.
+            slots_.erase(it);
+        } else {
+            const std::uint64_t evicted_before = stats_.evictions;
+            insertAccountedLocked(key, *slot);
+            enforceBudgetLocked(key);
+            if (attributed)
+                attributed->evictions +=
+                    stats_.evictions - evicted_before;
+        }
     }
     return slot->value;
 }
@@ -211,9 +284,33 @@ CompiledCache::setByteBudget(std::uint64_t budget)
 void
 CompiledCache::setDiskDir(const std::string& dir)
 {
+    std::shared_ptr<const ArtifactStore> store =
+        dir.empty() ? nullptr
+                    : std::make_shared<const ArtifactStore>(dir);
+    // Reclaim dead writers' leaked temp files while attaching; the
+    // directory walk stays outside the lock so it cannot stall
+    // concurrent getOrCompile traffic.
+    const std::size_t swept = store ? store->sweepStaleTemps() : 0;
     const std::lock_guard<std::mutex> lock(mutex_);
-    disk_ = dir.empty() ? nullptr
-                        : std::make_shared<const ArtifactStore>(dir);
+    disk_ = std::move(store);
+    stats_.disk_tmp_swept += swept;
+    // A different disk is a different failure domain: close the
+    // breaker and start counting afresh.
+    breaker_failures_ = 0;
+    breaker_open_ = false;
+    stats_.disk_degraded = 0;
+}
+
+void
+CompiledCache::setDiskBreaker(std::uint64_t threshold,
+                              double cooldown_ms)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    breaker_threshold_ = threshold;
+    breaker_cooldown_ms_ = cooldown_ms;
+    breaker_failures_ = 0;
+    breaker_open_ = false;
+    stats_.disk_degraded = 0;
 }
 
 void
@@ -256,6 +353,10 @@ CompiledCache::clear()
     // its slot gone and skips the accounting entirely, so `bytes`
     // can never drift from the sum of resident artifacts.
     stats_ = Stats{};
+    // The gauge reset above also cleared disk_degraded; keep the
+    // breaker state consistent with it.
+    breaker_failures_ = 0;
+    breaker_open_ = false;
 }
 
 } // namespace loas

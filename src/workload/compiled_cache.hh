@@ -17,6 +17,11 @@
  * — a repeated CLI invocation, a bench run, a CI job — skips
  * recompression entirely. Disk loads fill the in-memory level; disk
  * writes happen after a compile, via atomic rename (artifact_store.hh).
+ * A failing disk cannot take the cache down with it: a circuit
+ * breaker (setDiskBreaker()) counts consecutive disk I/O failures and
+ * trips the store into memory-only mode, probing for recovery after a
+ * cooldown — the degradation ladder is disk, then memory-only, then
+ * recompile, never an error surfaced to the caller.
  *
  * Keys name the workload-side identity of an artifact:
  * (network, layer index, ft-variant, format family, timesteps,
@@ -47,6 +52,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -86,6 +92,10 @@ class CompiledCache
         std::uint64_t disk_rejects = 0;
         /** Entries evicted to honor the byte budget. */
         std::uint64_t evictions = 0;
+        /** Times the disk circuit breaker tripped to memory-only. */
+        std::uint64_t disk_trips = 0;
+        /** Stale writer temp files swept when attaching the disk. */
+        std::uint64_t disk_tmp_swept = 0;
         /** Wall time spent inside compile callbacks, summed. */
         double compile_ms = 0.0;
 
@@ -93,6 +103,8 @@ class CompiledCache
         std::uint64_t entries = 0;
         /** Sum of the resident artifacts' footprint estimates. */
         std::uint64_t bytes = 0;
+        /** 1 while the breaker holds the disk level out of service. */
+        std::uint64_t disk_degraded = 0;
 
         /**
          * Per-run view over a shared, long-lived cache: counters since
@@ -144,9 +156,22 @@ class CompiledCache
 
     /**
      * Attach (or detach, with "") the on-disk level rooted at `dir`.
-     * The directory is created on first use.
+     * The directory is created on first use. Attaching sweeps stale
+     * writer temp files (counted in Stats::disk_tmp_swept) and resets
+     * the disk circuit breaker.
      */
     void setDiskDir(const std::string& dir);
+
+    /**
+     * Disk circuit breaker: after `threshold` consecutive disk I/O
+     * failures (short/injected reads, failed stores — not data
+     * rejections), the disk level is taken out of service and every
+     * request runs memory-only (Stats::disk_degraded = 1). After
+     * `cooldown_ms` one request probes the disk again (half-open): a
+     * success restores full service, a failure re-arms the cooldown.
+     * threshold 0 disables the breaker. Defaults: 3 failures, 10 s.
+     */
+    void setDiskBreaker(std::uint64_t threshold, double cooldown_ms);
 
     /**
      * Demote every resident entry of `network` to evict-first status.
@@ -186,6 +211,14 @@ class CompiledCache
     /** Evict until the budget holds, sparing `protect`. Holds mutex_. */
     void enforceBudgetLocked(const std::string& protect);
 
+    /** True when this request may touch the disk level (breaker
+     *  closed, or the cooldown elapsed and this is the half-open
+     *  probe). Caller holds mutex_. */
+    bool diskAllowedLocked() const;
+
+    /** Feed one disk I/O outcome to the breaker. Holds mutex_. */
+    void recordDiskOutcomeLocked(bool ok, Stats* attributed);
+
     mutable std::mutex mutex_;  // guards everything below
     std::unordered_map<std::string, std::shared_ptr<Slot>> slots_;
     /** Resident keys, most-recently-used first. */
@@ -195,6 +228,13 @@ class CompiledCache
     std::uint64_t budget_ = 0;
     std::shared_ptr<const ArtifactStore> disk_;
     Stats stats_;
+
+    // Disk circuit breaker (see setDiskBreaker).
+    std::uint64_t breaker_threshold_ = 3;
+    double breaker_cooldown_ms_ = 10000.0;
+    std::uint64_t breaker_failures_ = 0;
+    bool breaker_open_ = false;
+    std::chrono::steady_clock::time_point breaker_retry_at_;
 };
 
 } // namespace loas

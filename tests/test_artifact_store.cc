@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -16,6 +17,7 @@
 #include <vector>
 
 #include "api/json.hh"
+#include "common/fault.hh"
 #include "api/registry.hh"
 #include "api/sweep.hh"
 #include "api/sweep_io.hh"
@@ -287,6 +289,121 @@ TEST(DiskCache, CorruptedEntryFallsBackToRecompile)
     const SimReport healed = SimEngine().run(request);
     EXPECT_EQ(healed.compile_cache.disk_hits, 1u);
     EXPECT_EQ(healed.compile_cache.misses, 0u);
+}
+
+/** Tests below arm the process-global fault registry; disarm after. */
+struct FaultGuard
+{
+    FaultGuard() { fault::reset(); }
+    ~FaultGuard() { fault::reset(); }
+};
+
+TEST(FaultedStore, InjectedFaultsDegradeCleanlyOnEveryFamily)
+{
+    FaultGuard guard;
+    const std::string dir = tempCacheDir("faulted");
+    const ArtifactStore store(dir);
+    const auto& registry = AcceleratorRegistry::instance();
+
+    const std::vector<std::string> designs = {
+        "loas", "loas-ft", "sparten", "gospa", "gamma", "systolic"};
+    for (const auto& design : designs) {
+        SCOPED_TRACE(design);
+        const bool ft = registry.entry(design).ft_workload;
+        const LayerData layer = generateLayer(oddLayer(), 53, ft);
+        const auto compiler = registry.make(design);
+        const CompiledLayer compiled = compiler->prepare(layer);
+        const std::string key = compiledLayerKey(
+            "net", 0, ft, compiler->formatFamily(), layer.spec.t, 53);
+
+        // A write fault fails the store without publishing anything —
+        // no artifact, no leaked temp.
+        fault::configure("disk.write=1");
+        EXPECT_FALSE(store.store(key, compiled));
+        EXPECT_EQ(store.load(key).layer, nullptr);
+        EXPECT_EQ(store.stats().tmp_files, 0u);
+
+        // A rename fault fails after the payload was written; the
+        // temp must still be cleaned up.
+        fault::configure("disk.rename=1");
+        EXPECT_FALSE(store.store(key, compiled));
+        EXPECT_EQ(store.stats().tmp_files, 0u);
+
+        // Disarmed, the same store succeeds; a read fault then
+        // rejects the valid file as an I/O error...
+        fault::reset();
+        ASSERT_TRUE(store.store(key, compiled));
+        fault::configure("disk.read=1");
+        const ArtifactStore::LoadResult faulted = store.load(key);
+        EXPECT_EQ(faulted.layer, nullptr);
+        EXPECT_TRUE(faulted.rejected);
+        EXPECT_TRUE(faulted.io_error);
+
+        // ...and once the fault clears, the artifact loads intact and
+        // executes identically to the fresh compile.
+        fault::reset();
+        const ArtifactStore::LoadResult loaded = store.load(key);
+        ASSERT_NE(loaded.layer, nullptr);
+        EXPECT_FALSE(loaded.rejected);
+        const RunResult from_fresh =
+            registry.make(design)->execute(compiled);
+        const RunResult from_disk =
+            registry.make(design)->execute(*loaded.layer);
+        EXPECT_EQ(json::toJson(from_fresh), json::toJson(from_disk));
+    }
+    EXPECT_EQ(store.stats().files, designs.size());
+}
+
+TEST(StaleTemps, AreCountedSweptByAgeAndClearedUnconditionally)
+{
+    const std::string dir = tempCacheDir("tmps");
+    const ArtifactStore store(dir);
+    const LayerData layer = generateLayer(oddLayer(), 59);
+    const auto compiler = AcceleratorRegistry::instance().make("loas");
+    const std::string key =
+        compiledLayerKey("net", 0, false, "loas", layer.spec.t, 59);
+    ASSERT_TRUE(store.store(key, compiler->prepare(layer)));
+
+    // Fabricate the orphans a writer killed between open and rename
+    // would leave behind.
+    const auto orphan = [&](const std::string& name) {
+        std::ofstream(fs::path(dir) /
+                      (name + ArtifactStore::kFileSuffix + ".tmp.1.2"))
+            << "torn";
+    };
+    orphan("dead-writer-a");
+    orphan("dead-writer-b");
+
+    ArtifactStore::DiskStats stats = store.stats();
+    EXPECT_EQ(stats.files, 1u); // temps never count as artifacts
+    EXPECT_EQ(stats.tmp_files, 2u);
+
+    // Young temps survive an age-bounded sweep (a live writer's temp
+    // must never be reaped), age 0 sweeps them all.
+    EXPECT_EQ(store.sweepStaleTemps(3600.0), 0u);
+    EXPECT_EQ(store.stats().tmp_files, 2u);
+    EXPECT_EQ(store.sweepStaleTemps(0.0), 2u);
+    EXPECT_EQ(store.stats().tmp_files, 0u);
+
+    // clear() removes temps regardless of age, artifacts included.
+    orphan("dead-writer-c");
+    EXPECT_EQ(store.clear(), 2u); // 1 artifact + 1 temp
+    EXPECT_EQ(store.stats().files, 0u);
+    EXPECT_EQ(store.stats().tmp_files, 0u);
+
+    // Attaching a cache to the directory sweeps stale temps and
+    // reports them in the cache's own counters.
+    orphan("dead-writer-d");
+    const fs::path orphan_path =
+        fs::path(dir) / (std::string("dead-writer-d") +
+                         ArtifactStore::kFileSuffix + ".tmp.1.2");
+    const fs::file_time_type old_stamp =
+        fs::file_time_type::clock::now() - std::chrono::hours(2);
+    fs::last_write_time(orphan_path, old_stamp);
+    CompiledCache cache;
+    cache.setDiskDir(dir);
+    EXPECT_EQ(cache.stats().disk_tmp_swept, 1u);
+    EXPECT_EQ(store.stats().tmp_files, 0u);
 }
 
 } // namespace

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "api/json.hh"
+#include "common/fault.hh"
 #include "serve/job_queue.hh"
 #include "serve/protocol.hh"
 
@@ -472,6 +473,32 @@ TEST(JobQueue, ServedReportMatchesOneShotEngineRunByteForByte)
 
     const SimReport one_shot = SimEngine().run(toSimRequest(request));
     EXPECT_EQ(*served->report_json, json::toJson(one_shot));
+}
+
+TEST(JobQueue, InjectedEngineFaultLandsInFailedWithItsMessage)
+{
+    fault::reset();
+    fault::configure("engine.execute=1");
+    CompiledCache cache;
+    JobQueue queue(testConfig(), &cache); // real SimEngine runner
+
+    const auto submitted = queue.submit(spec("loas"));
+    ASSERT_TRUE(submitted.accepted);
+    const auto result = queue.wait(submitted.id);
+    fault::reset();
+
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->state, JobQueue::State::Failed);
+    EXPECT_EQ(result->error, "injected fault at engine.execute");
+    EXPECT_EQ(queue.counters().failed, 1u);
+
+    // The queue keeps working after a failed job: the same submit,
+    // disarmed, runs to completion.
+    const auto retried = queue.submit(spec("loas"));
+    ASSERT_TRUE(retried.accepted);
+    const auto done = queue.wait(retried.id);
+    ASSERT_TRUE(done.has_value());
+    EXPECT_EQ(done->state, JobQueue::State::Done);
 }
 
 TEST(SimEngineCancel, PreCancelledTokenAbortsTheRun)

@@ -18,6 +18,7 @@
 #include <cstring>
 #include <filesystem>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 
@@ -25,6 +26,7 @@
 #include "api/json.hh"
 #include "api/registry.hh"
 #include "api/versions.hh"
+#include "common/fault.hh"
 #include "serve/client.hh"
 #include "serve/json_parse.hh"
 #include "serve/protocol.hh"
@@ -380,6 +382,144 @@ TEST(Serve, ConcurrentIdenticalClientsShareOneCompile)
     // One compiled-artifact key; however the three submits raced
     // (dedup, coalesce, or sequential warm runs), it compiled once.
     EXPECT_EQ(server.cache.stats().misses, 1u);
+}
+
+/** Tests below arm the process-global fault registry; disarm after. */
+struct FaultGuard
+{
+    FaultGuard() { fault::reset(); }
+    ~FaultGuard() { fault::reset(); }
+};
+
+TEST(ServeFaults, FailedJobIsStructuredAndTheDaemonSurvives)
+{
+    TestServer server({}, [](const SimRequest&) -> SimReport {
+        throw std::runtime_error("boom: engine exploded");
+    });
+    ServeClient client(server.path());
+
+    const JsonValue reply = client.callJson(
+        "{\"cmd\": \"submit\", \"accel\": \"loas\", "
+        "\"network\": \"alexnet-l4\"}");
+    EXPECT_TRUE(reply.getBool("ok", false)); // outcome, not an error
+    EXPECT_EQ(reply.getString("state", ""), "failed");
+    EXPECT_EQ(reply.getString("error", ""), "boom: engine exploded");
+    EXPECT_EQ(reply.getString("message", ""),
+              "boom: engine exploded");
+    EXPECT_EQ(reply.get("report"), nullptr);
+
+    // Polling the failed id keeps returning the structured error, and
+    // the daemon is fully alive for unrelated commands.
+    const auto id =
+        static_cast<std::uint64_t>(reply.getNumber("id", 0));
+    const JsonValue polled = client.callJson(
+        "{\"cmd\": \"poll\", \"id\": " + std::to_string(id) + "}");
+    EXPECT_EQ(polled.getString("state", ""), "failed");
+    EXPECT_EQ(polled.getString("error", ""), "boom: engine exploded");
+    const JsonValue stats = client.callJson("{\"cmd\": \"stats\"}");
+    EXPECT_TRUE(stats.getBool("ok", false));
+    EXPECT_EQ(stats.get("queue")->getNumber("failed", 0), 1.0);
+}
+
+TEST(ServeFaults, InjectedEngineFaultFailsTheJobNotTheDaemon)
+{
+    FaultGuard guard;
+    TestServer server; // real engine
+    ServeClient client(server.path());
+
+    fault::configure("engine.execute=1");
+    const JsonValue faulted = client.callJson(
+        "{\"cmd\": \"submit\", \"accel\": \"loas\", "
+        "\"network\": \"alexnet-l4\"}");
+    EXPECT_EQ(faulted.getString("state", ""), "failed");
+    EXPECT_EQ(faulted.getString("error", ""),
+              "injected fault at engine.execute");
+
+    // Disarmed, the very same daemon serves the same request fine.
+    fault::reset();
+    const JsonValue healed = client.callJson(
+        "{\"cmd\": \"submit\", \"accel\": \"loas\", "
+        "\"network\": \"alexnet-l4\"}");
+    EXPECT_EQ(healed.getString("state", ""), "done");
+    ASSERT_NE(healed.get("report"), nullptr);
+}
+
+TEST(ServeFaults, DroppedRepliesCostTheConnectionNotTheDaemon)
+{
+    FaultGuard guard;
+    TestServer server({}, [](const SimRequest& request) {
+        SimReport report;
+        for (const auto& accel : request.accels)
+            for (const auto& net : request.networks) {
+                SimRun run;
+                run.accel_spec = accel;
+                run.network = net.name;
+                run.result.total_cycles = 1;
+                report.runs.push_back(std::move(run));
+            }
+        return report;
+    });
+
+    // Every reply write fails: the client sees a dropped connection,
+    // never a hung call or a dead daemon.
+    fault::configure("socket.write=1");
+    {
+        ServeClient client(server.path());
+        EXPECT_THROW(client.call("{\"cmd\": \"stats\"}"),
+                     std::runtime_error);
+    }
+    // Read faults likewise close the connection before a reply.
+    fault::configure("socket.read=1");
+    {
+        ServeClient client(server.path());
+        EXPECT_THROW(client.call("{\"cmd\": \"stats\"}"),
+                     std::runtime_error);
+    }
+
+    fault::reset();
+    ServeClient client(server.path());
+    const JsonValue stats = client.callJson("{\"cmd\": \"stats\"}");
+    EXPECT_TRUE(stats.getBool("ok", false));
+}
+
+TEST(ServeFaults, RetryWithBackoffRidesOutALateStartingDaemon)
+{
+    // The daemon binds its socket ~150 ms after the client's first
+    // connect attempt; callWithRetry must absorb the refusals and
+    // deliver the reply.
+    const std::string path = socketPath();
+    CompiledCache cache;
+    std::unique_ptr<Server> server;
+    std::thread server_thread;
+    std::thread starter([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+        Server::Config config;
+        config.socket_path = path;
+        server = std::make_unique<Server>(config, &cache);
+        server_thread = std::thread([&] { server->run(); });
+    });
+
+    RetryPolicy policy;
+    policy.retries = 50;
+    policy.backoff_ms = 10.0;
+    policy.max_backoff_ms = 100.0;
+    const std::string reply =
+        callWithRetry(path, "{\"cmd\": \"version\"}", policy);
+    EXPECT_TRUE(parseJson(reply).getBool("ok", false));
+
+    starter.join();
+    server->requestStop(true);
+    server_thread.join();
+}
+
+TEST(ServeFaults, ExhaustedRetriesSurfaceTheTransportError)
+{
+    RetryPolicy policy;
+    policy.retries = 2;
+    policy.backoff_ms = 1.0;
+    EXPECT_THROW(callWithRetry("/tmp/loas-no-such-daemon.sock",
+                               "{\"cmd\": \"stats\"}", policy),
+                 std::runtime_error);
 }
 
 } // namespace

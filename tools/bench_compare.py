@@ -43,9 +43,19 @@ HIGHER_IS_BETTER_SUFFIX = "_per_s"
 # load far beyond the compute-bound metrics, so they trend in the
 # table without gating the job (loas-bench/4). The batched-inference
 # rate (loas-bench/5) includes workload synthesis + compile wall time
-# and jitters the same way.
+# and jitters the same way. The fault-hook overhead fraction
+# (loas-bench/6) is a noise-scale ratio of two interleaved timings.
 INFORMATIONAL_METRICS = {"serve_requests_per_s",
-                         "batch_inferences_per_s"}
+                         "batch_inferences_per_s",
+                         "fault_overhead_frac"}
+
+# Informational ceilings: an 'info' metric above its ceiling prints a
+# "HIGH" status in the table (and a note) without failing the job.
+# fault_overhead_frac is the cost of the compiled-in-but-disarmed
+# fault hooks relative to a hook-free run; the design claim is that
+# it is noise (< 1%), but a loaded runner can exceed that without it
+# meaning anything, so it warns instead of gating.
+INFO_CEILING_METRICS = {"fault_overhead_frac": 0.01}
 
 # Absolute floors (loas-kernels/2): independent of the baseline, these
 # must clear a minimum every run — the fused temporal join must beat
@@ -147,6 +157,12 @@ def main():
                         f"{name} regressed {delta * 100:.1f}% "
                         f"(baseline {ref:g}, current {value:g}, "
                         f"threshold {args.threshold * 100:.0f}%)")
+        elif name in INFO_CEILING_METRICS and \
+                value > INFO_CEILING_METRICS[name]:
+            status = "HIGH"
+            print(f"note: {name} = {value:g} above the informational "
+                  f"ceiling {INFO_CEILING_METRICS[name]:g} (not a "
+                  f"gate)", file=sys.stderr)
         elif name == "sweep_cells" and value != ref:
             status = "FAIL"
             failures.append(

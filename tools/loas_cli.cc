@@ -49,7 +49,7 @@
  *   loas_cli serve --socket PATH [--workers N] [--max-depth N] ...
  *       Long-running simulation daemon: accepts concurrent requests
  *       as newline-delimited JSON over a unix socket (schema
- *       loas-serve/1, see src/serve/protocol.hh), runs them through
+ *       loas-serve/3, see src/serve/protocol.hh), runs them through
  *       an async job queue with dedup, coalescing, cancellation and
  *       backpressure, and shares one process-lifetime compiled cache
  *       across every request — a warm daemon serves repeat requests
@@ -102,6 +102,7 @@
 #include "api/sweep_io.hh"
 #include "api/versions.hh"
 #include "common/alloc_hook.hh"
+#include "common/fault.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
@@ -145,7 +146,7 @@ usage(const char* argv0)
         "       loas_cli request --socket PATH [--accel LIST]\n"
         "           [--network LIST] [--seed N] [--batch N]\n"
         "           [--no-energy] [--timeout-ms MS] [--no-wait]\n"
-        "           [--json PATH]\n"
+        "           [--json PATH] [--retries N] [--backoff-ms B]\n"
         "           [--cmd submit|stats|version|shutdown]\n"
         "           [--no-drain] [--raw LINE]\n"
         "       loas_cli version\n"
@@ -157,6 +158,12 @@ usage(const char* argv0)
         "                    (default 0 = unlimited)\n"
         "  --cache-stats PATH\n"
         "                    write cache counters as JSON (\"-\": stdout)\n"
+        "\n"
+        "fault injection (run/sweep/bench/serve/request):\n"
+        "  --fault-spec SPEC\n"
+        "                    arm deterministic fault injection, e.g.\n"
+        "                    \"disk.write=0.02,engine.execute=0.01@seed=7\"\n"
+        "                    ($LOAS_FAULT_SPEC configures any command)\n"
         "\n"
         "list:\n"
         "  --json [PATH]   machine-readable catalog of registered\n"
@@ -214,7 +221,11 @@ usage(const char* argv0)
         "                  --accel/--network/--seed/--no-energy\n"
         "  --no-wait       submit asynchronously and print the job id\n"
         "  --no-drain      with --cmd shutdown: cancel in-flight jobs\n"
-        "  --raw LINE      send LINE verbatim, print the reply line\n",
+        "  --raw LINE      send LINE verbatim, print the reply line\n"
+        "  --retries N     retry connect/reset/EPIPE failures N times\n"
+        "                  with exponential backoff (default 0)\n"
+        "  --backoff-ms B  first retry delay; doubles per retry with\n"
+        "                  deterministic jitter (default 100)\n",
         argv0, argv0, argv0, argv0);
     return 2;
 }
@@ -285,6 +296,21 @@ parseBatch(const std::string& flag, const std::string& value)
     if (batch == 0)
         throw std::invalid_argument(flag + " must be >= 1");
     return static_cast<std::size_t>(batch);
+}
+
+/**
+ * --fault-spec SPEC (run/sweep/bench/serve/request): arm the
+ * deterministic fault-injection registry, e.g.
+ * "disk.write=0.02,engine.execute=0.01@seed=7" (common/fault.hh).
+ * $LOAS_FAULT_SPEC does the same for every subcommand (tests, CI).
+ */
+bool
+handleFaultFlag(const std::string& arg, ArgCursor& args)
+{
+    if (arg != "--fault-spec")
+        return false;
+    fault::configure(args.value(arg));
+    return true;
 }
 
 /** Shared --cache-* flag state of the run/sweep/bench subcommands. */
@@ -484,6 +510,8 @@ runRun(int argc, char** argv)
             continue;
         else if (handleCacheFlag(arg, args, cache_flags))
             continue;
+        else if (handleFaultFlag(arg, args))
+            continue;
         else if (arg == "--no-energy")
             request.energy = false;
         else if (arg == "--json")
@@ -574,6 +602,8 @@ runSweep(int argc, char** argv)
                                   request.threads))
             continue;
         else if (handleCacheFlag(arg, args, cache_flags))
+            continue;
+        else if (handleFaultFlag(arg, args))
             continue;
         else if (arg == "--no-energy")
             request.energy = false;
@@ -913,6 +943,8 @@ runBench(int argc, char** argv)
             continue;
         else if (handleCacheFlag(arg, args, cache_flags))
             continue;
+        else if (handleFaultFlag(arg, args))
+            continue;
         else if (arg == "--out")
             out_path = args.value(arg);
         else if (arg == "--kernels-out")
@@ -1018,6 +1050,48 @@ runBench(int argc, char** argv)
                 (batch_ms / 1000.0));
     }
 
+    // 3c. Disabled-path cost of the fault-injection hooks: the same
+    //     single-cell engine run timed with the registry disarmed vs
+    //     armed at all-zero rates. The armed pass is a strict upper
+    //     bound on the hook cost (it takes the slow path's rate load
+    //     on every check; the disarmed path is one relaxed atomic
+    //     load), so the fractional gap proves the hooks are free when
+    //     off. Interleaving the batches cancels runner drift. The
+    //     stage owns the registry: an operator-supplied --fault-spec
+    //     is disarmed from here on, as injected faults would
+    //     invalidate every perf number anyway.
+    {
+        SimRequest hook_request;
+        hook_request.accels = {"loas"};
+        hook_request.networks = {
+            NetworkSpec{"alexnet-l4", {tables::alexnetL4()}}};
+        hook_request.seed = seed;
+        hook_request.threads = threads;
+        hook_request.energy = false;
+        hook_request.compiled_cache = sweep.compiled_cache;
+        SimEngine hook_engine;
+        hook_engine.run(hook_request); // warm: compile + synth cached
+        // Min-of-batches on each side rejects scheduler noise that a
+        // summed ratio would fold straight into the estimate.
+        double off_ms = 1e300;
+        double armed_ms = 1e300;
+        const int hook_batches = quick ? 6 : 12;
+        for (int b = 0; b < hook_batches; ++b) {
+            fault::reset();
+            auto t_hook = Clock::now();
+            hook_engine.run(hook_request);
+            off_ms = std::min(off_ms, ms_since(t_hook));
+            fault::configure("disk.write=0@seed=1");
+            t_hook = Clock::now();
+            hook_engine.run(hook_request);
+            armed_ms = std::min(armed_ms, ms_since(t_hook));
+        }
+        fault::reset();
+        metrics.emplace_back("fault_overhead_frac",
+                             off_ms > 0.0 ? armed_ms / off_ms - 1.0
+                                          : 0.0);
+    }
+
     // 4. Served-request throughput: a daemon on a scratch socket,
     //    one warm-up submit, then timed sequential requests — every
     //    timed one is a pure cache-hit run, so this tracks the serve
@@ -1062,8 +1136,9 @@ runBench(int argc, char** argv)
     // two-phase split, loas-bench/3 the compile-cache counters,
     // loas-bench/4 the served-request throughput, loas-bench/5 the
     // batched-inference throughput (the kernels file gained the
-    // batched alloc gates alongside); loas-kernels/1 is the
-    // kernel-bench companion.
+    // batched alloc gates alongside), loas-bench/6 the fault-hook
+    // overhead fraction; loas-kernels/1 is the kernel-bench
+    // companion.
     const auto render = [&](const char* schema, const auto& list) {
         std::string out = "{\n";
         out += std::string("  \"schema\": \"") + schema + "\",\n";
@@ -1153,6 +1228,8 @@ runCache(int argc, char** argv)
         std::printf("bytes:          %llu (%.1f KB)\n",
                     static_cast<unsigned long long>(stats.bytes),
                     static_cast<double>(stats.bytes) / 1024.0);
+        std::printf("stale temps:    %llu\n",
+                    static_cast<unsigned long long>(stats.tmp_files));
         return 0;
     }
     if (action == "clear") {
@@ -1282,6 +1359,8 @@ runServe(int argc, char** argv)
             config.queue.coalesce = false;
         else if (handleCacheFlag(arg, args, cache_flags))
             continue;
+        else if (handleFaultFlag(arg, args))
+            continue;
         else
             throw std::invalid_argument("unknown flag '" + arg + "'");
     }
@@ -1322,6 +1401,7 @@ runRequest(int argc, char** argv)
     bool wait = true;
     bool drain = true;
     double timeout_ms = 0.0;
+    serve::RetryPolicy retry;
 
     ArgCursor args(argc, argv);
     while (args.more()) {
@@ -1351,31 +1431,44 @@ runRequest(int argc, char** argv)
             json_path = args.value(arg);
         else if (arg == "--raw")
             raw_line = args.value(arg);
+        else if (arg == "--retries")
+            retry.retries = static_cast<int>(
+                std::min<std::uint64_t>(parseUint(arg, args.value(arg)),
+                                        1000));
+        else if (arg == "--backoff-ms")
+            retry.backoff_ms =
+                static_cast<double>(parseUint(arg, args.value(arg)));
+        else if (handleFaultFlag(arg, args))
+            continue;
         else
             throw std::invalid_argument("unknown flag '" + arg + "'");
     }
     if (socket_path.empty())
         throw std::invalid_argument("request needs --socket PATH");
 
-    serve::ServeClient client(socket_path);
+    // Each exchange rides its own connection through the retry helper,
+    // so a daemon that is late to listen, restarts between calls, or
+    // drops a connection (injected socket fault, say) costs a backoff
+    // delay instead of the whole invocation.
+    const auto call = [&](const std::string& line) {
+        return serve::callWithRetry(socket_path, line, retry);
+    };
 
     if (!raw_line.empty()) {
-        std::printf("%s\n", client.call(raw_line).c_str());
+        std::printf("%s\n", call(raw_line).c_str());
         return 0;
     }
 
     if (cmd == "stats" || cmd == "version") {
-        std::printf(
-            "%s\n",
-            client.call("{\"cmd\": \"" + cmd + "\"}").c_str());
+        std::printf("%s\n",
+                    call("{\"cmd\": \"" + cmd + "\"}").c_str());
         return 0;
     }
     if (cmd == "shutdown") {
         std::printf("%s\n",
-                    client
-                        .call(std::string("{\"cmd\": \"shutdown\", "
-                                          "\"drain\": ") +
-                              (drain ? "true" : "false") + "}")
+                    call(std::string("{\"cmd\": \"shutdown\", "
+                                     "\"drain\": ") +
+                         (drain ? "true" : "false") + "}")
                         .c_str());
         return 0;
     }
@@ -1407,7 +1500,7 @@ runRequest(int argc, char** argv)
         submit += ", \"wait\": false";
     submit += "}";
 
-    const serve::JsonValue reply = client.callJson(submit);
+    const serve::JsonValue reply = serve::parseJson(call(submit));
     if (!reply.getBool("ok", false)) {
         std::fprintf(stderr, "request failed: %s: %s\n",
                      reply.getString("error", "?").c_str(),
@@ -1470,6 +1563,9 @@ main(int argc, char** argv)
         return usage(argv[0]);
     const std::string command = argv[1];
     try {
+        // $LOAS_FAULT_SPEC arms fault injection for any subcommand;
+        // an explicit --fault-spec flag overrides it.
+        fault::configureFromEnv();
         if (command == "list")
             return runList(argc - 2, argv + 2);
         if (command == "run")
