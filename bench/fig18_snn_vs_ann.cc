@@ -39,8 +39,8 @@ main()
         ann_spec.t = 1;
         ann_spec.spike_sparsity = 0.439;
         const AnnLayerData ann = generateAnnLayer(ann_spec, 202);
-        r_sparten += sparten.runAnnLayer(ann);
-        r_gamma += gamma.runAnnLayer(ann);
+        r_sparten += sparten.execute(sparten.prepareAnn(ann));
+        r_gamma += gamma.execute(gamma.prepareAnn(ann));
     }
 
     const EnergyModel model;

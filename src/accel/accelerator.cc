@@ -6,17 +6,6 @@
 namespace loas {
 
 RunResult
-Accelerator::executeInput(const CompiledLayer& compiled,
-                          std::size_t input, std::size_t worker)
-{
-    if (input != 0 || worker != 0)
-        fatal("accelerator '%s' does not implement batched execution "
-              "(input %zu, worker %zu)",
-              name().c_str(), input, worker);
-    return execute(compiled);
-}
-
-RunResult
 Accelerator::executeBatch(const CompiledLayer& compiled, int threads,
                           std::vector<RunResult>* per_input)
 {

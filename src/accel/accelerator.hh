@@ -29,6 +29,22 @@
 
 namespace loas {
 
+/**
+ * Intra-layer parallel execute engages only on layers with at least
+ * this many output neurons — below it, fanning threads out costs more
+ * than the joins themselves.
+ */
+inline constexpr std::size_t kIntraMinItems = 256;
+
+/**
+ * Work items gathered per intra-layer phase-A block. A block spans
+ * several scheduler waves so each thread fan-out amortizes across
+ * hundreds of joins; the size is a fixed constant (never derived from
+ * the thread count) so block boundaries — and therefore results — are
+ * identical at any thread count.
+ */
+inline constexpr std::size_t kIntraBlockItems = 1024;
+
 /** An accelerator model that can run dual-sparse SNN layers. */
 class Accelerator
 {
@@ -54,24 +70,26 @@ class Accelerator
     virtual CompiledLayer prepare(const LayerData& layer) const = 0;
 
     /**
-     * Phase 2: simulate the datapath over a compiled layer (input 0 of
-     * its batch — equivalent to executeInput(compiled, 0, 0)). The
-     * layer must come from this design's format family (fatal
-     * otherwise).
+     * Phase 2: simulate the datapath over a compiled layer — input 0
+     * of its batch on worker slot 0. Sugar for
+     * executeInput(compiled, 0, 0); every backend implements the one
+     * entry point.
      */
-    virtual RunResult execute(const CompiledLayer& compiled) = 0;
+    RunResult execute(const CompiledLayer& compiled)
+    {
+        return executeInput(compiled, 0, 0);
+    }
 
     /**
      * Phase 2 over one input of a batched compiled layer. `worker`
      * selects the scratch pool slot and nothing else — two concurrent
      * calls are safe iff their worker indices differ and
-     * reserveWorkers() pre-sized the pool. The default covers
-     * single-input designs: (0, 0) forwards to execute(), anything
-     * else is fatal.
+     * reserveWorkers() pre-sized the pool. The layer must come from
+     * this design's format family (fatal otherwise).
      */
     virtual RunResult executeInput(const CompiledLayer& compiled,
                                    std::size_t input,
-                                   std::size_t worker);
+                                   std::size_t worker) = 0;
 
     /**
      * Pre-size per-worker execute scratch so a batch-level parallel
@@ -79,6 +97,23 @@ class Accelerator
      * executeBatch(); default no-op for designs without pools.
      */
     virtual void reserveWorkers(std::size_t workers) { (void)workers; }
+
+    /**
+     * Ask for intra-layer parallelism: backends that support it (LoAS,
+     * SparTen) run each block of wave items' pure join work across up
+     * to `threads` transient workers, then replay every memory-system
+     * access and cycle/ops accounting step serially in the original
+     * wave order — so RunResults stay byte-identical to the serial
+     * path at any setting. Backends without support ignore the hint.
+     * 1 (the default) keeps the untouched serial path.
+     */
+    void setLayerThreads(int threads)
+    {
+        layer_threads_ = threads < 1 ? 1 : threads;
+    }
+
+    /** The intra-layer thread request (1 = serial). */
+    int layerThreads() const { return layer_threads_; }
 
     /**
      * Phase 2 over EVERY input of a batched compiled layer: a
@@ -119,6 +154,9 @@ class Accelerator
     /** Reused per-input result slots of executeBatch (steady-state
      *  batched execution stays allocation-free once warm). */
     std::vector<RunResult> batch_slots_;
+
+    /** Intra-layer thread request (setLayerThreads; 1 = serial). */
+    int layer_threads_ = 1;
 };
 
 } // namespace loas

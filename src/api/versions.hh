@@ -18,7 +18,7 @@
 
 namespace loas {
 
-inline constexpr char kCliVersion[] = "0.9.0";
+inline constexpr char kCliVersion[] = "0.10.0";
 
 /** loas_cli bench BENCH_sweep.json ("metrics" list; /4 added the
  *  served-throughput metric, /5 the batched-inference metrics, /6 the
@@ -27,19 +27,23 @@ inline constexpr char kBenchSchema[] = "loas-bench/6";
 
 /** loas_cli bench BENCH_kernels.json kernel microbench companion; /2
  *  added the fused temporally-parallel join metrics and the fused
- *  SparTen steady-state allocation gates. */
-inline constexpr char kKernelsSchema[] = "loas-kernels/2";
+ *  SparTen steady-state allocation gates, /3 the per-ISA scalar join
+ *  metrics and the simd_speedup ratio. */
+inline constexpr char kKernelsSchema[] = "loas-kernels/3";
 
-/** loas_cli list --json accelerator catalog. */
-inline constexpr char kListSchema[] = "loas-list/1";
+/** loas_cli list --json accelerator catalog; /2 added the resolved
+ *  SIMD ISA and worker-pool sizing fields. */
+inline constexpr char kListSchema[] = "loas-list/2";
 
 /** loas_cli serve newline-delimited JSON protocol (src/serve/); /2
  *  added the "batch" submit field and "inferences_per_s" stats, /3
  *  the structured "error" field on failed-job replies and the disk
- *  circuit-breaker fields in cache stats. */
-inline constexpr char kServeSchema[] = "loas-serve/3";
+ *  circuit-breaker fields in cache stats, /4 the resolved SIMD ISA
+ *  and worker-pool fields in the version and stats replies. */
+inline constexpr char kServeSchema[] = "loas-serve/4";
 
-/** loas_cli version self-description object. */
-inline constexpr char kVersionSchema[] = "loas-version/1";
+/** loas_cli version self-description object; /2 added the resolved
+ *  SIMD ISA. */
+inline constexpr char kVersionSchema[] = "loas-version/2";
 
 } // namespace loas

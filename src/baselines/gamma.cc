@@ -119,12 +119,6 @@ GammaSim::prepare(const LayerData& layer) const
                              bytes);
 }
 
-RunResult
-GammaSim::execute(const CompiledLayer& compiled)
-{
-    return executeInput(compiled, 0, 0);
-}
-
 void
 GammaSim::reserveWorkers(std::size_t workers)
 {
@@ -136,6 +130,13 @@ RunResult
 GammaSim::executeInput(const CompiledLayer& compiled, std::size_t input,
                        std::size_t worker)
 {
+    if (compiled.family == kAnnFamily) {
+        if (input != 0)
+            fatal("layer '%s': ANN compiled layers carry one input, "
+                  "got %zu",
+                  compiled.spec.name.c_str(), input);
+        return executeAnn(compiled, worker);
+    }
     const auto& art = artifactAs<GammaCompiled>(compiled, formatFamily());
     if (input >= art.cols.size())
         fatal("layer '%s': input %zu of a %zu-input batch",
@@ -262,36 +263,96 @@ GammaSim::executeInput(const CompiledLayer& compiled, std::size_t input,
     return result;
 }
 
-RunResult
-GammaSim::runAnnLayer(const AnnLayerData& layer)
+CompiledLayer
+GammaSim::prepareAnn(const AnnLayerData& layer) const
 {
     const std::size_t m = layer.acts.rows();
     const std::size_t k = layer.acts.cols();
     const std::size_t n = layer.weights.cols();
-    const double weight_density = 1.0 - layer.weights.sparsity();
+    if (layer.weights.rows() != k)
+        fatal("layer '%s': A is %zux%zu but B is %zux%zu",
+              layer.spec.name.c_str(), m, k, layer.weights.rows(), n);
 
-    const auto fibers_b = compressWeightRows(layer.weights);
+    auto art = std::make_shared<GammaAnnCompiled>();
+    art->b = compileWeightRows(layer.weights);
+    art->weight_density = 1.0 - layer.weights.sparsity();
 
-    MemorySystem mem(config_.cache, config_.dram);
+    // Per-row merge tasks in CSR form: the columns whose activation is
+    // non-zero and whose B row carries values, ascending — exactly the
+    // serial walk order of the merger. nnz_acts counts every non-zero
+    // activation (they all stream in, mergeable or not).
+    art->ptr.resize(m + 1);
+    art->ptr[0] = 0;
+    for (std::size_t r = 0; r < m; ++r) {
+        std::uint64_t count = 0;
+        for (std::size_t c = 0; c < k; ++c) {
+            if (layer.acts(r, c) == 0)
+                continue;
+            ++art->nnz_acts;
+            if (!art->b.fibers[c].values.empty())
+                ++count;
+        }
+        art->ptr[r + 1] = art->ptr[r] + count;
+    }
+    art->cols.resize(art->ptr[m]);
+    std::uint64_t cursor = 0;
+    for (std::size_t r = 0; r < m; ++r)
+        for (std::size_t c = 0; c < k; ++c)
+            if (layer.acts(r, c) != 0 &&
+                !art->b.fibers[c].values.empty())
+                art->cols[cursor++] = static_cast<std::uint32_t>(c);
+
+    CompiledLayer out;
+    out.spec = layer.spec;
+    out.family = kAnnFamily;
+    out.m = m;
+    out.k = k;
+    out.n = n;
+    out.timesteps = 1;
+    out.batch = 1;
+    out.bytes = art->b.footprintBytes() +
+                art->cols.size() * sizeof(std::uint32_t) +
+                art->ptr.size() * sizeof(std::uint64_t);
+    out.artifact = std::move(art);
+    return out;
+}
+
+RunResult
+GammaSim::executeAnn(const CompiledLayer& compiled, std::size_t worker)
+{
+    const auto& art = artifactAs<GammaAnnCompiled>(compiled, kAnnFamily);
+    const std::size_t m = compiled.m;
+    const std::size_t k = compiled.k;
+    const std::size_t n = compiled.n;
+    const double weight_density = art.weight_density;
+    const auto& fibers_b = art.b.fibers;
+
+    // Serial-context growth only; batch-parallel callers pre-size the
+    // pool through reserveWorkers() before fanning out.
+    if (worker >= scratch_.size())
+        scratch_.resize(worker + 1);
+    ExecuteScratch& scratch = scratch_[worker];
+    if (!scratch.mem)
+        scratch.mem.emplace(config_.cache, config_.dram);
+    else
+        scratch.mem->reset();
+    MemorySystem& mem = *scratch.mem;
 
     RunResult result;
     result.accel = "Gamma-ANN";
-    result.workload = layer.spec.name;
+    result.workload = compiled.spec.name;
 
     // Activations stream once: per-nonzero coordinate + int8 value.
-    std::uint64_t nnz_acts = 0;
-    for (std::size_t r = 0; r < m; ++r)
-        for (std::size_t c = 0; c < k; ++c)
-            if (layer.acts(r, c) != 0)
-                ++nnz_acts;
-    mem.streamRead(TensorCategory::Input, nnz_acts);
+    mem.streamRead(TensorCategory::Input, art.nnz_acts);
     mem.streamRead(
         TensorCategory::Meta,
         ceilDiv<std::uint64_t>(
-            nnz_acts * static_cast<std::uint64_t>(config_.coord_bits), 8) +
+            art.nnz_acts * static_cast<std::uint64_t>(config_.coord_bits),
+            8) +
             4 * (m + 1));
 
-    std::vector<bool> fetched(k, false);
+    scratch.fetched.assign(k, false);
+    std::vector<bool>& fetched = scratch.fetched;
     std::uint64_t row_uses = 0;
     std::uint64_t distinct_rows = 0;
     auto fetch_row = [&](std::size_t c, std::size_t nnz_b) {
@@ -312,12 +373,9 @@ GammaSim::runAnnLayer(const AnnLayerData& layer)
     for (std::size_t r = 0; r < m; ++r) {
         std::uint64_t nnz_a = 0;
         std::uint64_t updates = 0;
-        for (std::size_t c = 0; c < k; ++c) {
-            if (layer.acts(r, c) == 0)
-                continue;
+        for (std::uint64_t i = art.ptr[r]; i < art.ptr[r + 1]; ++i) {
+            const std::size_t c = art.cols[i];
             const std::size_t nnz_b = fibers_b[c].values.size();
-            if (nnz_b == 0)
-                continue;
             ++nnz_a;
             updates += nnz_b;
             fetch_row(c, nnz_b);

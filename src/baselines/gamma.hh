@@ -72,6 +72,23 @@ struct GammaCompiled : CompiledArtifact
     std::vector<std::vector<std::uint64_t>> ptr;   // per input
 };
 
+/**
+ * Compiled Gamma ANN operands (family "gamma-ann"): B in row-fiber
+ * form plus one per-row CSR task list — the columns whose activation
+ * is non-zero *and* whose B row is non-empty, ascending, exactly the
+ * fibers the merger consumes. `nnz_acts` counts every non-zero
+ * activation (the streamed input bytes), including ones whose B row is
+ * empty.
+ */
+struct GammaAnnCompiled : CompiledArtifact
+{
+    CompiledWeightFibers b;  // rows of B
+    double weight_density = 0.0;
+    std::uint64_t nnz_acts = 0;
+    std::vector<std::uint32_t> cols;
+    std::vector<std::uint64_t> ptr;  // rows + 1 entries
+};
+
 /** Gamma running SNN workloads timestep-by-timestep. */
 class GammaSim : public Accelerator
 {
@@ -84,19 +101,30 @@ class GammaSim : public Accelerator
 
     CompiledLayer prepare(const LayerData& layer) const override;
 
-    RunResult execute(const CompiledLayer& compiled) override;
-
     RunResult executeInput(const CompiledLayer& compiled,
                            std::size_t input,
                            std::size_t worker) override;
 
     void reserveWorkers(std::size_t workers) override;
 
-    /** Original Gamma on an int8 ANN layer (Fig. 18). */
-    RunResult runAnnLayer(const AnnLayerData& layer);
+    /** Format family of prepareAnn() artifacts. */
+    static constexpr const char* kAnnFamily = "gamma-ann";
+
+    /**
+     * Phase 1 of the ANN mode (Fig. 18): compress B into row fibers
+     * and the activations into the per-row merge-task CSR. The
+     * compiled layer carries the "gamma-ann" family, riding the same
+     * CompiledCache / artifact-store machinery as SNN layers;
+     * execute() dispatches on the family.
+     */
+    CompiledLayer prepareAnn(const AnnLayerData& layer) const;
 
   private:
     GammaConfig config_;
+
+    /** The original Gamma datapath over a prepared ANN layer. */
+    RunResult executeAnn(const CompiledLayer& compiled,
+                         std::size_t worker);
 
     /** Reusable per-worker execute() working state (see
      *  LoasSim::ExecuteScratch). */

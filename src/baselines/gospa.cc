@@ -73,12 +73,6 @@ GospaSim::prepare(const LayerData& layer) const
                              bytes);
 }
 
-RunResult
-GospaSim::execute(const CompiledLayer& compiled)
-{
-    return executeInput(compiled, 0, 0);
-}
-
 void
 GospaSim::reserveWorkers(std::size_t workers)
 {

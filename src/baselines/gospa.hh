@@ -87,8 +87,6 @@ class GospaSim : public Accelerator
 
     CompiledLayer prepare(const LayerData& layer) const override;
 
-    RunResult execute(const CompiledLayer& compiled) override;
-
     RunResult executeInput(const CompiledLayer& compiled,
                            std::size_t input,
                            std::size_t worker) override;

@@ -98,12 +98,6 @@ SpartenSim::prepare(const LayerData& layer) const
                              bytes);
 }
 
-RunResult
-SpartenSim::execute(const CompiledLayer& compiled)
-{
-    return executeInput(compiled, 0, 0);
-}
-
 void
 SpartenSim::reserveWorkers(std::size_t workers)
 {
@@ -115,6 +109,13 @@ RunResult
 SpartenSim::executeInput(const CompiledLayer& compiled,
                          std::size_t input, std::size_t worker)
 {
+    if (compiled.family == kAnnFamily) {
+        if (input != 0)
+            fatal("layer '%s': ANN compiled layers carry one input, "
+                  "got %zu",
+                  compiled.spec.name.c_str(), input);
+        return executeAnn(compiled, worker);
+    }
     const auto& art =
         artifactAs<SpartenCompiled>(compiled, formatFamily());
     if (input >= art.row_masks.size())
@@ -158,13 +159,13 @@ SpartenSim::executeInput(const CompiledLayer& compiled,
     const CompiledSpikeFibers& packed = art.packed[input];
     const std::vector<std::uint32_t>& dense_nnz = art.dense_nnz[input];
     std::uint64_t dram_bytes_seen = 0;
-    for (std::size_t w = 0; w < scheduler.waveCount(); ++w) {
-        scheduler.wave(w, scratch.items);
-        const auto& items = scratch.items;
 
-        // Weight fiber of each column in the wave, broadcast once.
+    // Weight fiber of each column in one wave, broadcast once.
+    const auto broadcastWave = [&](const WorkItem* items,
+                                   std::size_t count) {
         std::uint64_t prev_col = ~0ull;
-        for (const auto& item : items) {
+        for (std::size_t i = 0; i < count; ++i) {
+            const WorkItem& item = items[i];
             if (item.n == prev_col)
                 continue;
             prev_col = item.n;
@@ -174,87 +175,110 @@ SpartenSim::executeInput(const CompiledLayer& compiled,
                      kBaseBValues + b_val_off[item.n],
                      fibers_b[item.n].values.size());
         }
+    };
 
-        std::uint64_t wave_cycles = 0;
-        for (const auto& item : items) {
-            const WeightFiber& fb = fibers_b[item.n];
-            std::uint64_t pe_cycles = 0;
-            if (config_.fused) {
-                // Fused temporally-parallel join: the compressed row
-                // (mask metadata + packed temporal words) is fetched
-                // once, the masks are ANDed once, and every match fans
-                // its weight out to all T accumulators — or collapses
-                // through the pseudo-accumulator when the row's train
-                // is dense in time.
-                const SpikeFiber& fa = packed.fibers[item.m];
-                mem.read(TensorCategory::Meta,
-                         kBaseAMeta + packed.meta_off[item.m],
-                         fa.metadataBytes());
-                const std::uint64_t value_bytes =
-                    packed.val_off[item.m + 1] - packed.val_off[item.m];
-                if (value_bytes)
-                    mem.read(TensorCategory::Input,
-                             kBaseA + packed.val_off[item.m],
-                             value_bytes);
-
-                const bool collapse =
-                    shouldCollapse(dense_nnz[item.m], fa.nnz(),
-                                   config_.collapse_threshold);
-                const FusedJoinStats stats = fusedTemporalJoin(
-                    fa, packed.ranked[item.m], fb, ranked_b[item.n],
-                    timesteps, collapse, sums.data(),
-                    scratch.correction.data());
-
-                result.ops.mask_and_ops += chunks;
-                // Both operands are compressed here, so both prefix
-                // circuits fire per match (like the ANN datapath).
-                result.ops.fast_prefix_ops += 2 * stats.matches;
-                result.ops.acc_ops += stats.acc_ops;
-                result.ops.correction_ops += stats.correction_ops;
-                result.ops.lif_ops +=
-                    static_cast<std::uint64_t>(timesteps);
-                pe_cycles =
-                    config_.fusedJoinCycles(chunks, stats.updates());
-            } else {
-                for (int t = 0; t < timesteps; ++t) {
-                    const auto ts = static_cast<std::size_t>(t);
-                    // The raw spike train is bitmask and data at once;
-                    // every bit of the row is fetched, every timestep
-                    // again.
-                    mem.read(TensorCategory::Input,
-                             kBaseA + (ts * m + item.m) * row_bytes,
-                             row_bytes);
-
-                    // Accumulate matched weights, one per cycle; a
-                    // single fast prefix-sum serves the weight side
-                    // (the spike is its own data). Word-parallel: AND
-                    // the mask words directly, with the weight offset
-                    // from the compiled rank table — no materialized
-                    // AND mask.
-                    const Bitmask& ma = row_masks[ts * m + item.m];
-                    std::uint64_t matches = 0;
-                    std::int32_t acc = 0;
-                    forEachMatch(ma, ranked_b[item.n],
-                                 [&](std::size_t, std::size_t b_off) {
-                                     acc += fb.values[b_off];
-                                     ++matches;
-                                 });
-                    sums[ts] = acc;
-
-                    result.ops.mask_and_ops += chunks;
-                    result.ops.fast_prefix_ops += matches;
-                    result.ops.acc_ops += matches;
-                    result.ops.lif_ops += 1;
-                    pe_cycles +=
-                        config_.timestepJoinCycles(chunks, matches);
-                }
+    // Spike-side memory traffic of one item. The joins themselves
+    // never touch the memory system, so issuing the reads before (or
+    // on another thread than) the join arithmetic leaves the access
+    // sequence identical to the interleaved original.
+    const auto readsForItem = [&](const WorkItem& item) {
+        if (config_.fused) {
+            // The compressed row: mask metadata plus the packed
+            // temporal words, fetched once for all T timesteps.
+            mem.read(TensorCategory::Meta,
+                     kBaseAMeta + packed.meta_off[item.m],
+                     packed.fibers[item.m].metadataBytes());
+            const std::uint64_t value_bytes =
+                packed.val_off[item.m + 1] - packed.val_off[item.m];
+            if (value_bytes)
+                mem.read(TensorCategory::Input,
+                         kBaseA + packed.val_off[item.m], value_bytes);
+        } else {
+            // The raw spike train is bitmask and data at once; every
+            // bit of the row is fetched, every timestep again.
+            for (int t = 0; t < timesteps; ++t) {
+                const auto ts = static_cast<std::size_t>(t);
+                mem.read(TensorCategory::Input,
+                         kBaseA + (ts * m + item.m) * row_bytes,
+                         row_bytes);
             }
-            const TimeWord spikes =
-                lifAcrossTimesteps(sums, config_.lif);
-            if (input == 0)
-                last_output_.setWord(item.m, item.n, spikes);
-            wave_cycles = std::max(wave_cycles, pe_cycles);
         }
+    };
+
+    // The pure join work of one item — no memory-system access, no
+    // result mutation — into caller-owned accumulator scratch. Safe
+    // to run concurrently across items with distinct scratch.
+    const auto computeItem = [&](const WorkItem& item,
+                                 std::vector<std::int32_t>& jsums,
+                                 std::vector<std::int64_t>& jcorr) {
+        const WeightFiber& fb = fibers_b[item.n];
+        IntraSlot slot;
+        if (config_.fused) {
+            // Fused temporally-parallel join: the masks are ANDed
+            // once, and every match fans its weight out to all T
+            // accumulators — or collapses through the pseudo-
+            // accumulator when the row's train is dense in time.
+            const SpikeFiber& fa = packed.fibers[item.m];
+            const bool collapse =
+                shouldCollapse(dense_nnz[item.m], fa.nnz(),
+                               config_.collapse_threshold);
+            const FusedJoinStats stats = fusedTemporalJoin(
+                fa, packed.ranked[item.m], fb, ranked_b[item.n],
+                timesteps, collapse, jsums.data(), jcorr.data());
+            // Both operands are compressed here, so both prefix
+            // circuits fire per match (like the ANN datapath).
+            slot.fast_prefix_ops = 2 * stats.matches;
+            slot.acc_ops = stats.acc_ops;
+            slot.correction_ops = stats.correction_ops;
+            slot.pe_cycles =
+                config_.fusedJoinCycles(chunks, stats.updates());
+        } else {
+            for (int t = 0; t < timesteps; ++t) {
+                const auto ts = static_cast<std::size_t>(t);
+                // Accumulate matched weights, one per cycle; a
+                // single fast prefix-sum serves the weight side
+                // (the spike is its own data). Word-parallel: AND
+                // the mask words directly, with the weight offset
+                // from the compiled rank table — no materialized
+                // AND mask.
+                const Bitmask& ma = row_masks[ts * m + item.m];
+                std::uint64_t matches = 0;
+                std::int32_t acc = 0;
+                forEachMatch(ma, ranked_b[item.n],
+                             [&](std::size_t, std::size_t b_off) {
+                                 acc += fb.values[b_off];
+                                 ++matches;
+                             });
+                jsums[ts] = acc;
+                slot.fast_prefix_ops += matches;
+                slot.acc_ops += matches;
+                slot.pe_cycles +=
+                    config_.timestepJoinCycles(chunks, matches);
+            }
+        }
+        slot.spikes = lifAcrossTimesteps(jsums, config_.lif);
+        return slot;
+    };
+
+    // Ops accounting and output of one item's precomputed join;
+    // returns its PE cycles. The per-item mask-scan and LIF charges
+    // depend only on the datapath, not on the join's data.
+    const auto accountItem = [&](const WorkItem& item,
+                                 const IntraSlot& slot) -> std::uint64_t {
+        result.ops.mask_and_ops +=
+            config_.fused
+                ? chunks
+                : chunks * static_cast<std::uint64_t>(timesteps);
+        result.ops.fast_prefix_ops += slot.fast_prefix_ops;
+        result.ops.acc_ops += slot.acc_ops;
+        result.ops.correction_ops += slot.correction_ops;
+        result.ops.lif_ops += static_cast<std::uint64_t>(timesteps);
+        if (input == 0)
+            last_output_.setWord(item.m, item.n, slot.spikes);
+        return slot.pe_cycles;
+    };
+
+    const auto finishWave = [&](std::uint64_t wave_cycles) {
         wave_cycles += config_.wave_overhead_cycles;
         result.compute_cycles += wave_cycles;
 
@@ -262,6 +286,85 @@ SpartenSim::executeInput(const CompiledLayer& compiled,
         result.total_cycles += std::max(
             wave_cycles, mem.dramCyclesFor(dram_now - dram_bytes_seen));
         dram_bytes_seen = dram_now;
+    };
+
+    const int layer_threads = layerThreads();
+    if (layer_threads <= 1 ||
+        scheduler.totalItems() < kIntraMinItems) {
+        // Serial reference path.
+        for (std::size_t w = 0; w < scheduler.waveCount(); ++w) {
+            scheduler.wave(w, scratch.items);
+            const auto& items = scratch.items;
+            broadcastWave(items.data(), items.size());
+            std::uint64_t wave_cycles = 0;
+            for (const auto& item : items) {
+                readsForItem(item);
+                const IntraSlot slot =
+                    computeItem(item, sums, scratch.correction);
+                wave_cycles =
+                    std::max(wave_cycles, accountItem(item, slot));
+            }
+            finishWave(wave_cycles);
+        }
+    } else {
+        // Intra-layer parallel path: phase A joins one block of waves
+        // across transient workers (per-worker accumulator scratch,
+        // per-item slots); phase B replays the block's waves serially
+        // in original order — memory traffic and accounting exactly as
+        // the serial path issues them. See LoasSim::executeInput.
+        IntraScratch& intra = scratch.intra;
+        const auto threads_sz =
+            static_cast<std::size_t>(layer_threads);
+        if (intra.worker_sums.size() < threads_sz) {
+            intra.worker_sums.resize(threads_sz);
+            intra.worker_correction.resize(threads_sz);
+        }
+        for (std::size_t i = 0; i < threads_sz; ++i) {
+            intra.worker_sums[i].assign(
+                static_cast<std::size_t>(timesteps), 0);
+            intra.worker_correction[i].assign(
+                static_cast<std::size_t>(timesteps), 0);
+        }
+        std::size_t w = 0;
+        while (w < scheduler.waveCount()) {
+            intra.block_items.clear();
+            intra.wave_sizes.clear();
+            while (w < scheduler.waveCount() &&
+                   intra.block_items.size() < kIntraBlockItems) {
+                scheduler.wave(w, scratch.items);
+                intra.wave_sizes.push_back(scratch.items.size());
+                intra.block_items.insert(intra.block_items.end(),
+                                         scratch.items.begin(),
+                                         scratch.items.end());
+                ++w;
+            }
+            if (intra.slots.size() < intra.block_items.size())
+                intra.slots.resize(intra.block_items.size());
+            parallelForWorkers(
+                intra.block_items.size(), layer_threads,
+                [&](std::size_t intra_worker, std::size_t i) {
+                    intra.slots[i] = computeItem(
+                        intra.block_items[i],
+                        intra.worker_sums[intra_worker],
+                        intra.worker_correction[intra_worker]);
+                });
+            std::size_t cursor = 0;
+            for (const std::size_t wave_size : intra.wave_sizes) {
+                broadcastWave(intra.block_items.data() + cursor,
+                              wave_size);
+                std::uint64_t wave_cycles = 0;
+                for (std::size_t i = 0; i < wave_size; ++i) {
+                    const WorkItem& item =
+                        intra.block_items[cursor + i];
+                    readsForItem(item);
+                    wave_cycles = std::max(
+                        wave_cycles,
+                        accountItem(item, intra.slots[cursor + i]));
+                }
+                finishWave(wave_cycles);
+                cursor += wave_size;
+            }
+        }
     }
 
     // Outputs leave as raw spike trains, timestep-major like the input.
@@ -279,13 +382,15 @@ SpartenSim::executeInput(const CompiledLayer& compiled,
     return result;
 }
 
-RunResult
-SpartenSim::runAnnLayer(const AnnLayerData& layer)
+CompiledLayer
+SpartenSim::prepareAnn(const AnnLayerData& layer) const
 {
     const std::size_t m = layer.acts.rows();
     const std::size_t k = layer.acts.cols();
     const std::size_t n = layer.weights.cols();
-    const std::size_t chunks = ceilDiv(k, config_.chunk_bits);
+    if (layer.weights.rows() != k)
+        fatal("layer '%s': A is %zux%zu but B is %zux%zu",
+              layer.spec.name.c_str(), m, k, layer.weights.rows(), n);
 
     // Both operands compressed as bitmask + int8 values, through the
     // same compiled-operand helpers the SNN prepare phase uses.
@@ -301,27 +406,59 @@ SpartenSim::runAnnLayer(const AnnLayerData& layer)
             }
         act_fibers.push_back(std::move(f));
     }
-    const CompiledWeightFibers a =
-        compileWeightFibers(std::move(act_fibers));
-    const CompiledWeightFibers b = compileWeightColumns(layer.weights);
-    const auto& fibers_a = a.fibers;
-    const auto& fibers_b = b.fibers;
-    const auto& a_meta_off = a.meta_off;
-    const auto& a_val_off = a.val_off;
-    const auto& b_meta_off = b.meta_off;
-    const auto& b_val_off = b.val_off;
+    auto art = std::make_shared<SpartenAnnCompiled>();
+    art->a = compileWeightFibers(std::move(act_fibers));
+    art->b = compileWeightColumns(layer.weights);
 
-    MemorySystem mem(config_.cache, config_.dram);
+    CompiledLayer out;
+    out.spec = layer.spec;
+    out.family = kAnnFamily;
+    out.m = m;
+    out.k = k;
+    out.n = n;
+    out.timesteps = 1;
+    out.batch = 1;
+    out.bytes = art->a.footprintBytes() + art->b.footprintBytes();
+    out.artifact = std::move(art);
+    return out;
+}
+
+RunResult
+SpartenSim::executeAnn(const CompiledLayer& compiled, std::size_t worker)
+{
+    const auto& art = artifactAs<SpartenAnnCompiled>(compiled, kAnnFamily);
+    const std::size_t m = compiled.m;
+    const std::size_t k = compiled.k;
+    const std::size_t n = compiled.n;
+    const std::size_t chunks = ceilDiv(k, config_.chunk_bits);
+
+    const auto& fibers_a = art.a.fibers;
+    const auto& fibers_b = art.b.fibers;
+    const auto& a_meta_off = art.a.meta_off;
+    const auto& a_val_off = art.a.val_off;
+    const auto& b_meta_off = art.b.meta_off;
+    const auto& b_val_off = art.b.val_off;
+
+    // Serial-context growth only; batch-parallel callers pre-size the
+    // pool through reserveWorkers() before fanning out.
+    if (worker >= scratch_.size())
+        scratch_.resize(worker + 1);
+    ExecuteScratch& scratch = scratch_[worker];
+    if (!scratch.mem)
+        scratch.mem.emplace(config_.cache, config_.dram);
+    else
+        scratch.mem->reset();
+    MemorySystem& mem = *scratch.mem;
     const Scheduler scheduler(m, n, config_.num_pes);
 
     RunResult result;
     result.accel = "SparTen-ANN";
-    result.workload = layer.spec.name;
+    result.workload = compiled.spec.name;
 
     std::uint64_t dram_bytes_seen = 0;
-    std::vector<WorkItem> items;
     for (std::size_t w = 0; w < scheduler.waveCount(); ++w) {
-        scheduler.wave(w, items);
+        scheduler.wave(w, scratch.items);
+        const auto& items = scratch.items;
         std::uint64_t prev_col = ~0ull;
         for (const auto& item : items) {
             if (item.n == prev_col)

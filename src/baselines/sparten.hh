@@ -115,6 +115,18 @@ struct SpartenCompiled : CompiledArtifact
     std::vector<std::vector<std::uint32_t>> dense_nnz;
 };
 
+/**
+ * Compiled SparTen ANN operands (family "sparten-ann"): both int8
+ * operands in bitmask+values fiber form with their offset tables — the
+ * activation rows of A and the weight columns of B. Single input,
+ * single "timestep".
+ */
+struct SpartenAnnCompiled : CompiledArtifact
+{
+    CompiledWeightFibers a;  // rows of A (non-zero activations)
+    CompiledWeightFibers b;  // columns of B
+};
+
 /** SparTen running SNN workloads timestep-by-timestep. */
 class SpartenSim : public Accelerator
 {
@@ -127,16 +139,23 @@ class SpartenSim : public Accelerator
 
     CompiledLayer prepare(const LayerData& layer) const override;
 
-    RunResult execute(const CompiledLayer& compiled) override;
-
     RunResult executeInput(const CompiledLayer& compiled,
                            std::size_t input,
                            std::size_t worker) override;
 
     void reserveWorkers(std::size_t workers) override;
 
-    /** Original SparTen on an int8 ANN layer (Fig. 18). */
-    RunResult runAnnLayer(const AnnLayerData& layer);
+    /** Format family of prepareAnn() artifacts. */
+    static constexpr const char* kAnnFamily = "sparten-ann";
+
+    /**
+     * Phase 1 of the ANN mode (Fig. 18): compress both int8 operands
+     * into bitmask+values fiber form. The compiled layer carries the
+     * "sparten-ann" family, so it rides the same CompiledCache /
+     * artifact-store machinery as SNN layers; execute() dispatches on
+     * the family.
+     */
+    CompiledLayer prepareAnn(const AnnLayerData& layer) const;
 
     /** Output spikes of input 0 of the last SNN layer (verification). */
     const SpikeTensor& lastOutput() const { return last_output_; }
@@ -144,6 +163,32 @@ class SpartenSim : public Accelerator
   private:
     SpartenConfig config_;
     SpikeTensor last_output_;
+
+    /** The original SparTen datapath over a prepared ANN layer. */
+    RunResult executeAnn(const CompiledLayer& compiled,
+                         std::size_t worker);
+
+    /** Result of one item's pure join work, precomputed by the
+     *  intra-layer phase A and replayed by phase B (see
+     *  LoasSim::IntraScratch). Covers both datapaths. */
+    struct IntraSlot
+    {
+        std::uint64_t pe_cycles = 0;
+        std::uint64_t fast_prefix_ops = 0;
+        std::uint64_t acc_ops = 0;
+        std::uint64_t correction_ops = 0;
+        TimeWord spikes = 0;
+    };
+
+    /** Intra-layer parallel state (see LoasSim::IntraScratch). */
+    struct IntraScratch
+    {
+        std::vector<IntraSlot> slots;         // per block item
+        std::vector<std::vector<std::int32_t>> worker_sums;
+        std::vector<std::vector<std::int64_t>> worker_correction;
+        std::vector<WorkItem> block_items;    // block waves, flattened
+        std::vector<std::size_t> wave_sizes;  // wave boundaries
+    };
 
     /** Reusable per-worker execute() working state (see
      *  LoasSim::ExecuteScratch). */
@@ -153,6 +198,7 @@ class SpartenSim : public Accelerator
         std::vector<std::int32_t> sums;  // one slot per timestep
         std::vector<std::int64_t> correction;  // collapse-path scratch
         std::vector<WorkItem> items;     // current wave
+        IntraScratch intra;
     };
     std::vector<ExecuteScratch> scratch_;
 };

@@ -164,12 +164,6 @@ PtbSim::name() const
 }
 
 RunResult
-PtbSim::execute(const CompiledLayer& compiled)
-{
-    return executeInput(compiled, 0, 0);
-}
-
-RunResult
 PtbSim::executeInput(const CompiledLayer& compiled, std::size_t input,
                      std::size_t worker)
 {
@@ -223,12 +217,6 @@ std::string
 StellarSim::name() const
 {
     return "Stellar";
-}
-
-RunResult
-StellarSim::execute(const CompiledLayer& compiled)
-{
-    return executeInput(compiled, 0, 0);
 }
 
 RunResult

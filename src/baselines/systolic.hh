@@ -74,7 +74,6 @@ class PtbSim : public SystolicBase
   public:
     explicit PtbSim(const SystolicConfig& config = {});
     std::string name() const override;
-    RunResult execute(const CompiledLayer& compiled) override;
     RunResult executeInput(const CompiledLayer& compiled,
                            std::size_t input,
                            std::size_t worker) override;
@@ -86,7 +85,6 @@ class StellarSim : public SystolicBase
   public:
     explicit StellarSim(const SystolicConfig& config = {});
     std::string name() const override;
-    RunResult execute(const CompiledLayer& compiled) override;
     RunResult executeInput(const CompiledLayer& compiled,
                            std::size_t input,
                            std::size_t worker) override;

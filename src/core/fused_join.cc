@@ -1,7 +1,7 @@
 #include "core/fused_join.hh"
 
-#include "common/bitutil.hh"
 #include "common/logging.hh"
+#include "core/kernel_dispatch.hh"
 #include "tensor/spike_tensor.hh"
 
 namespace loas {
@@ -18,6 +18,9 @@ fusedTemporalJoin(const SpikeFiber& fiber_a, const RankedBitmask& rank_a,
     if (collapse && correction == nullptr)
         panic("fusedTemporalJoin: collapse path needs a correction "
               "buffer");
+    if (rank_a.mask().size() != rank_b.mask().size())
+        panic("fusedTemporalJoin over mismatched mask sizes %zu vs %zu",
+              rank_a.mask().size(), rank_b.mask().size());
 
     const auto tcount = static_cast<std::size_t>(timesteps);
     const TimeWord all_ones =
@@ -25,27 +28,25 @@ fusedTemporalJoin(const SpikeFiber& fiber_a, const RankedBitmask& rank_a,
             ? ~TimeWord(0)
             : static_cast<TimeWord>((TimeWord(1) << timesteps) - 1);
 
+    const auto& wa = rank_a.mask().words();
+    const auto& wb = rank_b.mask().words();
+    const kernels::KernelOps& kops = kernels::ops();
+
     FusedJoinStats stats;
     stats.collapsed = collapse;
 
     if (!collapse) {
-        // Fan-out: one add per firing timestep of each match.
+        // Fan-out: one add per firing timestep of each match. The
+        // dispatched kernel owns the whole loop — on vector ISAs the T
+        // accumulators live in lanes and each match is one masked
+        // lane-add (exact integer arithmetic, bit-identical to the
+        // scalar path).
         for (std::size_t t = 0; t < tcount; ++t)
             sums[t] = 0;
-        forEachMatch(
-            rank_a, rank_b,
-            [&](std::size_t, std::size_t a_off, std::size_t b_off) {
-                const std::int32_t weight = fiber_b.values[b_off];
-                TimeWord w = fiber_a.values[a_off];
-                stats.acc_ops += static_cast<std::uint64_t>(
-                    popcount64(w));
-                while (w) {
-                    const int t = lowestSetBit(w);
-                    w &= w - 1;
-                    sums[t] += weight;
-                }
-                ++stats.matches;
-            });
+        stats.matches = kops.fusedFanoutJoin(
+            wa.data(), wb.data(), wa.size(), rank_a.prefixTable().data(),
+            rank_b.prefixTable().data(), fiber_a.values.data(),
+            fiber_b.values.data(), timesteps, sums, &stats.acc_ops);
         return stats;
     }
 
@@ -55,22 +56,11 @@ fusedTemporalJoin(const SpikeFiber& fiber_a, const RankedBitmask& rank_a,
     std::int64_t pseudo = 0;
     for (std::size_t t = 0; t < tcount; ++t)
         correction[t] = 0;
-    forEachMatch(
-        rank_a, rank_b,
-        [&](std::size_t, std::size_t a_off, std::size_t b_off) {
-            const std::int32_t weight = fiber_b.values[b_off];
-            pseudo += weight;
-            ++stats.acc_ops;
-            TimeWord zeros = static_cast<TimeWord>(
-                ~fiber_a.values[a_off] & all_ones);
-            while (zeros) {
-                const int t = lowestSetBit(zeros);
-                zeros &= zeros - 1;
-                correction[t] += weight;
-                ++stats.correction_ops;
-            }
-            ++stats.matches;
-        });
+    stats.matches = kops.fusedCollapseJoin(
+        wa.data(), wb.data(), wa.size(), rank_a.prefixTable().data(),
+        rank_b.prefixTable().data(), fiber_a.values.data(),
+        fiber_b.values.data(), timesteps, all_ones, &pseudo, correction,
+        &stats.acc_ops, &stats.correction_ops);
     // One subtract per timestep materializes the full sums (Eq. 1).
     for (std::size_t t = 0; t < tcount; ++t) {
         sums[t] = static_cast<std::int32_t>(pseudo - correction[t]);

@@ -25,6 +25,11 @@
  * reassociation hazards), so the data-dependent choice between them is
  * purely a performance decision. The kernel is allocation-free: all
  * output lands in caller-owned buffers.
+ *
+ * Both loops run through the runtime-dispatched kernel table
+ * (core/kernel_dispatch.hh): on vector ISAs the T accumulators live
+ * in lanes and each match is one masked lane-add — same sums, same
+ * stats, at any ISA.
  */
 
 #pragma once

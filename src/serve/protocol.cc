@@ -6,6 +6,7 @@
 #include "api/json.hh"
 #include "api/sweep.hh"
 #include "api/versions.hh"
+#include "core/kernel_dispatch.hh"
 #include "serve/json_parse.hh"
 #include "workload/artifact_store.hh"
 
@@ -115,6 +116,8 @@ versionJson()
     out += ", \"serve_schema\": " + json::quote(kServeSchema);
     out += ", \"artifact_format\": " +
            std::to_string(ArtifactStore::kFormatVersion);
+    out += ", \"isa\": " +
+           json::quote(kernels::isaName(kernels::resolvedIsa()));
     out += "}";
     return out;
 }

@@ -1,15 +1,17 @@
 /**
  * @file
  * Wire protocol of the `loas_cli serve` daemon: newline-delimited JSON
- * over a local stream socket, schema `loas-serve/3`. Every request is
+ * over a local stream socket, schema `loas-serve/4`. Every request is
  * one JSON object on one line, every reply one JSON object on one
  * line; a connection may issue any number of requests sequentially.
  * (serve/2 added the optional "batch" submit field and the
  * "inferences_per_s" stats field; requests that omit "batch" behave
  * exactly like serve/1 clients. serve/3 added the structured "error"
  * field on failed-job replies and the disk circuit-breaker fields —
- * disk_trips, disk_tmp_swept, disk_degraded — in cache stats; both
- * are additive, serve/2 clients keep working unchanged.)
+ * disk_trips, disk_tmp_swept, disk_degraded — in cache stats.
+ * serve/4 added the resolved SIMD "isa" and the "workers" pool-sizing
+ * object to the version and stats replies. All are additive; older
+ * clients keep working unchanged.)
  *
  * Requests ("cmd" selects one):
  *
@@ -132,8 +134,9 @@ std::string coalesceKey(const RunSpec& spec);
  */
 SimRequest toSimRequest(const RunSpec& spec);
 
-/** `{"schema":"loas-version/1", ...}` one-line version object: CLI
- *  version, every artifact schema tag, on-disk artifact format. */
+/** `{"schema":"loas-version/2", ...}` one-line version object: CLI
+ *  version, every artifact schema tag, on-disk artifact format, and
+ *  the resolved join-kernel ISA. */
 std::string versionJson();
 
 /** One-line error reply. */

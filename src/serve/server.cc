@@ -13,6 +13,8 @@
 #include "api/json.hh"
 #include "api/versions.hh"
 #include "common/fault.hh"
+#include "common/parallel.hh"
+#include "core/kernel_dispatch.hh"
 #include "serve/json_parse.hh"
 
 namespace loas {
@@ -56,6 +58,7 @@ requireId(const JsonValue& request)
 Server::Server(Config config, CompiledCache* cache,
                JobQueue::Runner runner)
     : socket_path_(config.socket_path),
+      queue_config_(config.queue),
       queue_(std::make_unique<JobQueue>(config.queue, cache,
                                         std::move(runner))),
       cache_(cache)
@@ -412,6 +415,15 @@ Server::handleStats()
            json::num(static_cast<std::uint64_t>(counters.depth));
     out += ", \"running\": " +
            json::num(static_cast<std::uint64_t>(counters.running));
+    out += "}";
+    out += ", \"isa\": " +
+           json::quote(kernels::isaName(kernels::resolvedIsa()));
+    out += ", \"workers\": {";
+    out += "\"queue\": " + json::num(static_cast<std::uint64_t>(
+                               std::max(1, queue_config_.workers)));
+    out += ", \"engine_threads\": " +
+           json::num(static_cast<std::uint64_t>(
+               resolveThreads(queue_config_.engine_threads)));
     out += "}";
     if (cache_ != nullptr)
         out += ", \"cache\": " + cacheStatsJson(cache_->stats());

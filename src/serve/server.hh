@@ -106,6 +106,8 @@ class Server
     std::string jobReply(const JobQueue::Result& result) const;
 
     const std::string socket_path_;
+    /** Echoed by `stats` (worker-pool sizing alongside the counters). */
+    const JobQueue::Config queue_config_;
     std::unique_ptr<JobQueue> queue_;
     CompiledCache* const cache_;
 

@@ -4,6 +4,7 @@
 
 #include "common/bitutil.hh"
 #include "common/logging.hh"
+#include "core/kernel_dispatch.hh"
 
 namespace loas {
 
@@ -93,11 +94,8 @@ Bitmask::andPopcount(const Bitmask& other) const
     if (size_ != other.size_)
         panic("Bitmask AND of mismatched sizes %zu vs %zu", size_,
               other.size_);
-    std::size_t count = 0;
-    for (std::size_t w = 0; w < words_.size(); ++w)
-        count += static_cast<std::size_t>(
-            popcount64(words_[w] & other.words_[w]));
-    return count;
+    return static_cast<std::size_t>(kernels::ops().andPopcountWords(
+        words_.data(), other.words_.data(), words_.size()));
 }
 
 bool

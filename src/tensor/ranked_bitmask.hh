@@ -17,12 +17,14 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "common/bitutil.hh"
 #include "common/logging.hh"
+#include "core/kernel_dispatch.hh"
 #include "tensor/bitmask.hh"
 
 namespace loas {
@@ -133,6 +135,34 @@ rangeWord(const std::vector<std::uint64_t>& a,
     return x;
 }
 
+/**
+ * Word-index split of a bit range [lo, hi): the words in
+ * [full_lo, full_hi) lie entirely inside the range, so their raw AND
+ * equals rangeWord() and the dispatched SIMD scan may skip over them;
+ * the at-most-one leading word [w_begin, full_lo) and trailing words
+ * [full_hi, w_end) straddle a range boundary and need rangeWord()'s
+ * masking. When lo and hi fall inside the same word, full_lo == full_hi
+ * and the leading region covers everything.
+ */
+struct WordRange
+{
+    std::size_t w_begin;
+    std::size_t full_lo;
+    std::size_t full_hi;
+    std::size_t w_end;
+};
+
+inline WordRange
+splitWordRange(std::size_t lo, std::size_t hi)
+{
+    WordRange r;
+    r.w_begin = lo / Bitmask::kWordBits;
+    r.w_end = ceilDiv(hi, Bitmask::kWordBits);
+    r.full_lo = std::min(ceilDiv(lo, Bitmask::kWordBits), r.w_end);
+    r.full_hi = std::max(hi / Bitmask::kWordBits, r.full_lo);
+    return r;
+}
+
 } // namespace detail
 
 /** True when a & b has any set bit in [lo, hi); O(words in range). */
@@ -147,8 +177,14 @@ anyMatch(const Bitmask& a, const Bitmask& b, std::size_t lo,
     const auto& wb = b.words();
     if (lo >= hi)
         return false;
-    const std::size_t w1 = ceilDiv(hi, Bitmask::kWordBits);
-    for (std::size_t w = lo / Bitmask::kWordBits; w < w1; ++w)
+    const detail::WordRange r = detail::splitWordRange(lo, hi);
+    for (std::size_t w = r.w_begin; w < r.full_lo; ++w)
+        if (detail::rangeWord(wa, wb, w, lo, hi))
+            return true;
+    if (kernels::ops().firstMatchWord(wa.data(), wb.data(), r.full_lo,
+                                      r.full_hi) < r.full_hi)
+        return true;
+    for (std::size_t w = r.full_hi; w < r.w_end; ++w)
         if (detail::rangeWord(wa, wb, w, lo, hi))
             return true;
     return false;
@@ -173,9 +209,11 @@ forEachMatch(const RankedBitmask& a, const RankedBitmask& b,
     const auto& wb = b.mask().words();
     if (lo >= hi)
         return;
-    const std::size_t w1 = ceilDiv(hi, Bitmask::kWordBits);
-    for (std::size_t w = lo / Bitmask::kWordBits; w < w1; ++w) {
-        std::uint64_t x = detail::rangeWord(wa, wb, w, lo, hi);
+    // Boundary words take the scalar rangeWord path; the fully-covered
+    // middle words advance via the dispatched zero-AND skip scan. The
+    // per-match fan-out below is identical in every region, so emit
+    // order and results match the all-scalar loop bit for bit.
+    const auto emitWord = [&](std::size_t w, std::uint64_t x) {
         while (x) {
             const int bit = lowestSetBit(x);
             x &= x - 1;
@@ -187,7 +225,19 @@ forEachMatch(const RankedBitmask& a, const RankedBitmask& b,
                    static_cast<std::size_t>(
                        popcount64(wb[w] & lowMask64(bit))));
         }
-    }
+    };
+    const detail::WordRange r = detail::splitWordRange(lo, hi);
+    for (std::size_t w = r.w_begin; w < r.full_lo; ++w)
+        emitWord(w, detail::rangeWord(wa, wb, w, lo, hi));
+    const kernels::KernelOps& kops = kernels::ops();
+    for (std::size_t w = kops.firstMatchWord(wa.data(), wb.data(),
+                                             r.full_lo, r.full_hi);
+         w < r.full_hi;
+         w = kops.firstMatchWord(wa.data(), wb.data(), w + 1,
+                                 r.full_hi))
+        emitWord(w, wa[w] & wb[w]);
+    for (std::size_t w = r.full_hi; w < r.w_end; ++w)
+        emitWord(w, detail::rangeWord(wa, wb, w, lo, hi));
 }
 
 /**
@@ -205,11 +255,17 @@ forEachMatch(const RankedBitmask& a, const RankedBitmask& b, Fn&& fn)
               a.mask().size(), b.mask().size());
     const auto& wa = a.mask().words();
     const auto& wb = b.mask().words();
-    for (std::size_t w = 0; w < wa.size(); ++w) {
+    const kernels::KernelOps& kops = kernels::ops();
+    const std::size_t n = wa.size();
+    // The dispatched scan hops straight to the next non-zero AND word
+    // (the common case at realistic sparsities is long zero runs);
+    // every matched word then fans out exactly as the scalar loop
+    // would, so results are bit-identical at any ISA.
+    for (std::size_t w = kops.firstMatchWord(wa.data(), wb.data(), 0, n);
+         w < n;
+         w = kops.firstMatchWord(wa.data(), wb.data(), w + 1, n)) {
         const std::uint64_t aw = wa[w];
         std::uint64_t x = aw & wb[w];
-        if (!x)
-            continue;
         // Word-local state hoisted out of the per-match loop: both
         // word ranks load once, and positions/ranks derive from the
         // cached words.
@@ -243,7 +299,11 @@ forEachMatch(const Bitmask& a, const RankedBitmask& b, Fn&& fn)
               a.size(), b.mask().size());
     const auto& wa = a.words();
     const auto& wb = b.mask().words();
-    for (std::size_t w = 0; w < wa.size(); ++w) {
+    const kernels::KernelOps& kops = kernels::ops();
+    const std::size_t n = wa.size();
+    for (std::size_t w = kops.firstMatchWord(wa.data(), wb.data(), 0, n);
+         w < n;
+         w = kops.firstMatchWord(wa.data(), wb.data(), w + 1, n)) {
         std::uint64_t x = wa[w] & wb[w];
         while (x) {
             const int bit = lowestSetBit(x);

@@ -256,6 +256,53 @@ getGamma(Reader& in)
     return art;
 }
 
+// Format v4: the one-shot ANN entry points folded into the two-phase
+// API, so their artifacts ride the disk cache like any SNN layer.
+
+void
+putSpartenAnn(Writer& out, const SpartenAnnCompiled& art)
+{
+    putWeightFibers(out, art.a);
+    putWeightFibers(out, art.b);
+}
+
+std::shared_ptr<const CompiledArtifact>
+getSpartenAnn(Reader& in)
+{
+    auto art = std::make_shared<SpartenAnnCompiled>();
+    if (!getWeightFibers(in, art->a) || !getWeightFibers(in, art->b))
+        return nullptr;
+    return art;
+}
+
+void
+putGammaAnn(Writer& out, const GammaAnnCompiled& art)
+{
+    putWeightFibers(out, art.b);
+    out.f64(art.weight_density);
+    out.u64(art.nnz_acts);
+    out.vec(art.cols);
+    out.vec(art.ptr);
+}
+
+std::shared_ptr<const CompiledArtifact>
+getGammaAnn(Reader& in)
+{
+    auto art = std::make_shared<GammaAnnCompiled>();
+    if (!getWeightFibers(in, art->b) || !in.f64(art->weight_density) ||
+        !in.u64(art->nnz_acts) || !in.vec(art->cols) ||
+        !in.vec(art->ptr))
+        return nullptr;
+    // The CSR must be well-formed: executeAnn() walks it unchecked.
+    if (art->ptr.empty() || art->ptr.front() != 0 ||
+        art->ptr.back() != art->cols.size())
+        return nullptr;
+    for (std::size_t r = 1; r < art->ptr.size(); ++r)
+        if (art->ptr[r] < art->ptr[r - 1])
+            return nullptr;
+    return art;
+}
+
 void
 putSystolic(Writer& out, const SystolicCompiled& art)
 {
@@ -342,6 +389,13 @@ serializeCompiledLayer(const CompiledLayer& layer, Writer& out)
     else if (layer.family == "systolic")
         putSystolic(
             out, static_cast<const SystolicCompiled&>(*layer.artifact));
+    else if (layer.family == SpartenSim::kAnnFamily)
+        putSpartenAnn(
+            out,
+            static_cast<const SpartenAnnCompiled&>(*layer.artifact));
+    else if (layer.family == GammaSim::kAnnFamily)
+        putGammaAnn(
+            out, static_cast<const GammaAnnCompiled&>(*layer.artifact));
     else
         return false;
     return true;
@@ -371,6 +425,10 @@ deserializeCompiledLayer(Reader& in, CompiledLayer& out)
         out.artifact = getGamma(in);
     else if (out.family == "systolic")
         out.artifact = getSystolic(in);
+    else if (out.family == SpartenSim::kAnnFamily)
+        out.artifact = getSpartenAnn(in);
+    else if (out.family == GammaSim::kAnnFamily)
+        out.artifact = getGammaAnn(in);
     else
         return false;
     return out.artifact != nullptr && in.ok() && in.remaining() == 0;

@@ -48,7 +48,7 @@ class ArtifactStore
      * semantically different artifact from being served to a newer
      * binary as if it were fresh.
      */
-    static constexpr std::uint32_t kFormatVersion = 3;
+    static constexpr std::uint32_t kFormatVersion = 4;
 
     /** Filename suffix of artifact files (everything else is ignored). */
     static constexpr const char* kFileSuffix = ".loasart";

@@ -90,7 +90,7 @@ TEST(Gamma, AnnModeCountsMacsAndActivationBytes)
     spec.spike_sparsity = 0.439;
     const AnnLayerData ann = generateAnnLayer(spec, 7);
     GammaSim sim;
-    const RunResult r = sim.runAnnLayer(ann);
+    const RunResult r = sim.execute(sim.prepareAnn(ann));
     EXPECT_EQ(r.accel, "Gamma-ANN");
     EXPECT_GT(r.ops.mac_ops, 0u);
     // int8 activations stream in: one byte per non-zero.

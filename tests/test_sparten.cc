@@ -59,7 +59,7 @@ TEST(Sparten, AnnModeRunsAndCountsMacs)
     spec.spike_sparsity = 0.439; // ANN activation sparsity (Fig. 18)
     const AnnLayerData ann = generateAnnLayer(spec, 4);
     SpartenSim sim;
-    const RunResult r = sim.runAnnLayer(ann);
+    const RunResult r = sim.execute(sim.prepareAnn(ann));
     EXPECT_EQ(r.accel, "SparTen-ANN");
     EXPECT_GT(r.ops.mac_ops, 0u);
     EXPECT_EQ(r.ops.acc_ops, 0u);

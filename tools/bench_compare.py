@@ -45,9 +45,12 @@ HIGHER_IS_BETTER_SUFFIX = "_per_s"
 # rate (loas-bench/5) includes workload synthesis + compile wall time
 # and jitters the same way. The fault-hook overhead fraction
 # (loas-bench/6) is a noise-scale ratio of two interleaved timings.
+# The SIMD speedup (loas-kernels/3) reflects which ISA the runner's
+# cpuid resolves, not a code regression, so it trends without gating.
 INFORMATIONAL_METRICS = {"serve_requests_per_s",
                          "batch_inferences_per_s",
-                         "fault_overhead_frac"}
+                         "fault_overhead_frac",
+                         "simd_speedup"}
 
 # Informational ceilings: an 'info' metric above its ceiling prints a
 # "HIGH" status in the table (and a note) without failing the job.
@@ -57,9 +60,12 @@ INFORMATIONAL_METRICS = {"serve_requests_per_s",
 # meaning anything, so it warns instead of gating.
 INFO_CEILING_METRICS = {"fault_overhead_frac": 0.01}
 
-# Absolute floors (loas-kernels/2): independent of the baseline, these
+# Absolute floors (loas-kernels/3): independent of the baseline, these
 # must clear a minimum every run — the fused temporal join must beat
-# the sequential T=8 path by at least 2x (the tentpole claim).
+# the sequential T=8 path by at least 2x (the tentpole claim). Both
+# sides run at the resolved ISA; the fused kernels' vectorized
+# temporal fan-out (kernel_dispatch) is what keeps the ratio above
+# the floor now that SIMD also lifts the sequential baseline.
 FLOOR_METRICS = {"join_fused_speedup_t8": 2.0}
 
 

@@ -39,7 +39,8 @@
  *       fused vs sequential temporal joins, O(1) rank tables) and
  *       verifies the zero-allocation steady state of every registered
  *       design's execute() including the fused SparTen path, written
- *       as BENCH_kernels.json (schema loas-kernels/2).
+ *       as BENCH_kernels.json (schema loas-kernels/3), including the
+ *       per-ISA join throughputs behind the simd_speedup metric.
  *
  *   loas_cli cache stats|clear|warm --cache-dir PATH ...
  *       Manage the on-disk compiled-artifact cache: report occupancy,
@@ -49,7 +50,7 @@
  *   loas_cli serve --socket PATH [--workers N] [--max-depth N] ...
  *       Long-running simulation daemon: accepts concurrent requests
  *       as newline-delimited JSON over a unix socket (schema
- *       loas-serve/3, see src/serve/protocol.hh), runs them through
+ *       loas-serve/4, see src/serve/protocol.hh), runs them through
  *       an async job queue with dedup, coalescing, cancellation and
  *       backpressure, and shares one process-lifetime compiled cache
  *       across every request — a warm daemon serves repeat requests
@@ -108,6 +109,7 @@
 #include "common/table.hh"
 #include "core/fused_join.hh"
 #include "core/inner_join.hh"
+#include "core/kernel_dispatch.hh"
 #include "serve/client.hh"
 #include "serve/json_parse.hh"
 #include "serve/protocol.hh"
@@ -158,6 +160,11 @@ usage(const char* argv0)
         "                    (default 0 = unlimited)\n"
         "  --cache-stats PATH\n"
         "                    write cache counters as JSON (\"-\": stdout)\n"
+        "\n"
+        "simd (list/run/sweep/bench/serve):\n"
+        "  --isa NAME      force the join-kernel ISA: scalar, avx2 or\n"
+        "                  avx512 (default: best the host supports;\n"
+        "                  $LOAS_ISA configures any command)\n"
         "\n"
         "fault injection (run/sweep/bench/serve/request):\n"
         "  --fault-spec SPEC\n"
@@ -271,6 +278,26 @@ class ArgCursor
     int i_ = 0;
 };
 
+/**
+ * --isa NAME: pin the join-kernel ISA for this process (overrides the
+ * cpuid pick and $LOAS_ISA). Unknown names are rejected here;
+ * unsupported-on-this-host names are rejected by setIsa().
+ */
+bool
+handleIsaFlag(const std::string& arg, ArgCursor& args)
+{
+    if (arg != "--isa")
+        return false;
+    const std::string name = args.value(arg);
+    kernels::Isa isa;
+    if (!kernels::parseIsa(name, &isa))
+        throw std::invalid_argument(
+            "--isa value '" + name +
+            "' unknown (want scalar, avx2 or avx512)");
+    kernels::setIsa(isa);
+    return true;
+}
+
 /** Flags every subcommand shares; true when `arg` was consumed. */
 bool
 handleCommonFlag(const std::string& arg, ArgCursor& args,
@@ -285,7 +312,7 @@ handleCommonFlag(const std::string& arg, ArgCursor& args,
             parseUint(arg, args.value(arg)), 1024));
         return true;
     }
-    return false;
+    return handleIsaFlag(arg, args);
 }
 
 /** Parse a --batch value (>= 1 enforced here, not in the engine). */
@@ -425,6 +452,8 @@ runList(int argc, char** argv)
             // the next flag, not a filename to silently create.
             if (args.more() && args.peek().rfind("--", 0) != 0)
                 json_path = args.next();
+        } else if (handleIsaFlag(arg, args)) {
+            continue;
         } else {
             throw std::invalid_argument("unknown flag '" + arg + "'");
         }
@@ -448,9 +477,18 @@ runList(int argc, char** argv)
     }
 
     // Machine-readable catalog, schema-versioned like the bench output.
+    // Besides the registry it reports how this host would execute: the
+    // resolved join-kernel ISA and the worker-pool sizing (loas-list/2).
     const auto keys = registry.keys();
     std::string out = "{\n";
     out += std::string("  \"schema\": \"") + kListSchema + "\",\n";
+    out += "  \"isa\": " +
+           json::quote(kernels::isaName(kernels::resolvedIsa())) + ",\n";
+    out += "  \"best_isa\": " +
+           json::quote(kernels::isaName(kernels::bestSupportedIsa())) +
+           ",\n";
+    out += "  \"workers\": {\"engine_threads\": " +
+           std::to_string(resolveThreads(0)) + "},\n";
     out += "  \"accelerators\": [\n";
     for (std::size_t i = 0; i < keys.size(); ++i) {
         const auto& entry = registry.entry(keys[i]);
@@ -681,7 +719,7 @@ runSweep(int argc, char** argv)
 /**
  * Time the hot simulation kernels and verify the zero-allocation
  * steady-state contract of every registered design's execute().
- * Appends (name, value) metric pairs for the loas-kernels/2 schema.
+ * Appends (name, value) metric pairs for the loas-kernels/3 schema.
  */
 void
 runKernelBench(bool quick, std::uint64_t seed,
@@ -814,6 +852,36 @@ runKernelBench(bool quick, std::uint64_t seed,
     metrics.emplace_back("join_fused_t8_calls_per_s",
                          t8_iters / fused_s);
     metrics.emplace_back("join_fused_speedup_t8", seq_s / fused_s);
+
+    // --- Per-ISA join throughput (loas-kernels/3): the same workloads
+    // forced through the scalar kernel table, so bench history tracks
+    // what the SIMD dispatch buys. simd_speedup is informational in
+    // bench_compare — it reflects the runner's ISA, not a code
+    // regression by itself — and is ~1.0 when the dispatch already
+    // resolved to scalar.
+    const kernels::Isa bench_isa = kernels::resolvedIsa();
+    const std::int32_t fused_sum0 = sums8[0];
+    kernels::setIsa(kernels::Isa::Scalar);
+    const auto t_sjoin = Clock::now();
+    std::uint64_t smatches = 0;
+    for (int i = 0; i < join_iters; ++i)
+        smatches += unit.join(fa, rank_a, fb, rank_b, scratch).matches;
+    const double sjoin_s = seconds_since(t_sjoin);
+    const auto t_sfused = Clock::now();
+    for (int i = 0; i < t8_iters; ++i)
+        fusedTemporalJoin(fa8, rank_a8, fb8, rank_b8, t8,
+                          /*collapse=*/false, sums8.data(),
+                          corr8.data());
+    const double sfused_s = seconds_since(t_sfused);
+    kernels::setIsa(bench_isa);
+    if (smatches != matches || sums8[0] != fused_sum0)
+        throw std::runtime_error(
+            "scalar join disagrees with the dispatched join");
+    metrics.emplace_back("join_scalar_calls_per_s",
+                         join_iters / sjoin_s);
+    metrics.emplace_back("join_fused_t8_scalar_calls_per_s",
+                         t8_iters / sfused_s);
+    metrics.emplace_back("simd_speedup", sfused_s / fused_s);
 
     // --- O(1) rank-table queries.
     const int rank_iters = quick ? 1000000 : 4000000;
@@ -1357,6 +1425,8 @@ runServe(int argc, char** argv)
                 parseUint(arg, args.value(arg)));
         else if (arg == "--no-coalesce")
             config.queue.coalesce = false;
+        else if (handleIsaFlag(arg, args))
+            continue;
         else if (handleCacheFlag(arg, args, cache_flags))
             continue;
         else if (handleFaultFlag(arg, args))
